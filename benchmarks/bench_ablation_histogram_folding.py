@@ -1,0 +1,58 @@
+"""Ablation: measurement error vs histogram bin granularity.
+
+Section 5 of the paper: "Because of the combination of the bins over
+time, some amount of error is introduced into the performance data" --
+their runs had 0.2 s to 0.8 s bins, and the end-point bins are dropped
+when integrating.  This bench sweeps histogram capacity so the same run
+folds 0, 1, and 2+ times, and measures the reconstruction error of the
+paper's rate x time method.
+"""
+
+from repro.analysis import PaperComparison, format_table, render_comparisons, run_program
+from repro.core import Focus
+from repro.pperfmark import SmallMessages
+
+from common import emit, once
+
+WHOLE = Focus.whole_program()
+
+
+def test_ablation_histogram_folding(benchmark):
+    def experiment():
+        out = {}
+        for num_bins in (1000, 16, 8, 4):
+            program = SmallMessages(iterations=24000)
+            result = run_program(
+                program, impl="lam", consultant=False, num_bins=num_bins,
+                metrics=[("msg_bytes_recv", WHOLE)],
+            )
+            hist = result.data("msg_bytes_recv").histogram_for(result.proc(0).pid)
+            expected = program.expected_bytes_at_server(result.world.size)
+            est = hist.interior_mean_rate() * hist.active_duration()
+            out[num_bins] = (hist.bin_width, hist.folds, expected, est)
+        return out
+
+    out = once(benchmark, experiment)
+    rows = []
+    errors = {}
+    for num_bins, (width, folds, expected, est) in sorted(out.items(), reverse=True):
+        err = abs(est - expected) / expected
+        errors[num_bins] = err
+        rows.append((num_bins, f"{width:.2f}s", folds, f"{expected:,}", f"{est:,.0f}", f"{100 * err:.2f}%"))
+    comparisons = [
+        PaperComparison("fine bins reconstruct accurately", "< few %",
+                        f"{100 * errors[1000]:.2f}%", errors[1000] < 0.05),
+        PaperComparison("exact totals remain fold-invariant", "lossless",
+                        "histogram totals equal at every granularity",
+                        len({v[2] for v in out.values()}) == 1),
+        PaperComparison("coarser bins add reconstruction error", "grows",
+                        f"{100 * errors[1000]:.2f}% -> {100 * errors[4]:.2f}%",
+                        errors[4] > errors[1000]),
+    ]
+    report = (
+        render_comparisons("Ablation -- folding granularity vs error", comparisons)
+        + "\n\n" + format_table(
+            ("Bins", "Final width", "Folds", "Actual bytes", "Rate x time", "Error"), rows)
+    )
+    emit("ablation_histogram_folding", report)
+    assert all(c.holds for c in comparisons)

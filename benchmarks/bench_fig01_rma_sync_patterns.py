@@ -1,0 +1,115 @@
+"""Figure 1: the four RMA synchronization patterns.
+
+The paper's figure illustrates where synchronization waiting time arises:
+a late ``MPI_Win_create`` participant, a late ``MPI_Win_fence`` arrival,
+start/complete-post/wait pairing, and passive-target lock contention.
+This bench *measures* each diagrammed wait on the simulated MPI.
+"""
+
+import numpy as np
+
+from repro.analysis import PaperComparison, render_comparisons
+from repro.mpi import INT, MpiUniverse, MpiProgram
+from repro.sim import Cluster
+
+from common import emit, once
+
+LATE = 0.5
+
+
+class Fig1Program(MpiProgram):
+    name = "fig1"
+    module = "fig1.c"
+
+    def __init__(self):
+        self.waits = {}
+
+    def _timed(self, mpi, key, gen):
+        t0 = mpi.proc.kernel.now
+        yield from gen
+        self.waits.setdefault(key, {})[mpi.rank] = mpi.proc.kernel.now - t0
+
+    def main(self, mpi):
+        yield from mpi.init()
+        # pattern 1: late MPI_Win_create (rank 1 is late)
+        if mpi.rank == 1:
+            yield from mpi.compute(LATE)
+        win = None
+
+        def create():
+            nonlocal win
+            win = yield from mpi.win_create(8, datatype=INT)
+
+        yield from self._timed(mpi, "win_create", create())
+        # pattern 2: late MPI_Win_fence (rank 1 late again)
+        yield from mpi.win_fence(win)
+        if mpi.rank == 1:
+            yield from mpi.compute(LATE)
+        yield from self._timed(mpi, "win_fence", mpi.win_fence(win))
+        # pattern 3: start/complete vs post/wait with a late target
+        if mpi.rank == 0:
+            yield from mpi.compute(LATE)
+            yield from mpi.win_post(win, [1, 2])
+            yield from self._timed(mpi, "win_wait", mpi.win_wait(win))
+        else:
+            yield from self._timed(mpi, "win_start", mpi.win_start(win, [0]))
+            yield from mpi.put(win, 0, np.ones(1, dtype="i4"))
+            yield from mpi.win_complete(win)
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()
+
+
+class Fig1Passive(MpiProgram):
+    name = "fig1_passive"
+    module = "fig1.c"
+
+    def __init__(self):
+        self.waits = {}
+
+    def main(self, mpi):
+        yield from mpi.init()
+        win = yield from mpi.win_create(4, datatype=INT)
+        if mpi.rank != 0:
+            t0 = mpi.proc.kernel.now
+            yield from mpi.win_lock(win, 0)
+            yield from mpi.compute(LATE)  # long critical section
+            yield from mpi.win_unlock(win, 0)
+            self.waits[mpi.rank] = mpi.proc.kernel.now - t0 - LATE
+        yield from mpi.barrier()
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()
+
+
+def test_fig01_rma_sync_patterns(benchmark):
+    def experiment():
+        program = Fig1Program()
+        uni = MpiUniverse(impl="lam", cluster=Cluster(num_nodes=3))
+        uni.launch(program, 3)
+        uni.run()
+        passive = Fig1Passive()
+        uni2 = MpiUniverse(impl="refmpi", cluster=Cluster(num_nodes=3))
+        uni2.launch(passive, 3)
+        uni2.run()
+        return program.waits, passive.waits
+
+    waits, lock_waits = once(benchmark, experiment)
+    create_wait = waits["win_create"][0]
+    fence_wait = waits["win_fence"][0]
+    start_wait = waits["win_start"][1]
+    wait_wait = waits["win_wait"][0]
+    lock_contention = max(lock_waits.values())
+    comparisons = [
+        PaperComparison("late Win_create stalls peers", f"~{LATE}s", f"{create_wait:.3f}s",
+                        create_wait > 0.8 * LATE),
+        PaperComparison("late fence arrival stalls peers", f"~{LATE}s", f"{fence_wait:.3f}s",
+                        fence_wait > 0.8 * LATE),
+        PaperComparison("Win_start blocks until post (LAM)", f"~{LATE}s", f"{start_wait:.3f}s",
+                        start_wait > 0.8 * LATE),
+        PaperComparison("Win_wait returns once completes arrive", "short", f"{wait_wait:.3f}s",
+                        wait_wait < LATE),
+        PaperComparison("lock contention serializes origins", f">={LATE}s", f"{lock_contention:.3f}s",
+                        lock_contention >= 0.8 * LATE),
+    ]
+    emit("fig01_rma_sync_patterns",
+         render_comparisons("Figure 1 -- RMA synchronization patterns", comparisons))
+    assert all(c.holds for c in comparisons)

@@ -1,0 +1,40 @@
+"""Figure 3: Performance Consultant output for small-messages (LAM vs MPICH).
+
+Paper: ExcessiveSyncWaitingTime true for both implementations, drilled
+through Gsend_message to MPI_Send; LAM additionally identifies the
+communicator; MPICH additionally reports ExcessiveIOBlockingTime (its
+socket transport passes messages through read/write).
+"""
+
+from repro.pperfmark import SmallMessages
+
+from common import pc_figure
+
+
+def test_fig03_small_messages_pc(benchmark):
+    pc_figure(
+        benchmark,
+        "fig03_small_messages_pc",
+        "Figure 3 -- small-messages condensed PC output",
+        lambda: SmallMessages(),
+        impls={
+            "lam": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "Gsend_message"),
+                ("ExcessiveSyncWaitingTime", "MPI_Send"),
+                ("ExcessiveSyncWaitingTime", "comm_"),
+                ("!ExcessiveIOBlockingTime",),
+            ],
+            "mpich": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "Gsend_message"),
+                ("ExcessiveSyncWaitingTime", "PMPI_Send"),
+                ("ExcessiveIOBlockingTime",),
+            ],
+        },
+        paper_notes=(
+            "ExcessiveSyncWaitingTime -> Gsend_message -> MPI_Send for both; "
+            "communicator found under LAM; ExcessiveIOBlockingTime true only "
+            "for MPICH (heavy use of read/write system calls)."
+        ),
+    )

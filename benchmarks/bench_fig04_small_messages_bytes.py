@@ -1,0 +1,71 @@
+"""Figure 4: the server's received-bytes histogram for small-messages.
+
+Paper method: export the histogram, multiply the average bytes/second by
+the run time -- 386,927.84 B/s x 515 s = 199,259,066 bytes computed vs
+200,000,000 actual (~0.4% low, end-point bins dropped).  Scaled here, the
+same integration must land within a few percent of ground truth.
+"""
+
+from repro.analysis import PaperComparison, render_comparisons, run_program
+from repro.core.visualization import render_histogram_chart
+from repro.core import Focus
+from repro.pperfmark import SmallMessages
+
+from common import emit, once
+
+WHOLE = Focus.whole_program()
+
+
+def test_fig04_small_messages_bytes(benchmark):
+    program = SmallMessages()
+
+    result = once(
+        benchmark,
+        lambda: run_program(
+            program, impl="lam", consultant=False,
+            metrics=[("msg_bytes_recv", WHOLE), ("msg_bytes_sent", WHOLE)],
+        ),
+    )
+    nprocs = result.world.size
+    server_hist = result.data("msg_bytes_recv").histogram_for(result.proc(0).pid)
+    client_hist = result.data("msg_bytes_sent").histogram_for(result.proc(1).pid)
+    expected_server = program.expected_bytes_at_server(nprocs)
+    expected_client = program.expected_bytes_per_client()
+    est_server = server_hist.interior_mean_rate() * server_hist.active_duration()
+    est_client = client_hist.interior_mean_rate() * client_hist.active_duration()
+    comparisons = [
+        PaperComparison(
+            "server bytes: rate x time vs actual",
+            "199,259,066 vs 200,000,000 (0.4% low)",
+            f"{est_server:,.0f} vs {expected_server:,}"
+            f" ({100 * abs(est_server - expected_server) / expected_server:.1f}% off)",
+            abs(est_server - expected_server) / expected_server < 0.10,
+            note=f"bin width {server_hist.bin_width}s",
+        ),
+        PaperComparison(
+            "client bytes: rate x time vs actual",
+            "39,925,890 vs 40,000,000",
+            f"{est_client:,.0f} vs {expected_client:,}",
+            abs(est_client - expected_client) / expected_client < 0.10,
+        ),
+        PaperComparison(
+            "exact histogram totals",
+            "n/a (Paradyn reports rates)",
+            f"server {server_hist.total():,.0f}, client {client_hist.total():,.0f}",
+            server_hist.total() == expected_server and client_hist.total() == expected_client,
+        ),
+        PaperComparison(
+            "server sent nothing",
+            "0 bytes",
+            f"{result.data('msg_bytes_sent').histogram_for(result.proc(0).pid).total():.0f}",
+            result.data("msg_bytes_sent").histogram_for(result.proc(0).pid).total() == 0,
+        ),
+    ]
+    chart = render_histogram_chart(
+        {"server bytes recv/sec": server_hist, "client bytes sent/sec": client_hist},
+        title="Paradyn histogram (cf. the paper's Figure 4 screenshot)",
+    )
+    emit("fig04_small_messages_bytes",
+         render_comparisons("Figure 4 -- small-messages byte histogram", comparisons)
+         + "\n\n" + chart)
+    assert all(c.holds for c in comparisons)

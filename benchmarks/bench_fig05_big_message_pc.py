@@ -1,0 +1,41 @@
+"""Figure 5: PC output for big-message.
+
+Paper: identical findings for both implementations --
+ExcessiveSyncWaitingTime through Gsend_message/Grecv_message to
+MPI_Send/MPI_Recv, plus the communicator of the bottleneck.
+"""
+
+from repro.pperfmark import BigMessage
+
+from common import pc_figure
+
+
+def checks(send_name, recv_name):
+    return [
+        ("ExcessiveSyncWaitingTime",),
+        ("ExcessiveSyncWaitingTime", "Gsend_message"),
+        ("ExcessiveSyncWaitingTime", "Grecv_message"),
+        ("ExcessiveSyncWaitingTime", send_name),
+        ("ExcessiveSyncWaitingTime", recv_name),
+        ("ExcessiveSyncWaitingTime", "comm_"),
+        ("!ExcessiveIOBlockingTime",),
+        ("!CPUBound",),
+    ]
+
+
+def test_fig05_big_message_pc(benchmark):
+    pc_figure(
+        benchmark,
+        "fig05_big_message_pc",
+        "Figure 5 -- big-message condensed PC output",
+        lambda: BigMessage(),
+        impls={
+            "lam": checks("MPI_Send", "MPI_Recv"),
+            "mpich": checks("PMPI_Send", "PMPI_Recv"),
+        },
+        paper_notes=(
+            "The PC had identical findings for both MPI implementations: "
+            "sync waiting through Gsend_message and Grecv_message to "
+            "MPI_Send/MPI_Recv and the communicator."
+        ),
+    )

@@ -1,0 +1,49 @@
+"""Figure 6: point-to-point bytes sent/received for big-message.
+
+Paper: 5,800,820.4 B/s computed over 68.6 s gives 397.9 MB vs 400 MB
+actual ("slightly lower", ~0.5%).  Scaled: 250 iterations x 400 KB each
+way = 100 MB per process per direction.
+"""
+
+from repro.analysis import PaperComparison, render_comparisons, run_program
+from repro.core import Focus
+from repro.pperfmark import BigMessage
+
+from common import emit, once
+
+WHOLE = Focus.whole_program()
+
+
+def test_fig06_big_message_bytes(benchmark):
+    program = BigMessage()
+    result = once(
+        benchmark,
+        lambda: run_program(
+            program, impl="lam", consultant=False,
+            metrics=[("msg_bytes_sent", WHOLE), ("msg_bytes_recv", WHOLE)],
+        ),
+    )
+    expected = program.expected_bytes_per_process()
+    comparisons = []
+    for direction in ("sent", "recv"):
+        hist = result.data(f"msg_bytes_{direction}").histogram_for(result.proc(0).pid)
+        est = hist.interior_mean_rate() * hist.active_duration()
+        comparisons.append(
+            PaperComparison(
+                f"proc 0 bytes {direction}: rate x time vs actual",
+                "397.9 MB vs 400 MB (slightly lower)",
+                f"{est:,.0f} vs {expected:,}",
+                0.85 * expected <= est <= 1.05 * expected,
+            )
+        )
+        comparisons.append(
+            PaperComparison(
+                f"exact counter {direction}",
+                "== actual",
+                f"{hist.total():,.0f}",
+                hist.total() == expected,
+            )
+        )
+    emit("fig06_big_message_bytes",
+         render_comparisons("Figure 6 -- big-message byte histograms", comparisons))
+    assert all(c.holds for c in comparisons)

@@ -1,0 +1,37 @@
+"""Figure 7: PC output for wrong-way.
+
+Paper: ExcessiveSyncWaitingTime with Gsend_message and Grecv_message as
+the bottlenecks for both LAM and MPICH; MPICH's drill reaches
+PMPI_Send/PMPI_Recv.
+"""
+
+from repro.pperfmark import WrongWay
+
+from common import pc_figure
+
+
+def test_fig07_wrong_way_pc(benchmark):
+    pc_figure(
+        benchmark,
+        "fig07_wrong_way_pc",
+        "Figure 7 -- wrong-way condensed PC output",
+        lambda: WrongWay(),
+        impls={
+            "lam": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "Grecv_message"),
+                ("ExcessiveSyncWaitingTime", "MPI_Recv"),
+            ],
+            "mpich": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "Grecv_message"),
+                ("ExcessiveSyncWaitingTime", "PMPI_Recv"),
+            ],
+        },
+        paper_notes=(
+            "ExcessiveSyncWaitingTime true; send_message/recv_message are "
+            "the bottlenecks; for MPICH the PC drilled down to PMPI_Send "
+            "and PMPI_Recv."
+        ),
+        pc_window=0.5,
+    )

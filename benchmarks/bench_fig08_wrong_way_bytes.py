@@ -1,0 +1,45 @@
+"""Figure 8: bytes sent by process 1 / received by process 0 for wrong-way.
+
+Paper: 956,779.2 B/s sent and 944,582.7 B/s received over 74.6 s give
+71.4 MB / 70.5 MB vs the 72 MB ground truth.
+"""
+
+from repro.analysis import PaperComparison, render_comparisons, run_program
+from repro.core import Focus
+from repro.pperfmark import WrongWay
+
+from common import emit, once
+
+WHOLE = Focus.whole_program()
+
+
+def test_fig08_wrong_way_bytes(benchmark):
+    program = WrongWay()
+    result = once(
+        benchmark,
+        lambda: run_program(
+            program, impl="lam", consultant=False,
+            metrics=[("msg_bytes_sent", WHOLE), ("msg_bytes_recv", WHOLE)],
+        ),
+    )
+    expected = program.expected_total_bytes()
+    sender = result.data("msg_bytes_sent").histogram_for(result.proc(1).pid)
+    receiver = result.data("msg_bytes_recv").histogram_for(result.proc(0).pid)
+    est_sent = sender.interior_mean_rate() * sender.active_duration()
+    est_recv = receiver.interior_mean_rate() * receiver.active_duration()
+    comparisons = [
+        PaperComparison("proc1 bytes sent (rate x time)",
+                        "71,375,728 vs 72,000,000",
+                        f"{est_sent:,.0f} vs {expected:,}",
+                        abs(est_sent - expected) / expected < 0.10),
+        PaperComparison("proc0 bytes received (rate x time)",
+                        "70,465,869 vs 72,000,000",
+                        f"{est_recv:,.0f} vs {expected:,}",
+                        abs(est_recv - expected) / expected < 0.10),
+        PaperComparison("exact counters", "== actual",
+                        f"sent {sender.total():,.0f} recv {receiver.total():,.0f}",
+                        sender.total() == expected and receiver.total() == expected),
+    ]
+    emit("fig08_wrong_way_bytes",
+         render_comparisons("Figure 8 -- wrong-way byte histograms", comparisons))
+    assert all(c.holds for c in comparisons)

@@ -1,0 +1,41 @@
+"""Figure 9: PC output for random-barrier.
+
+Paper: too much time in MPI_Barrier; the program is also CPU-bound and
+the PC pinpoints waste_time.  For MPICH the drill exposes the
+implementation's internals: PMPI_Barrier is collective communication over
+PMPI_Sendrecv, and the communicator/tag are identified.
+"""
+
+from repro.pperfmark import RandomBarrier
+
+from common import pc_figure
+
+
+def test_fig09_random_barrier_pc(benchmark):
+    pc_figure(
+        benchmark,
+        "fig09_random_barrier_pc",
+        "Figure 9 -- random-barrier condensed PC output",
+        lambda: RandomBarrier(iterations=90),
+        impls={
+            "lam": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "Barrier"),
+                ("CPUBound",),
+                ("CPUBound", "waste_time"),
+            ],
+            "mpich": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "Barrier"),
+                ("ExcessiveSyncWaitingTime", "PMPI_Sendrecv"),
+                ("ExcessiveSyncWaitingTime", "comm_"),
+                ("CPUBound",),
+            ],
+        },
+        paper_notes=(
+            "MPI_Barrier sync bottleneck; CPU bound in waste_time (not on "
+            "every process -- depends on who wasted during measurement); "
+            "MPICH shows PMPI_Barrier implemented via PMPI_Sendrecv and the "
+            "communicator/tag are found."
+        ),
+    )

@@ -1,0 +1,45 @@
+"""Figure 11: inclusive synchronization time, client vs server.
+
+Paper (LAM): a client spends ~0.998 of its CPU/wall time in
+Grecv_message and ~0.0003 in Gsend_message; the server spends little in
+either (0.078 recv / 0.022 send).
+"""
+
+from repro.analysis import PaperComparison, render_comparisons, run_program
+from repro.core import Focus
+from repro.pperfmark import IntensiveServer
+
+from common import emit, once
+
+
+def test_fig11_intensive_server_sync(benchmark):
+    program = IntensiveServer()
+    recv_focus = Focus.whole_program().with_code("/Code/intensive_server.c/Grecv_message")
+    send_focus = Focus.whole_program().with_code("/Code/intensive_server.c/Gsend_message")
+    result = once(
+        benchmark,
+        lambda: run_program(
+            program, impl="lam", consultant=False,
+            metrics=[("msg_sync_wait", recv_focus), ("msg_sync_wait", send_focus)],
+        ),
+    )
+    wall = result.proc(1).wall_time()
+    client_pid = result.proc(1).pid
+    server_pid = result.proc(0).pid
+    client_recv = result.data("msg_sync_wait", recv_focus).histogram_for(client_pid).total() / wall
+    client_send = result.data("msg_sync_wait", send_focus).histogram_for(client_pid).total() / wall
+    server_recv = result.data("msg_sync_wait", recv_focus).histogram_for(server_pid).total() / wall
+    server_send = result.data("msg_sync_wait", send_focus).histogram_for(server_pid).total() / wall
+    comparisons = [
+        PaperComparison("client time in Grecv_message", "~0.9982",
+                        f"{client_recv:.3f}", client_recv > 0.8),
+        PaperComparison("client time in Gsend_message", "~0.0003",
+                        f"{client_send:.4f}", client_send < 0.05),
+        PaperComparison("server time in Grecv_message", "~0.0781",
+                        f"{server_recv:.3f}", server_recv < 0.3),
+        PaperComparison("server time in Gsend_message", "~0.0222",
+                        f"{server_send:.3f}", server_send < 0.3),
+    ]
+    emit("fig11_intensive_server_sync",
+         render_comparisons("Figure 11 -- intensive-server inclusive sync", comparisons))
+    assert all(c.holds for c in comparisons)

@@ -1,0 +1,52 @@
+"""Figures 12/13: Jumpshot-3 views of an MPE-traced intensive-server run.
+
+Paper (shortened run, 3 processes, one per node): the Statistical Preview
+shows ~2 of 3 processes in MPI_Recv at any time; the Time Lines window
+shows the server (process 0) spending hardly any time in synchronization
+while the clients sit in MPI_Recv.
+"""
+
+from repro.analysis import PaperComparison, render_comparisons, cluster_for
+from repro.mpi import MpiUniverse
+from repro.pperfmark import IntensiveServer
+from repro.tracetools import MpeLogger, StatisticalPreview, render_timelines
+
+from common import emit, once
+
+
+def test_fig12_13_jumpshot_intensive_server(benchmark):
+    def experiment():
+        # the paper shortened the traced run: 3 processes, one per node
+        program = IntensiveServer(iterations=60)
+        universe = MpiUniverse(cluster=cluster_for(3, procs_per_node=1))
+        logger = MpeLogger()
+        world = universe.launch(program, 3)
+        logger.attach_world(world)
+        universe.run()
+        return logger.log, world
+
+    log, world = once(benchmark, experiment)
+    preview = StatisticalPreview(log, num_ranks=3)
+    recv_mean = preview.mean_concurrency("MPI_Recv")
+    server_intervals = log.intervals(0)
+    server_mpi = sum(e - s for s, e, _ in server_intervals)
+    wall = world.endpoints[0].proc.wall_time()
+    comparisons = [
+        PaperComparison("processes concurrently in MPI_Recv",
+                        "~2 of 3", f"{recv_mean:.2f}",
+                        1.5 <= recv_mean <= 2.6),
+        PaperComparison("server time in MPI calls", "hardly any",
+                        f"{server_mpi / wall:.2%} of run", server_mpi / wall < 0.35),
+        PaperComparison("busiest state", "MPI_Recv",
+                        preview.busiest_states(1)[0][0],
+                        preview.busiest_states(1)[0][0] == "MPI_Recv"),
+    ]
+    report = (
+        render_comparisons("Figures 12/13 -- Jumpshot views of intensive-server", comparisons)
+        + "\n\n" + preview.render()
+        + "\n\n" + render_timelines(log, 3, columns=72)
+        + f"\n\ntrace size: {log.size_bytes:,} bytes for {len(log.events):,} events"
+        " (the file-size growth that forced the paper to shorten traced runs)"
+    )
+    emit("fig12_13_jumpshot_intensive_server", report)
+    assert all(c.holds for c in comparisons)

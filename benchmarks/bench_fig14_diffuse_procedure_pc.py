@@ -1,0 +1,55 @@
+"""Figure 14: PC output for diffuse-procedure (CPU threshold at 0.2).
+
+Paper: ExcessiveSyncWaitingTime with MPI_Barrier as the bottleneck, and --
+once the CPU-usage threshold is lowered to 0.2 -- CPUBound in
+bottleneckProcedure.  With 4 processes the procedure takes ~25% of each
+process's time, under the default 0.3 threshold.
+"""
+
+from repro.analysis import run_program
+from repro.pperfmark import DiffuseProcedure
+
+from common import emit, once, pc_figure
+
+
+def test_fig14_diffuse_procedure_pc(benchmark):
+    pc_figure(
+        benchmark,
+        "fig14_diffuse_procedure_pc",
+        "Figure 14 -- diffuse-procedure condensed PC output (threshold 0.2)",
+        lambda: DiffuseProcedure(),
+        impls={
+            "lam": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "Barrier"),
+                ("CPUBound", "bottleneckProcedure"),
+            ],
+            "mpich": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "Barrier"),
+                ("CPUBound", "bottleneckProcedure"),
+            ],
+        },
+        paper_notes=(
+            "ExcessiveSyncWaitingTime in MPI_Barrier; CPU bound in "
+            "bottleneckProcedure only once the CPU threshold is 0.2."
+        ),
+        thresholds={"PC_CPUThreshold": 0.2},
+    )
+
+
+def test_fig14_default_threshold_misses_bottleneck(benchmark):
+    """The paper's control: at the default threshold the computational
+    bottleneck is NOT found."""
+    result = once(
+        benchmark, lambda: run_program(DiffuseProcedure(), impl="lam")
+    )
+    pc = result.consultant
+    found = pc.found("CPUBound", "bottleneckProcedure")
+    emit(
+        "fig14_default_threshold_control",
+        "Figure 14 control -- default CPU threshold (0.3):\n"
+        f"  CPUBound at bottleneckProcedure found: {found} (paper: not found)\n"
+        + pc.render_condensed(),
+    )
+    assert not found

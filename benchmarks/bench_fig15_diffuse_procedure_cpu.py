@@ -1,0 +1,46 @@
+"""Figure 15: CPU inclusive time for three procedures of diffuse-procedure.
+
+Paper: ~1 CPU's worth of the 4-process program is in bottleneckProcedure
+(25% per process -- why the default 0.3 threshold misses it), and the
+irrelevantProcedures use almost nothing.  With 2 processes the share is
+~50% and the default threshold suffices.
+"""
+
+from repro.analysis import PaperComparison, render_comparisons, run_program
+from repro.core import Focus
+from repro.pperfmark import DiffuseProcedure
+
+from common import emit, once
+
+
+def _cpu_share(nprocs):
+    program = DiffuseProcedure(iterations=300)
+    focus = Focus.whole_program().with_code("/Code/diffuse_procedure.c/bottleneckProcedure")
+    irrel = Focus.whole_program().with_code("/Code/diffuse_procedure.c/irrelevantProcedure0")
+    result = run_program(
+        program, impl="lam", nprocs=nprocs, consultant=False,
+        metrics=[("cpu_inclusive", focus), ("cpu_inclusive", irrel)],
+    )
+    wall = result.proc(0).wall_time()
+    total_cpus = result.data("cpu_inclusive", focus).total() / wall
+    irrelevant = result.data("cpu_inclusive", irrel).total() / wall
+    return total_cpus, total_cpus / nprocs, irrelevant
+
+
+def test_fig15_diffuse_procedure_cpu(benchmark):
+    (cpus4, share4, irrel4), (cpus2, share2, _) = once(
+        benchmark, lambda: (_cpu_share(4), _cpu_share(2))
+    )
+    comparisons = [
+        PaperComparison("4 procs: whole-program CPUs in bottleneckProcedure",
+                        "~1 CPU", f"{cpus4:.2f}", 0.8 <= cpus4 <= 1.2),
+        PaperComparison("4 procs: per-process share", "~0.25 (< default 0.3)",
+                        f"{share4:.3f}", 0.2 <= share4 <= 0.3),
+        PaperComparison("2 procs: per-process share", "~0.50 (found at default)",
+                        f"{share2:.3f}", 0.4 <= share2 <= 0.6),
+        PaperComparison("irrelevantProcedures use ~no time", "~0",
+                        f"{irrel4:.4f} CPUs", irrel4 < 0.05),
+    ]
+    emit("fig15_diffuse_procedure_cpu",
+         render_comparisons("Figure 15 -- diffuse-procedure CPU inclusive", comparisons))
+    assert all(c.holds for c in comparisons)

@@ -1,0 +1,45 @@
+"""Figure 16: Jumpshot Time Lines for diffuse-procedure.
+
+Paper (10 iterations, 3 processes): overall each process spends
+approximately the same amount of time in MPI_Barrier, even though at any
+specific point the distribution is unbalanced.
+"""
+
+from repro.analysis import PaperComparison, render_comparisons, cluster_for
+from repro.mpi import MpiUniverse
+from repro.pperfmark import DiffuseProcedure
+from repro.tracetools import MpeLogger, render_timelines
+
+from common import emit, once
+
+
+def test_fig16_jumpshot_diffuse(benchmark):
+    def experiment():
+        program = DiffuseProcedure(iterations=30)
+        universe = MpiUniverse(cluster=cluster_for(3, procs_per_node=1))
+        logger = MpeLogger()
+        world = universe.launch(program, 3)
+        logger.attach_world(world)
+        universe.run()
+        return logger.log, world
+
+    log, world = once(benchmark, experiment)
+    barrier_time = {}
+    for rank in range(3):
+        barrier_time[rank] = sum(
+            e - s for s, e, n in log.intervals(rank) if n == "MPI_Barrier"
+        )
+    values = list(barrier_time.values())
+    spread = (max(values) - min(values)) / max(values)
+    comparisons = [
+        PaperComparison("per-process MPI_Barrier time",
+                        "approximately the same for all",
+                        " / ".join(f"{v:.2f}s" for v in values),
+                        spread < 0.25),
+    ]
+    report = (
+        render_comparisons("Figure 16 -- Jumpshot timelines, diffuse-procedure", comparisons)
+        + "\n\n" + render_timelines(log, 3, columns=72)
+    )
+    emit("fig16_jumpshot_diffuse", report)
+    assert all(c.holds for c in comparisons)

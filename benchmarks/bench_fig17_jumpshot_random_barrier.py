@@ -1,0 +1,38 @@
+"""Figure 17: Jumpshot Statistical Preview for random-barrier.
+
+Paper (80 iterations, TIMETOWASTE=5, 4 processes): of the four processes,
+approximately three are executing in MPI_Barrier at any given time.
+"""
+
+from repro.analysis import PaperComparison, render_comparisons, cluster_for
+from repro.mpi import MpiUniverse
+from repro.pperfmark import RandomBarrier
+from repro.tracetools import MpeLogger, StatisticalPreview
+
+from common import emit, once
+
+
+def test_fig17_jumpshot_random_barrier(benchmark):
+    def experiment():
+        program = RandomBarrier(iterations=80, base_work_units=0.35)
+        universe = MpiUniverse(cluster=cluster_for(4, procs_per_node=2))
+        logger = MpeLogger()
+        world = universe.launch(program, 4)
+        logger.attach_world(world)
+        universe.run()
+        return logger.log
+
+    log = once(benchmark, experiment)
+    preview = StatisticalPreview(log, num_ranks=4)
+    barrier_mean = preview.mean_concurrency("MPI_Barrier")
+    comparisons = [
+        PaperComparison("processes concurrently in MPI_Barrier",
+                        "~3 of 4", f"{barrier_mean:.2f}",
+                        2.4 <= barrier_mean <= 3.6),
+    ]
+    report = (
+        render_comparisons("Figure 17 -- Jumpshot preview, random-barrier", comparisons)
+        + "\n\n" + preview.render()
+    )
+    emit("fig17_jumpshot_random_barrier", report)
+    assert all(c.holds for c in comparisons)

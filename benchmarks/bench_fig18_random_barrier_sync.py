@@ -1,0 +1,68 @@
+"""Figure 18: inclusive synchronization time for random-barrier.
+
+Paper: the average sync_wait_inclusive over all six processes is 61%
+under LAM and 62% under MPICH, spread evenly across processes.
+"""
+
+from repro.analysis import PaperComparison, render_comparisons, run_program
+from repro.core.visualization import render_histogram_chart
+from repro.core import Focus
+from repro.pperfmark import RandomBarrier
+
+from common import emit, once
+
+WHOLE = Focus.whole_program()
+
+
+def test_fig18_random_barrier_sync(benchmark):
+    def experiment():
+        out = {}
+        charts = {}
+        for impl in ("lam", "mpich"):
+            program = RandomBarrier()
+            result = run_program(program, impl=impl, consultant=False,
+                                 metrics=[("sync_wait", WHOLE)])
+            data = result.data("sync_wait")
+            fractions = [
+                data.histogram_for(ep.proc.pid).total() / ep.proc.wall_time()
+                for ep in result.world.endpoints
+            ]
+            out[impl] = (program, fractions)
+            charts[impl] = render_histogram_chart(
+                {f"rank{i}": data.histogram_for(ep.proc.pid)
+                 for i, ep in enumerate(result.world.endpoints[:4])},
+                title=f"sync_wait_inclusive per process [{impl}] "
+                      "(cf. the paper's Figure 18)",
+                ylabel="sync seconds/sec",
+            )
+        out["charts"] = charts
+        return out
+
+    out = once(benchmark, experiment)
+    charts = out.pop("charts")
+    comparisons = []
+    paper_avg = {"lam": 0.61, "mpich": 0.62}
+    for impl, (program, fractions) in out.items():
+        avg = sum(fractions) / len(fractions)
+        spread = max(fractions) - min(fractions)
+        comparisons.append(
+            PaperComparison(
+                f"[{impl}] average inclusive sync fraction",
+                f"{paper_avg[impl]:.2f}",
+                f"{avg:.3f}",
+                abs(avg - paper_avg[impl]) < 0.08,
+                note=f"analytic target {program.expected_sync_fraction(6):.3f}",
+            )
+        )
+        comparisons.append(
+            PaperComparison(
+                f"[{impl}] sync spread evenly over processes",
+                "approximately equal",
+                f"max-min {spread:.3f}",
+                spread < 0.2,
+            )
+        )
+    emit("fig18_random_barrier_sync",
+         render_comparisons("Figure 18 -- random-barrier inclusive sync", comparisons)
+         + "\n\n" + charts["lam"] + "\n\n" + charts["mpich"])
+    assert all(c.holds for c in comparisons)

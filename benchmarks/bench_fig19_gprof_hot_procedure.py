@@ -1,0 +1,48 @@
+"""Figure 19: gprof flat profile of a serial hot-procedure run.
+
+Paper: bottleneckProcedure consumes 100% of the running time; the
+irrelevantProcedures are called equally often (1,000,000 times each) but
+take 0 us per call.
+"""
+
+from repro.analysis import PaperComparison, render_comparisons, cluster_for
+from repro.mpi import MpiUniverse
+from repro.pperfmark import HotProcedure
+from repro.tracetools import GprofProfiler
+
+from common import emit, once
+
+
+def test_fig19_gprof_hot_procedure(benchmark):
+    def experiment():
+        # gprof was run on a non-MPI (serial) build of the program
+        program = HotProcedure(iterations=400)
+        universe = MpiUniverse(cluster=cluster_for(1, procs_per_node=1))
+        profiler = GprofProfiler()
+        world = universe.launch(program, 1)
+        profiler.attach(world.endpoints[0].proc)
+        universe.run()
+        return profiler, program
+
+    profiler, program = once(benchmark, experiment)
+    rows = {r.name: r for r in profiler.rows()}
+    bottleneck = rows["bottleneckProcedure"]
+    irrelevant = rows["irrelevantProcedure0"]
+    total = profiler.total_seconds()
+    comparisons = [
+        PaperComparison("% time in bottleneckProcedure", "100.0",
+                        f"{100 * bottleneck.self_seconds / total:.1f}",
+                        bottleneck.self_seconds / total > 0.99),
+        PaperComparison("irrelevantProcedure us/call", "0.00",
+                        f"{irrelevant.us_per_call:.2f}",
+                        irrelevant.us_per_call < 1.0),
+        PaperComparison("equal call counts", "equal",
+                        f"{bottleneck.calls} vs {irrelevant.calls}",
+                        bottleneck.calls == irrelevant.calls == program.iterations),
+    ]
+    report = (
+        render_comparisons("Figure 19 -- gprof flat profile, hot-procedure", comparisons)
+        + "\n\n" + profiler.render()
+    )
+    emit("fig19_gprof_hot_procedure", report)
+    assert all(c.holds for c in comparisons)

@@ -1,0 +1,54 @@
+"""Figure 20: PC output for hot-procedure (left) and sstwod (right).
+
+Paper, left: CPUBound tested true for both implementations, drilled to
+bottleneckProcedure.  Right: sstwod's ExcessiveSyncWaitingTime drilled
+through exchng2 to MPI_Sendrecv, plus a synchronization bottleneck in
+MPI_Allreduce.
+"""
+
+from repro.pperfmark import HotProcedure, Sstwod
+
+from common import pc_figure
+
+
+def test_fig20_left_hot_procedure_pc(benchmark):
+    pc_figure(
+        benchmark,
+        "fig20_hot_procedure_pc",
+        "Figure 20 (left) -- hot-procedure condensed PC output",
+        lambda: HotProcedure(),
+        impls={
+            "lam": [
+                ("CPUBound",),
+                ("CPUBound", "bottleneckProcedure"),
+                ("!CPUBound", "irrelevantProcedure"),
+                ("!ExcessiveSyncWaitingTime",),
+            ],
+            "mpich": [
+                ("CPUBound",),
+                ("CPUBound", "bottleneckProcedure"),
+            ],
+        },
+        paper_notes="CPUBound true; source pinpointed to bottleneckProcedure.",
+    )
+
+
+def test_fig20_right_sstwod_pc(benchmark):
+    pc_figure(
+        benchmark,
+        "fig20_sstwod_pc",
+        "Figure 20 (right) -- sstwod condensed PC output",
+        lambda: Sstwod(),
+        impls={
+            "lam": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "exchng2"),
+                ("ExcessiveSyncWaitingTime", "MPI_Sendrecv"),
+                ("!CPUBound",),
+            ],
+        },
+        paper_notes=(
+            "ExcessiveSyncWaitingTime drilled through exchng2 to "
+            "MPI_Sendrecv; MPI_Allreduce also a sync bottleneck."
+        ),
+    )

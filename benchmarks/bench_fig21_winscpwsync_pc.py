@@ -1,0 +1,106 @@
+"""Figure 21: PC output for winscpwsync under LAM and MPICH2.
+
+Paper: ExcessiveSyncWaitingTime due to active-target synchronization on an
+RMA window (the responsible window identified); rank 0 CPU-bound in
+waste_time.  The implementations differ in *which* routine blocks --
+MPI_Win_start under LAM, MPI_Win_complete under MPICH2 (the MPI-2 standard
+leaves the choice to the implementor) -- checked here via the origin-side
+wait-time split.
+"""
+
+from repro.analysis import PaperComparison, render_comparisons, run_program
+from repro.core import Focus
+from repro.pperfmark import WinScpwSync
+
+from common import emit, once, pc_figure
+
+WHOLE = Focus.whole_program()
+
+
+def test_fig21_winscpwsync_pc(benchmark):
+    pc_figure(
+        benchmark,
+        "fig21_winscpwsync_pc",
+        "Figure 21 -- winscpwsync condensed PC output",
+        lambda: WinScpwSync(),
+        impls={
+            "lam": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "Window"),
+                ("ExcessiveSyncWaitingTime", "0-"),
+                ("CPUBound", "waste_time"),
+            ],
+            "mpich2": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "Window"),
+                ("ExcessiveSyncWaitingTime", "0-"),
+                ("CPUBound", "waste_time"),
+            ],
+        },
+        paper_notes=(
+            "Active-target sync on the RMA window (window identified); "
+            "rank 0 CPU-bound in waste_time; blocking routine differs by "
+            "implementation."
+        ),
+    )
+
+
+def test_fig21_blocking_routine_differs(benchmark):
+    """Measure where the origins wait: Win_start (LAM) vs Win_complete
+    (MPICH2)."""
+
+    class Instrumented(WinScpwSync):
+        def __init__(self):
+            super().__init__(iterations=300)
+            self.start_wait = 0.0
+            self.complete_wait = 0.0
+
+        def main(self, mpi):
+            import numpy as np
+
+            yield from mpi.init()
+            win = yield from mpi.win_create(self.count * max(1, mpi.size))
+            data = np.zeros(self.count, dtype="u1")
+            origins = list(range(1, mpi.size))
+            if mpi.rank == 0:
+                for _ in range(self.iterations):
+                    yield from mpi.win_post(win, origins)
+                    yield from mpi.win_wait(win)
+                    yield from mpi.compute(self.waste_seconds)
+            else:
+                for _ in range(self.iterations):
+                    t0 = mpi.proc.kernel.now
+                    yield from mpi.win_start(win, [0])
+                    t1 = mpi.proc.kernel.now
+                    yield from mpi.put(win, 0, data, target_disp=self.count * mpi.rank)
+                    t2 = mpi.proc.kernel.now
+                    yield from mpi.win_complete(win)
+                    t3 = mpi.proc.kernel.now
+                    if mpi.rank == 1:
+                        self.start_wait += t1 - t0
+                        self.complete_wait += t3 - t2
+            yield from mpi.win_free(win)
+            yield from mpi.finalize()
+
+    def experiment():
+        out = {}
+        for impl in ("lam", "mpich2"):
+            program = Instrumented()
+            run_program(program, impl=impl, with_tool=False)
+            out[impl] = (program.start_wait, program.complete_wait)
+        return out
+
+    out = once(benchmark, experiment)
+    lam_start, lam_complete = out["lam"]
+    m2_start, m2_complete = out["mpich2"]
+    comparisons = [
+        PaperComparison("LAM blocks in MPI_Win_start", "dominant",
+                        f"{lam_start:.2f}s vs {lam_complete:.2f}s in complete",
+                        lam_start > 5 * lam_complete),
+        PaperComparison("MPICH2 blocks in MPI_Win_complete", "dominant",
+                        f"{m2_complete:.2f}s vs {m2_start:.2f}s in start",
+                        m2_complete > 5 * m2_start),
+    ]
+    emit("fig21_blocking_difference",
+         render_comparisons("Figure 21 -- which routine blocks", comparisons))
+    assert all(c.holds for c in comparisons)

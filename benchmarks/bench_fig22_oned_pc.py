@@ -1,0 +1,36 @@
+"""Figure 22: PC output for Oned.
+
+Paper: the bottleneck is MPI_Win_fence in exchng1 for both
+implementations; under LAM the sync-object refinement additionally shows
+Barrier, because LAM implements MPI_Win_fence with a call to MPI_Barrier.
+"""
+
+from repro.pperfmark import Oned
+
+from common import pc_figure
+
+
+def test_fig22_oned_pc(benchmark):
+    pc_figure(
+        benchmark,
+        "fig22_oned_pc",
+        "Figure 22 -- Oned condensed PC output",
+        lambda: Oned(),
+        impls={
+            "lam": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "exchng1"),
+                ("ExcessiveSyncWaitingTime", "Barrier"),
+            ],
+            "mpich2": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "exchng1"),
+                ("!ExcessiveSyncWaitingTime", "Barrier"),
+            ],
+        },
+        paper_notes=(
+            "MPI_Win_fence in exchng1 is the known communication "
+            "bottleneck; LAM shows a Barrier sync-object bottleneck because "
+            "its fence calls MPI_Barrier."
+        ),
+    )

@@ -1,0 +1,74 @@
+"""Figure 23: the Resource Hierarchy before and after MPI_Comm_spawn.
+
+Paper: after the spawn, three new processes appear under Machine; the
+parent/child RMA window is detected; the friendly names given to
+communicators and windows are displayed -- with ParentChildWin appearing
+under Message too, because LAM stores window names in a communicator
+created alongside the window.
+"""
+
+from repro.analysis import PaperComparison, render_comparisons
+from repro.analysis.runner import cluster_for
+from repro.core.tool import Paradyn
+from repro.mpi import MpiUniverse
+from repro.pperfmark import SpawnWinSync
+
+from common import emit, once
+
+
+def test_fig23_spawn_hierarchy(benchmark):
+    snapshots = {}
+    tool_holder = {}
+
+    class Snapshotting(SpawnWinSync):
+        def main(self, mpi):
+            snapshots["before"] = tool_holder["tool"].hierarchy.render()
+            result = yield from super().main(mpi)
+            return result
+
+    def experiment():
+        program = Snapshotting(iterations=150)
+        universe = MpiUniverse(impl="lam", cluster=cluster_for(4, 2))
+        tool = Paradyn(universe)
+        tool_holder["tool"] = tool
+        universe.launch(program, 1)
+        universe.run()
+        return tool
+
+    tool = once(benchmark, experiment)
+    before = snapshots["before"]
+    after = tool.hierarchy.render()
+    procs_before = before.count("pid")
+    procs_after = after.count("pid")
+    window_names = [
+        n.display_name
+        for n in tool.hierarchy.sync_objects.child("Window").children.values()
+    ]
+    message_names = [
+        n.display_name
+        for n in tool.hierarchy.sync_objects.child("Message").children.values()
+    ]
+    comparisons = [
+        PaperComparison("processes before spawn", "parent only",
+                        f"{procs_before}", procs_before == 1),
+        PaperComparison("processes after spawn", "+3 children",
+                        f"{procs_after}", procs_after == 4),
+        PaperComparison("parent/child RMA window detected", "yes",
+                        "yes" if window_names else "no", bool(window_names)),
+        PaperComparison("window friendly name displayed", "ParentChildWin",
+                        str(window_names), "ParentChildWin" in window_names),
+        PaperComparison("window name also under Message (LAM quirk)",
+                        "ParentChildWin under Message",
+                        str([n for n in message_names if n]),
+                        "ParentChildWin" in message_names),
+        PaperComparison("merged intracomm named", "Parent&Child",
+                        str([n for n in message_names if n]),
+                        "Parent&Child" in message_names),
+    ]
+    report = (
+        render_comparisons("Figure 23 -- Resource Hierarchy before/after spawn", comparisons)
+        + "\n\n--- before spawn ---\n" + before
+        + "\n\n--- after spawn ---\n" + after
+    )
+    emit("fig23_spawn_hierarchy", report)
+    assert all(c.holds for c in comparisons)

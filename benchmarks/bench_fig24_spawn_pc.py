@@ -1,0 +1,59 @@
+"""Figure 24: PC output for spawnsync (left) and spawnwinsync (right), LAM.
+
+Paper, left: children's ExcessiveSyncWaitingTime due to message passing in
+childfunction; parent CPU-bound in parentfunction.  Right: sync due to
+both message passing and one-sided communication on the window named
+ParentChildWin (the friendly name displayed); parent CPU-bound in
+parentfunction.  LAM's fence uses MPI_Isend/MPI_Waitall, hence the
+message-passing component.
+"""
+
+from repro.pperfmark import SpawnSync, SpawnWinSync
+
+from common import pc_figure
+
+
+def test_fig24_left_spawnsync_pc(benchmark):
+    pc_figure(
+        benchmark,
+        "fig24_spawnsync_pc",
+        "Figure 24 (left) -- spawnsync condensed PC output",
+        lambda: SpawnSync(),
+        impls={
+            "lam": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "childfunction"),
+                ("ExcessiveSyncWaitingTime", "MPI_Recv"),
+                ("CPUBound", "parentfunction"),
+            ],
+        },
+        paper_notes=(
+            "Children wait for messages in childfunction; parent CPU-bound "
+            "in parentfunction."
+        ),
+    )
+
+
+def test_fig24_right_spawnwinsync_pc(benchmark):
+    results = pc_figure(
+        benchmark,
+        "fig24_spawnwinsync_pc",
+        "Figure 24 (right) -- spawnwinsync condensed PC output",
+        lambda: SpawnWinSync(),
+        impls={
+            "lam": [
+                ("ExcessiveSyncWaitingTime",),
+                ("ExcessiveSyncWaitingTime", "Window"),
+                ("ExcessiveSyncWaitingTime", "Barrier"),
+                ("CPUBound", "parentfunction"),
+            ],
+        },
+        paper_notes=(
+            "Sync due to message passing AND one-sided communication on "
+            "window ParentChildWin; parent CPU-bound in parentfunction."
+        ),
+    )
+    # the window's friendly name must be displayed (Section 4.2.3)
+    hierarchy = results["lam"].tool.hierarchy
+    names = [n.display_name for n in hierarchy.sync_objects.walk() if n.display_name]
+    assert "ParentChildWin" in names

@@ -1,0 +1,82 @@
+"""Library throughput: how fast does the simulation substrate itself run?
+
+Not a paper figure -- an engineering bench for downstream users: virtual
+events per real second in the DES kernel, simulated messages per real
+second through the full MPI + instrumentation stack, and the tool-attached
+overhead factor.  Regressions here make every experiment slower.
+"""
+
+from repro.core import Paradyn
+from repro.mpi import MpiProgram, MpiUniverse
+from repro.sim import Cluster, Delay, Kernel
+
+from common import emit
+
+
+class PingFlood(MpiProgram):
+    name = "ping_flood"
+    module = "ping_flood.c"
+
+    def __init__(self, messages=4000):
+        self.messages = messages
+
+    def main(self, mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            for _ in range(self.messages):
+                yield from mpi.send(1, tag=1)
+        else:
+            for _ in range(self.messages):
+                yield from mpi.recv(source=0, tag=1)
+        yield from mpi.finalize()
+
+
+def test_kernel_event_throughput(benchmark):
+    def run_events():
+        kernel = Kernel()
+
+        def ticker(n):
+            for _ in range(n):
+                yield Delay(0.001)
+
+        for _ in range(4):
+            kernel.spawn(ticker(5000))
+        kernel.run()
+        return kernel.now
+
+    result = benchmark(run_events)
+    assert result > 0
+    events_per_round = 4 * 5000
+    emit(
+        "library_throughput_kernel",
+        f"DES kernel: {events_per_round:,} task steps per round; see the "
+        "pytest-benchmark table for wall time (steps/sec = rounds * steps / s).",
+    )
+
+
+def test_mpi_message_throughput(benchmark):
+    def run_messages():
+        universe = MpiUniverse(impl="lam", cluster=Cluster(num_nodes=2))
+        universe.launch(PingFlood(), 2)
+        universe.run()
+        return universe.kernel.now
+
+    benchmark.pedantic(run_messages, rounds=3, iterations=1)
+    emit(
+        "library_throughput_mpi",
+        "Full-stack message path (eager send -> deliver -> recv): 4,000 "
+        "messages per round; see the pytest-benchmark table for wall time.",
+    )
+
+
+def test_tool_attached_overhead_factor(benchmark):
+    def run_with_tool():
+        universe = MpiUniverse(impl="lam", cluster=Cluster(num_nodes=2))
+        tool = Paradyn(universe)
+        tool.enable("msgs_sent")
+        tool.run_consultant()
+        universe.launch(PingFlood(), 2)
+        universe.run()
+        return universe.kernel.now
+
+    benchmark.pedantic(run_with_tool, rounds=3, iterations=1)

@@ -1,0 +1,142 @@
+"""Section 5.2.1.3: Paradyn vs the Presta rma stress benchmark.
+
+Paper method: run Presta's rma (2 processes, 1024-byte operations, 3000
+ops/epoch, 200 epochs; scaled down here), collect Paradyn histograms for
+rma_put_ops / rma_get_ops / rma_put_bytes / rma_get_bytes, reconstruct
+operation counts, throughput and per-operation time from the bins (first
+and last bins dropped), and test the differences against Presta's own
+numbers with a paired-difference confidence interval.
+
+Paper results: operation-count differences not statistically significant
+(except bidirectional Get, under investigation); throughput/per-op-time
+differences mostly not significant, and where they were (MPICH2
+unidirectional put per-op time, unidirectional get throughput) the
+relative difference was ~0.6%.  Shape criterion here: every reconstructed
+quantity within a few percent of Presta's own measurement, and no paired
+difference exceeding 5% relative.
+"""
+
+from repro.analysis import (
+    PaperComparison,
+    format_table,
+    paired_difference,
+    relative_difference,
+    render_comparisons,
+    run_program,
+)
+from repro.core import Focus
+from repro.pperfmark import PrestaRma
+
+from common import emit, once
+
+WHOLE = Focus.whole_program()
+METRICS = ["rma_put_ops", "rma_get_ops", "rma_put_bytes", "rma_get_bytes"]
+RUNS = 5
+OPS_PER_EPOCH = 1000
+EPOCHS = 40
+BIN_WIDTH = 0.04
+
+
+def _one_run(impl, seed):
+    program = PrestaRma(
+        patterns=("uni_put", "uni_get"),
+        ops_per_epoch=OPS_PER_EPOCH, epochs=EPOCHS,
+    )
+    result = run_program(
+        program, impl=impl, consultant=False, seed=seed,
+        bin_width=BIN_WIDTH,
+        metrics=[(m, WHOLE) for m in METRICS],
+    )
+    out = {}
+    for pattern in ("uni_put", "uni_get"):
+        presta = program.results[pattern]
+        kind = pattern.split("_")[1]
+        origin_pid = result.proc(0).pid
+        ops_hist = result.data(f"rma_{kind}_ops").histogram_for(origin_pid)
+        bytes_hist = result.data(f"rma_{kind}_bytes").histogram_for(origin_pid)
+        # the paper's reconstruction: bin value x bin width summed; running
+        # time estimated from bins-with-data, end-point bins dropped
+        ops = ops_hist.total()
+        nbytes = bytes_hist.total()
+        runtime = bytes_hist.active_duration()
+        paradyn_throughput = nbytes / runtime if runtime else 0.0
+        paradyn_per_op = runtime / ops if ops else 0.0
+        out[pattern] = {
+            "presta_ops": presta.operations,
+            "paradyn_ops": ops,
+            "presta_throughput": presta.throughput,
+            "paradyn_throughput": paradyn_throughput,
+            "presta_per_op": presta.per_op_time,
+            "paradyn_per_op": paradyn_per_op,
+        }
+    return out
+
+
+def test_presta_rma_comparison(benchmark):
+    def experiment():
+        return {
+            impl: [_one_run(impl, seed) for seed in range(RUNS)]
+            for impl in ("lam", "mpich2")
+        }
+
+    data = once(benchmark, experiment)
+    comparisons = []
+    rows = []
+    for impl, runs in data.items():
+        for pattern in ("uni_put", "uni_get"):
+            series = [r[pattern] for r in runs]
+            ops_cmp = paired_difference(
+                [s["presta_ops"] for s in series],
+                [s["paradyn_ops"] for s in series],
+                label=f"{impl}/{pattern} ops",
+            )
+            thr_cmp = paired_difference(
+                [s["presta_throughput"] for s in series],
+                [s["paradyn_throughput"] for s in series],
+                label=f"{impl}/{pattern} throughput",
+            )
+            per_cmp = paired_difference(
+                [s["presta_per_op"] for s in series],
+                [s["paradyn_per_op"] for s in series],
+                label=f"{impl}/{pattern} per-op time",
+            )
+            for cmp_ in (ops_cmp, thr_cmp, per_cmp):
+                rows.append((
+                    cmp_.label,
+                    f"{cmp_.mean_a:.6g}",
+                    f"{cmp_.mean_b:.6g}",
+                    f"{100 * cmp_.relative_difference:.2f}%",
+                    "significant" if cmp_.significant else "not significant",
+                ))
+            comparisons.append(
+                PaperComparison(
+                    f"[{impl}] {pattern}: operation counts agree exactly",
+                    "difference not statistically significant",
+                    f"{series[0]['presta_ops']} vs {series[0]['paradyn_ops']:.0f}",
+                    all(s["presta_ops"] == s["paradyn_ops"] for s in series),
+                )
+            )
+            comparisons.append(
+                PaperComparison(
+                    f"[{impl}] {pattern}: throughput within a few percent",
+                    "small (<= ~0.6% where significant)",
+                    f"{100 * thr_cmp.relative_difference:.2f}%",
+                    thr_cmp.relative_difference < 0.08,
+                )
+            )
+            comparisons.append(
+                PaperComparison(
+                    f"[{impl}] {pattern}: per-op time within a few percent",
+                    "small (<= ~0.6% where significant)",
+                    f"{100 * per_cmp.relative_difference:.2f}%",
+                    per_cmp.relative_difference < 0.08,
+                )
+            )
+    report = (
+        render_comparisons("Section 5.2.1.3 -- Presta rma vs Paradyn", comparisons)
+        + "\n\nPaired comparisons over "
+        + f"{RUNS} seeded runs (95% CI of mean difference):\n"
+        + format_table(("Quantity", "Presta mean", "Paradyn mean", "Rel. diff", "Verdict"), rows)
+    )
+    emit("presta_rma_comparison", report)
+    assert all(c.holds for c in comparisons)

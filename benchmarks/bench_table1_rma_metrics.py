@@ -1,0 +1,66 @@
+"""Table 1: the twelve RMA metric definitions.
+
+Regenerates the table from the tool's metric registry and verifies that
+every metric compiles through the MDL pipeline and measures the documented
+function set on a live program.
+"""
+
+from repro.analysis import format_table, render_table1, run_program
+from repro.core import Focus
+from repro.core.metrics import RMA_METRIC_NAMES, TABLE1_ROWS, build_library
+from repro.pperfmark import AllCount
+
+from common import emit, once
+
+WHOLE = Focus.whole_program()
+
+
+def test_table1_rma_metric_definitions(benchmark):
+    def experiment():
+        library = build_library()
+        # every Table-1 metric must exist and carry the paper's unit class
+        info = {}
+        for name in RMA_METRIC_NAMES:
+            definition = library.metric(name)
+            info[name] = (definition.units, definition.units_type, definition.base_kind)
+        # exercise them all against a known workload
+        program = AllCount(epochs=40)
+        result = run_program(
+            program,
+            metrics=[(name, WHOLE) for name in RMA_METRIC_NAMES],
+            consultant=False,
+        )
+        return info, program, result
+
+    info, program, result = once(benchmark, experiment)
+
+    measured_rows = []
+    expected = {
+        "rma_put_ops": program.expected_put_ops(),
+        "rma_get_ops": program.expected_get_ops(),
+        "rma_acc_ops": program.expected_acc_ops(),
+        "rma_ops": program.expected_put_ops() + program.expected_get_ops() + program.expected_acc_ops(),
+        "rma_put_bytes": program.expected_put_bytes(),
+        "rma_get_bytes": program.expected_get_bytes(),
+        "rma_acc_bytes": program.expected_acc_bytes(),
+        "rma_bytes": program.expected_put_bytes() + program.expected_get_bytes() + program.expected_acc_bytes(),
+    }
+    for name in RMA_METRIC_NAMES:
+        total = result.data(name).total()
+        units, units_type, base = info[name]
+        want = expected.get(name)
+        ok = "=" if want is None else ("OK" if total == want else "BAD")
+        measured_rows.append((name, units, base, f"{total:.4g}", want if want is not None else "-", ok))
+        if want is not None:
+            assert total == want, f"{name}: {total} != {want}"
+        if name.endswith("_wait"):
+            assert units_type == "normalized"
+            assert total >= 0.0
+
+    report = (
+        "Table 1 -- RMA metrics (regenerated from the registry):\n"
+        + render_table1()
+        + "\n\nLive measurement against allcount (known ground truth):\n"
+        + format_table(("Metric", "Units", "Base", "Measured", "Expected", "Check"), measured_rows)
+    )
+    emit("table1_rma_metrics", report)

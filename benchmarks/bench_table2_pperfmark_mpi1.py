@@ -1,0 +1,25 @@
+"""Table 2: PPerfMark MPI-1 results for LAM and MPICH.
+
+The paper's verdicts: every program passes except system-time, which fails
+because Paradyn has no default system-time metrics.  The reproduction must
+match every row.
+"""
+
+from repro.analysis import render_table2, table2_rows
+
+from common import emit, once
+
+
+def test_table2_pperfmark_mpi1(benchmark):
+    rows = once(benchmark, lambda: table2_rows(impls=("lam", "mpich")))
+    detail_lines = []
+    for v in rows:
+        detail_lines.append(f"\n{v.program} / {v.impl}: {v.tool_result}")
+        detail_lines.extend(f"    {d}" for d in v.details)
+    emit(
+        "table2_pperfmark_mpi1",
+        "Table 2 -- PPerfMark MPI-1 program results (paper: all Pass, "
+        "system-time Fail):\n" + render_table2(rows) + "\n" + "\n".join(detail_lines),
+    )
+    mismatches = [f"{v.program}/{v.impl}" for v in rows if not v.passed]
+    assert not mismatches, f"rows deviating from the paper: {mismatches}"

@@ -1,0 +1,85 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures: it runs the
+experiment (timed under pytest-benchmark), renders the paper-reported
+values next to this reproduction's measurements, asserts the *shape*
+criteria from DESIGN.md, and writes the rendered report to
+``benchmarks/reports/<name>.txt`` (also printed, visible with ``-s``/``-rA``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/reports/."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[report saved to benchmarks/reports/{name}.txt]")
+
+
+def once(benchmark, fn: Callable):
+    """Run an experiment exactly once under the benchmark timer (the
+    workloads are deterministic; repetition only wastes wall time)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def pc_figure(
+    benchmark,
+    name: str,
+    title: str,
+    program_factory: Callable,
+    impls: dict,
+    paper_notes: str = "",
+    **run_kwargs,
+) -> dict:
+    """Shared harness for the condensed-PC-output figures (Figs 3-24).
+
+    ``impls`` maps implementation name -> list of required
+    ``(hypothesis, *needles)`` findings, optionally prefixed with "!" on
+    the hypothesis to assert absence.  Prints the paper's expectation, the
+    reproduced condensed PC tree per implementation, and the check table.
+    """
+    from repro.analysis import PaperComparison, render_comparisons, run_program
+
+    def experiment():
+        return {
+            impl: run_program(program_factory(), impl=impl, **run_kwargs)
+            for impl in impls
+        }
+
+    results = once(benchmark, experiment)
+    comparisons = []
+    sections = []
+    for impl, requirements in impls.items():
+        pc = results[impl].consultant
+        sections.append(f"\n--- condensed PC output [{impl}] "
+                        f"(sim {results[impl].elapsed:.1f}s) ---\n"
+                        + pc.render_condensed())
+        for requirement in requirements:
+            hypothesis, *needles = requirement
+            negate = hypothesis.startswith("!")
+            hypothesis = hypothesis.lstrip("!")
+            found = pc.found(hypothesis, *needles)
+            holds = (not found) if negate else found
+            what = hypothesis + (" @ " + "/".join(needles) if needles else "")
+            comparisons.append(
+                PaperComparison(
+                    quantity=f"[{impl}] {what}",
+                    paper="absent" if negate else "found",
+                    measured="found" if found else "absent",
+                    holds=holds,
+                )
+            )
+    report = render_comparisons(title, comparisons)
+    if paper_notes:
+        report += "\n\npaper: " + paper_notes
+    report += "\n" + "\n".join(sections)
+    emit(name, report)
+    failed = [c.quantity for c in comparisons if not c.holds]
+    assert not failed, f"figure checks failed: {failed}"
+    return results

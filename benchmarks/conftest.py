@@ -1,0 +1,6 @@
+"""Make benchmarks/common.py importable when pytest runs this directory."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

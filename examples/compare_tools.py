@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Cross-validating the tool against MPE/Jumpshot and gprof (Section 5).
+
+The paper never trusts Paradyn's findings alone: it re-runs programs with
+MPICH's MPE tracing library and reads Jumpshot-3's Statistical Preview and
+Time Lines windows, and profiles a serial build with gprof.  This example
+performs the same triangulation on random-barrier:
+
+* the tool's sync_wait histogram says ~61% of each process's time is
+  synchronization;
+* the Jumpshot preview says ~5 of 6 processes sit in MPI_Barrier;
+* the timelines show the waste rotating between processes.
+
+Run:  python examples/compare_tools.py
+"""
+
+from repro import Focus, MpiUniverse, Paradyn
+from repro.analysis.runner import cluster_for
+from repro.pperfmark import RandomBarrier
+from repro.tracetools import MpeLogger, MpipProfiler, StatisticalPreview, render_timelines
+
+
+def paradyn_view():
+    universe = MpiUniverse(impl="lam", cluster=cluster_for(6, 2), seed=2)
+    tool = Paradyn(universe)
+    tool.enable("sync_wait", Focus.whole_program())
+    program = RandomBarrier()
+    world = universe.launch(program, 6)
+    universe.run()
+    data = tool.data("sync_wait")
+    fractions = [
+        data.histogram_for(ep.proc.pid).total() / ep.proc.wall_time()
+        for ep in world.endpoints
+    ]
+    return program, fractions
+
+
+def mpe_view():
+    universe = MpiUniverse(impl="lam", cluster=cluster_for(6, 2), seed=2)
+    logger = MpeLogger()
+    world = universe.launch(RandomBarrier(iterations=40), 6)
+    logger.attach_world(world)
+    universe.run()
+    return logger.log
+
+
+def mpip_view():
+    universe = MpiUniverse(impl="lam", cluster=cluster_for(6, 2), seed=2)
+    profiler = MpipProfiler()
+    world = universe.launch(RandomBarrier(iterations=40), 6)
+    profiler.attach_world(world)
+    universe.run()
+    return profiler
+
+
+def main():
+    print("== Paradyn view (folding histograms, dynamic instrumentation) ==")
+    program, fractions = paradyn_view()
+    avg = sum(fractions) / len(fractions)
+    print("per-process inclusive sync fraction:",
+          " ".join(f"{f:.2f}" for f in fractions))
+    print(f"average: {avg:.2f}  "
+          f"(paper measured 0.61 for LAM; analytic {program.expected_sync_fraction(6):.2f})")
+
+    print("\n== MPE/Jumpshot view (post-mortem trace) ==")
+    log = mpe_view()
+    preview = StatisticalPreview(log, num_ranks=6)
+    print(preview.render())
+    print(f"\nprocesses concurrently in MPI_Barrier: "
+          f"{preview.mean_concurrency('MPI_Barrier'):.2f} of 6 "
+          "(paper's Figure 17 reads ~3 of 4 at its scale)")
+    print("\nTime Lines window (B = MPI_Barrier, '.' = computing):")
+    print(render_timelines(log, 6, columns=72))
+    print(f"\ntrace file size: {log.size_bytes:,} bytes -- the growth that "
+          "forced the paper to shorten traced runs, and the reason Paradyn's "
+          "fixed-memory histograms matter")
+
+    print("\n== mpiP view (aggregated profile, no traces) ==")
+    profiler = mpip_view()
+    print(profiler.render(top=4))
+    print(f"\nMPI fraction of total app time: {profiler.total_mpi_fraction():.2f} "
+          "(mpiP avoids the trace-size problem entirely -- the paper's "
+          "related-work point)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Run the PPerfMark suite and regenerate the paper's Tables 2 and 3.
+
+PPerfMark (Section 5 of the paper) is a benchmark suite *for performance
+tools*: each program has a known bottleneck, and the tool passes if it
+finds it.  This example runs every MPI-1 program under both LAM and MPICH
+and every MPI-2 program under LAM, grading the enhanced tool exactly as
+the paper's tables do.
+
+Run:  python examples/pperfmark_suite.py            # full tables (~1 min)
+      python examples/pperfmark_suite.py hot_procedure lam   # one program
+"""
+
+import sys
+
+from repro.analysis import (
+    render_table2,
+    render_table3,
+    table2_rows,
+    table3_rows,
+    verify_program,
+)
+
+
+def run_one(name: str, impl: str) -> None:
+    verdict = verify_program(name, impl)
+    print(f"{name} / {impl}: {verdict.result_text} "
+          f"(paper: {verdict.paper_result}, "
+          f"{'match' if verdict.passed else 'MISMATCH'})")
+    for detail in verdict.details:
+        print("   ", detail)
+    if verdict.result is not None and verdict.result.tool is not None:
+        print("\nCondensed Performance Consultant output:")
+        print(verdict.result.consultant.render_condensed())
+
+
+def run_tables() -> None:
+    print("Running the MPI-1 suite under LAM and MPICH (Table 2)...")
+    t2 = table2_rows(impls=("lam", "mpich"))
+    print(render_table2(t2))
+    print("\nRunning the MPI-2 suite under LAM (Table 3)...")
+    t3 = table3_rows(impl="lam")
+    print(render_table3(t3))
+    mismatches = [v for v in t2 + t3 if not v.passed]
+    if mismatches:
+        print(f"\n{len(mismatches)} row(s) deviate from the paper:")
+        for v in mismatches:
+            print(f"  {v.program}/{v.impl}")
+            for d in v.details:
+                print("     ", d)
+    else:
+        print("\nEvery row matches the paper's verdicts.")
+
+
+def main() -> None:
+    if len(sys.argv) >= 2:
+        name = sys.argv[1]
+        impl = sys.argv[2] if len(sys.argv) > 2 else "lam"
+        run_one(name, impl)
+    else:
+        run_tables()
+
+
+if __name__ == "__main__":
+    main()

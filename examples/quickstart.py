@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: attach the tool to an MPI program and find its bottleneck.
+
+This is the smallest end-to-end use of the library:
+
+1. create a simulated cluster + MPI implementation (a *universe*);
+2. attach the Paradyn-style tool (one daemon per node + front end);
+3. enable a metric-focus pair and start the Performance Consultant;
+4. launch an MPI program (here: a client/server workload with a slow
+   server) and run the simulation;
+5. read the condensed Performance Consultant diagnosis and a histogram.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Focus, MpiProgram, MpiUniverse, Paradyn
+from repro.mpi import Status
+
+
+class SlowServer(MpiProgram):
+    """Clients send requests; the server computes too long before replying."""
+
+    name = "slow_server"
+    module = "slow_server.c"
+
+    def __init__(self, iterations=400, service_time=2e-3):
+        self.iterations = iterations
+        self.service_time = service_time
+
+    def functions(self):
+        # application functions registered here become visible to the tool
+        # (the /Code hierarchy, call-graph refinement, gprof...)
+        return {"handle_request": self.handle_request, "do_request": self.do_request}
+
+    def handle_request(self, mpi, proc):
+        status = Status()
+        yield from mpi.recv(source=mpi.ANY_SOURCE, tag=1, status=status)
+        yield from mpi.compute(self.service_time)  # the bottleneck
+        yield from mpi.send(status.source, tag=2)
+
+    def do_request(self, mpi, proc):
+        yield from mpi.send(0, nbytes=64, tag=1)
+        yield from mpi.recv(source=0, tag=2)
+
+    def main(self, mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            for _ in range(self.iterations * (mpi.size - 1)):
+                yield from mpi.call("handle_request")
+        else:
+            for _ in range(self.iterations):
+                yield from mpi.call("do_request")
+        yield from mpi.finalize()
+
+
+def main():
+    # 1. a 3-node x 2-CPU cluster running the LAM/MPI personality
+    universe = MpiUniverse(impl="lam", seed=1)
+
+    # 2. the tool
+    tool = Paradyn(universe)
+
+    # 3. a manual metric-focus pair + the automated bottleneck search
+    tool.enable("msgs_sent", Focus.whole_program())
+    tool.run_consultant()
+
+    # 4. launch and run
+    universe.launch(SlowServer(), nprocs=6)
+    universe.run()
+
+    # 5. results
+    print("=" * 72)
+    print("Performance Consultant (condensed, as in the paper's figures):")
+    print(tool.render_consultant())
+    print()
+    data = tool.data("msgs_sent")
+    print(f"messages sent (whole program): {data.total():.0f}")
+    hist = data.aggregate_histogram()
+    print(f"histogram: {len(hist.filled_bins())} bins of {hist.bin_width}s, "
+          f"mean rate {hist.mean_rate():.0f} msgs/s")
+    print()
+    print("Resource hierarchy (excerpt):")
+    for line in tool.render_hierarchy().splitlines()[:20]:
+        print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

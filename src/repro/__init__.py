@@ -1,0 +1,29 @@
+"""repro -- reproduction of "Performance Tool Support for MPI-2 on Linux"
+(Mohror & Karavanic, SC 2004).
+
+A Paradyn-style dynamic-instrumentation performance tool (``repro.core``)
+over a discrete-event simulated Linux cluster (``repro.sim``), simulated
+LAM/MPICH MPI implementations (``repro.mpi``), job launching
+(``repro.launch``), the PPerfMark benchmark suite (``repro.pperfmark``),
+comparator tools (``repro.tracetools``), and the paper's analyses
+(``repro.analysis``).
+
+Quick start::
+
+    from repro import MpiUniverse, Paradyn
+    from repro.pperfmark import SmallMessages
+
+    universe = MpiUniverse(impl="lam")
+    tool = Paradyn(universe)
+    tool.run_consultant()
+    universe.launch(SmallMessages(iterations=5000), nprocs=6)
+    universe.run()
+    print(tool.render_consultant())
+"""
+
+from .core import Focus, Paradyn
+from .mpi import MpiProgram, MpiUniverse
+
+__version__ = "1.0.0"
+
+__all__ = ["Paradyn", "Focus", "MpiUniverse", "MpiProgram", "__version__"]

@@ -1,0 +1,41 @@
+"""Experiment harness, verdict logic (Tables 2/3), statistics, reports."""
+
+from .report import (
+    PaperComparison,
+    format_table,
+    render_comparisons,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from .runner import RunResult, cluster_for, run_program
+from .stats import PairedComparison, paired_difference, relative_difference
+from .verify import (
+    MPI1_PROGRAMS,
+    MPI2_PROGRAMS,
+    Verdict,
+    table2_rows,
+    table3_rows,
+    verify_program,
+)
+
+__all__ = [
+    "run_program",
+    "RunResult",
+    "cluster_for",
+    "Verdict",
+    "verify_program",
+    "table2_rows",
+    "table3_rows",
+    "MPI1_PROGRAMS",
+    "MPI2_PROGRAMS",
+    "PairedComparison",
+    "paired_difference",
+    "relative_difference",
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "PaperComparison",
+    "render_comparisons",
+]

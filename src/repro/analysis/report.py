@@ -1,0 +1,86 @@
+"""Text rendering for the paper's tables and figures.
+
+The benchmark harness prints, for every table and figure, the paper's
+reported values next to this reproduction's measured values; the helpers
+here keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from ..core.metrics import TABLE1_ROWS
+from .verify import Verdict
+
+__all__ = [
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "PaperComparison",
+    "render_comparisons",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Monospace table with auto-sized columns."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1(library=None) -> str:
+    """Table 1: the RMA metric definitions, regenerated from the registry."""
+    from ..core.metrics import build_library
+
+    library = library or build_library()
+    rows = []
+    for metric, description, functions in TABLE1_ROWS:
+        definition = library.metric(metric)
+        units = definition.units
+        rows.append((metric, units, description, functions))
+    return format_table(("Metric", "Units", "Description", "MPI Functions"), rows)
+
+
+def render_table2(verdicts: Sequence[Verdict]) -> str:
+    """Table 2: PPerfMark MPI-1 results."""
+    rows = []
+    for v in verdicts:
+        rows.append((v.program, v.impl, v.result_text, v.paper_result,
+                     "match" if v.passed else "MISMATCH"))
+    return format_table(
+        ("Program", "Impl", "Result", "Paper", "Reproduction"), rows
+    )
+
+
+def render_table3(verdicts: Sequence[Verdict]) -> str:
+    """Table 3: PPerfMark MPI-2 results."""
+    return render_table2(verdicts)
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """One paper-reported quantity vs. this reproduction's measurement."""
+
+    quantity: str
+    paper: str
+    measured: str
+    holds: bool
+    note: str = ""
+
+
+def render_comparisons(title: str, comparisons: Sequence[PaperComparison]) -> str:
+    rows = [
+        (c.quantity, c.paper, c.measured, "yes" if c.holds else "NO", c.note)
+        for c in comparisons
+    ]
+    table = format_table(("Quantity", "Paper", "Measured", "Shape holds", "Note"), rows)
+    return f"== {title} ==\n{table}"

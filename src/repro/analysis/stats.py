@@ -1,0 +1,114 @@
+"""Statistical comparison utilities (Section 5.2.1.3 of the paper).
+
+The paper compares Paradyn's RMA measurements against the Presta ``rma``
+benchmark's own numbers and asks whether the differences are statistically
+significant "by inspecting the confidence interval of the mean of the
+differences of the two sets of measurements" -- a paired-difference t
+confidence interval.  This module implements that test plus small helpers
+for relative differences.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+try:  # scipy is available in this environment, but keep a fallback
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover
+    _scipy_stats = None
+
+__all__ = ["PairedComparison", "paired_difference", "relative_difference"]
+
+
+def _t_critical(df: int, confidence: float) -> float:
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df))
+    # Normal approximation fallback (fine for df >= 30)
+    from math import erf, sqrt
+
+    # inverse via bisection on the standard normal CDF
+    lo, hi = 0.0, 10.0
+    target = 0.5 + confidence / 2.0
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        if 0.5 * (1.0 + erf(mid / sqrt(2.0))) < target:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Result of a paired-difference confidence-interval test."""
+
+    label: str
+    n: int
+    mean_a: float
+    mean_b: float
+    mean_diff: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI of the mean difference excludes zero."""
+        return not (self.ci_low <= 0.0 <= self.ci_high)
+
+    @property
+    def relative_difference(self) -> float:
+        """|mean difference| relative to the first series' mean."""
+        if self.mean_a == 0.0:
+            return 0.0
+        return abs(self.mean_diff) / abs(self.mean_a)
+
+    def describe(self) -> str:
+        verdict = "SIGNIFICANT" if self.significant else "not significant"
+        return (
+            f"{self.label}: mean diff {self.mean_diff:+.4g} "
+            f"(95% CI [{self.ci_low:.4g}, {self.ci_high:.4g}]), "
+            f"relative {100.0 * self.relative_difference:.2f}% -> {verdict}"
+        )
+
+
+def paired_difference(
+    a: Sequence[float],
+    b: Sequence[float],
+    *,
+    label: str = "",
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Paired-difference t confidence interval for mean(a_i - b_i)."""
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    if a_arr.shape != b_arr.shape or a_arr.ndim != 1:
+        raise ValueError("paired comparison needs two equal-length 1-D series")
+    n = a_arr.size
+    if n < 2:
+        raise ValueError("need at least 2 paired samples")
+    diffs = a_arr - b_arr
+    mean = float(diffs.mean())
+    sd = float(diffs.std(ddof=1))
+    half = _t_critical(n - 1, confidence) * sd / math.sqrt(n) if sd > 0 else 0.0
+    return PairedComparison(
+        label=label,
+        n=n,
+        mean_a=float(a_arr.mean()),
+        mean_b=float(b_arr.mean()),
+        mean_diff=mean,
+        ci_low=mean - half,
+        ci_high=mean + half,
+        confidence=confidence,
+    )
+
+
+def relative_difference(a: float, b: float) -> float:
+    """|a - b| / |a| (0 when a == 0)."""
+    if a == 0.0:
+        return 0.0 if b == 0.0 else float("inf")
+    return abs(a - b) / abs(a)

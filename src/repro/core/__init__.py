@@ -1,0 +1,50 @@
+"""The paper's primary contribution: the enhanced Paradyn performance tool.
+
+Resource hierarchy with RMA windows / retirement / naming, the MDL and PCL
+languages, Table 1's RMA metrics, folding histograms, per-node daemons, the
+Performance Consultant, and both dynamic-process-creation support methods.
+"""
+
+from .consultant import HYPOTHESES, NodeState, PCNode, PerformanceConsultant
+from .daemon import Daemon
+from .frontend import Frontend, MetricFocusData
+from .histogram import FoldingHistogram
+from .mdl import MdlCompileError, MdlLibrary, MdlSyntaxError, parse_mdl
+from .metrics import DEFAULT_MDL, RMA_METRIC_NAMES, TABLE1_ROWS, build_library
+from .pcl import DaemonDef, PclConfig, ProcessDef, parse_pcl
+from .resources import CATEGORIES, Focus, Resource, ResourceError, ResourceHierarchy
+from .spawnsupport import AttachSpawnSupport, InterceptSpawnSupport
+from .tool import Paradyn
+from .visualization import render_histogram_chart
+
+__all__ = [
+    "Paradyn",
+    "render_histogram_chart",
+    "Frontend",
+    "Daemon",
+    "MetricFocusData",
+    "FoldingHistogram",
+    "PerformanceConsultant",
+    "PCNode",
+    "NodeState",
+    "HYPOTHESES",
+    "Focus",
+    "Resource",
+    "ResourceHierarchy",
+    "ResourceError",
+    "CATEGORIES",
+    "MdlLibrary",
+    "MdlCompileError",
+    "MdlSyntaxError",
+    "parse_mdl",
+    "parse_pcl",
+    "PclConfig",
+    "DaemonDef",
+    "ProcessDef",
+    "build_library",
+    "DEFAULT_MDL",
+    "RMA_METRIC_NAMES",
+    "TABLE1_ROWS",
+    "InterceptSpawnSupport",
+    "AttachSpawnSupport",
+]

@@ -1,0 +1,452 @@
+"""The Performance Consultant: automated bottleneck search.
+
+Paradyn's Performance Consultant tests *hypotheses* about why a program is
+slow against *foci* in the resource hierarchy, refining hypotheses that
+test true along the Code, Machine and SyncObject axes (the W3 search
+model).  The paper's condensed PC diagrams (Figures 3-24) are exactly the
+true-tested subtree this module produces.
+
+Hypotheses and default thresholds (tunable constants, Section 4's PCL):
+
+* ``ExcessiveSyncWaitingTime`` -- fraction of wall time in synchronization
+  (message passing, collectives, RMA synchronization) per process.
+* ``ExcessiveIOBlockingTime`` -- fraction of wall time in ``read``/``write``.
+* ``CPUBound`` -- user-CPU utilization per process.  The default threshold
+  is 0.3: the paper's diffuse-procedure run (25% per process in
+  ``bottleneckProcedure``) is found only after lowering it to 0.2
+  (Section 5.1.7), which this implementation reproduces.
+
+The search is *on-line*: each candidate node gets instrumentation enabled,
+collects for one experiment window, is decided, and (when true) spawns
+refinements.  Instrumentation for decided nodes is removed -- the dynamic
+instrumentation economy the paper leans on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from .frontend import Frontend, MetricFocusData
+from .mdl import MdlCompileError
+from .resources import Focus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.kernel import Kernel
+
+__all__ = ["PerformanceConsultant", "PCNode", "NodeState", "Hypothesis", "HYPOTHESES"]
+
+
+class NodeState(enum.Enum):
+    PENDING = "pending"
+    TESTING = "testing"
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"  # program ended before the experiment finished
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    name: str
+    threshold_name: str
+
+    def metric_for(self, focus: Focus) -> str:
+        raise NotImplementedError
+
+
+class _SyncHypothesis(Hypothesis):
+    def metric_for(self, focus: Focus) -> str:
+        component = focus.sync_object
+        if component.startswith("/SyncObject/Message"):
+            return "msg_sync_wait"
+        if component.startswith("/SyncObject/Barrier"):
+            return "barrier_sync_wait"
+        if component.startswith("/SyncObject/Window"):
+            return "rma_sync_wait"
+        return "sync_wait"
+
+
+class _CpuHypothesis(Hypothesis):
+    def metric_for(self, focus: Focus) -> str:
+        if focus.code != "/Code":
+            return "cpu_inclusive"
+        return "cpu"
+
+
+class _IoHypothesis(Hypothesis):
+    def metric_for(self, focus: Focus) -> str:
+        return "io_wait"
+
+
+SYNC = _SyncHypothesis("ExcessiveSyncWaitingTime", "PC_SyncThreshold")
+CPU = _CpuHypothesis("CPUBound", "PC_CPUThreshold")
+IO = _IoHypothesis("ExcessiveIOBlockingTime", "PC_IOThreshold")
+HYPOTHESES: tuple[Hypothesis, ...] = (SYNC, CPU, IO)
+
+DEFAULT_THRESHOLDS = {
+    "PC_SyncThreshold": 0.25,
+    "PC_CPUThreshold": 0.30,
+    "PC_IOThreshold": 0.15,
+}
+
+
+@dataclass
+class PCNode:
+    hypothesis: Hypothesis
+    focus: Focus
+    parent: Optional["PCNode"] = None
+    state: NodeState = NodeState.PENDING
+    value: float = 0.0
+    metric_name: str = ""
+    children: list["PCNode"] = field(default_factory=list)
+    depth: int = 0
+    started_at: float = 0.0
+    label: str = ""
+
+    @property
+    def is_true(self) -> bool:
+        return self.state is NodeState.TRUE
+
+    def describe(self) -> str:
+        if self.parent is None:
+            return "TopLevelHypothesis"
+        if self.label:
+            return self.label
+        return f"{self.hypothesis.name} @ {self.focus.describe()}"
+
+
+class PerformanceConsultant:
+    """Drives the hypothesis search over simulated time."""
+
+    def __init__(
+        self,
+        frontend: Frontend,
+        kernel: "Kernel",
+        *,
+        thresholds: Optional[dict[str, float]] = None,
+        experiment_window: float = 2.0,
+        max_concurrent: int = 12,
+        max_depth: int = 8,
+        min_observation: float = 0.5,
+    ) -> None:
+        self.frontend = frontend
+        self.kernel = kernel
+        self.thresholds = dict(DEFAULT_THRESHOLDS)
+        if thresholds:
+            self.thresholds.update(thresholds)
+        self.experiment_window = experiment_window
+        self.max_concurrent = max_concurrent
+        self.max_depth = max_depth
+        self.min_observation = min_observation
+        #: dynamic call graph observed by the attach-time trace hook:
+        #: function name -> set of callee names
+        self.callgraph: dict[str, set[str]] = {}
+        self.root = PCNode(hypothesis=SYNC, focus=Focus.whole_program(), label="TopLevelHypothesis")
+        self.root.state = NodeState.TRUE  # the root is definitional
+        self._queue: list[PCNode] = []
+        self._testing: list[PCNode] = []
+        self._tested: dict[tuple[str, Focus], PCNode] = {}
+        self._running = False
+        self.finished = False
+        for hypothesis in HYPOTHESES:
+            self._enqueue(hypothesis, Focus.whole_program(), self.root)
+
+    # -- callgraph hook --------------------------------------------------------
+
+    def observe_call(self, proc: Any, frame: Any, event: str) -> None:
+        if event != "entry" or frame.caller is None:
+            return
+        self.callgraph.setdefault(frame.caller.name, set()).add(frame.name)
+
+    def install_callgraph_hook(self, proc: Any) -> None:
+        proc.trace_hooks.append(self.observe_call)
+
+    # -- search driving ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.kernel.schedule(self.experiment_window / 2.0, self._tick)
+
+    def _tick(self) -> None:
+        now = self.kernel.now
+        self._evaluate_finished(now)
+        self._launch_pending(now)
+        procs = self.frontend.all_procs()
+        alive = any(not proc.exited for proc in procs)
+        if alive or self._testing:
+            if alive:
+                self.kernel.schedule(self.experiment_window / 2.0, self._tick)
+            else:
+                self._finalize(now)
+        else:
+            self._finalize(now)
+
+    def _finalize(self, now: float) -> None:
+        """Program over: close out in-flight experiments with whatever data
+        they gathered (or UNKNOWN if they saw too little)."""
+        for node in list(self._testing):
+            self._decide(node, now, final=True)
+        self._testing.clear()
+        for node in self._queue:
+            node.state = NodeState.UNKNOWN
+        self._queue.clear()
+        self._running = False
+        self.finished = True
+
+    def _enqueue(self, hypothesis: Hypothesis, focus: Focus, parent: PCNode, label: str = "") -> None:
+        key = (hypothesis.name, focus)
+        if key in self._tested:
+            return  # already explored via another refinement path
+        node = PCNode(
+            hypothesis=hypothesis,
+            focus=focus,
+            parent=parent,
+            depth=parent.depth + 1,
+            label=label,
+        )
+        self._tested[key] = node
+        parent.children.append(node)
+        if node.depth <= self.max_depth:
+            self._queue.append(node)
+        else:  # pragma: no cover - depth guard
+            node.state = NodeState.UNKNOWN
+
+    def _launch_pending(self, now: float) -> None:
+        # Paradyn's cost model: never let instrumentation overhead exceed
+        # the tunable limit -- defer new experiments when the mutatee is
+        # already perturbed past it.
+        if self.frontend.cost_tracker.over_limit():
+            return
+        # LIFO: newest (deepest) candidates first, so refinement chains run
+        # depth-first and reach leaf causes before the program ends.
+        while self._queue and len(self._testing) < self.max_concurrent:
+            node = self._queue.pop()
+            metric = node.hypothesis.metric_for(node.focus)
+            node.metric_name = metric
+            try:
+                self.frontend.enable(metric, node.focus, now=now)
+            except MdlCompileError:
+                node.state = NodeState.UNKNOWN
+                continue
+            node.state = NodeState.TESTING
+            node.started_at = now
+            self._testing.append(node)
+
+    def _evaluate_finished(self, now: float) -> None:
+        due = [n for n in self._testing if now - n.started_at >= self.experiment_window]
+        if not due:
+            return
+        # flush outstanding counter/timer accumulation so decisions see
+        # data up to *now*, not up to the last periodic sample
+        for daemon in self.frontend.daemons:
+            daemon.sample_now(now)
+        for node in due:
+            self._decide(node, now)
+            self._testing.remove(node)
+
+    def _decide(self, node: PCNode, now: float, *, final: bool = False) -> None:
+        data = self.frontend.enabled.get((node.metric_name, node.focus))
+        observed = now - node.started_at
+        if data is None or observed <= 0.0 or (final and observed < self.min_observation):
+            node.state = NodeState.UNKNOWN
+            return
+        # A hypothesis tests true when the *worst* matching process exceeds
+        # the threshold -- a bottleneck anywhere is worth refining, even if
+        # averaging across the job would dilute it (intensive-server's one
+        # busy server among five idle clients).
+        value = data.max_normalized(node.started_at, now)
+        node.value = value
+        threshold = self.thresholds[node.hypothesis.threshold_name]
+        if value > threshold:
+            node.state = NodeState.TRUE
+            self._refine(node)
+        else:
+            node.state = NodeState.FALSE
+        # decided: remove the instrumentation (dynamic economy)
+        self.frontend.disable(node.metric_name, node.focus)
+
+    # -- refinement ----------------------------------------------------------------
+
+    def _refine(self, node: PCNode) -> None:
+        """Generate refinements of a true node.
+
+        Unbounded cross-products of the three axes would swamp the search
+        (every machine x code x sync combination), so refinement follows
+        the paper's diagnosis shapes:
+
+        * the **code chain** (module -> function -> callees) refines from
+          pure code paths and may *end* in a SyncObject refinement -- the
+          Figure 3/10 shape ``Gsend_message -> MPI_Send -> communicator ->
+          tag``;
+        * the **machine tree** (node -> process) stays flat;
+        * the **sync tree** (category -> instance -> tag) refines from the
+          whole-program focus.
+
+        Enqueue order matters: the queue is LIFO, so the *last* axis
+        enqueued is explored first -- code chains have priority.
+        """
+        hypothesis = node.hypothesis
+        focus = node.focus
+        pure_code = focus.machine == "/Machine"
+        pure_sync = focus.code == "/Code" and focus.machine == "/Machine"
+        if hypothesis is SYNC and (pure_sync or focus.code != "/Code"):
+            for child_focus, label in self._sync_refinements(focus):
+                self._enqueue(hypothesis, child_focus, node, label)
+        if focus.code == "/Code" and focus.sync_object == "/SyncObject":
+            for child_focus, label in self._machine_refinements(focus):
+                self._enqueue(hypothesis, child_focus, node, label)
+        if pure_code and focus.sync_object == "/SyncObject":
+            for child_focus, label in self._code_refinements(focus):
+                self._enqueue(hypothesis, child_focus, node, label)
+
+    def _code_refinements(self, focus: Focus) -> list[tuple[Focus, str]]:
+        hierarchy = self.frontend.hierarchy
+        out: list[tuple[Focus, str]] = []
+        component = focus.code
+        if component == "/Code":
+            for module in hierarchy.code.active_children():
+                if self._module_is_system(module.name):
+                    continue
+                out.append((focus.with_code(module.path), module.label))
+        else:
+            parts = component.strip("/").split("/")
+            if len(parts) == 2:  # /Code/module -> functions
+                module = hierarchy.find(component)
+                for fn in module.active_children():
+                    out.append((focus.with_code(fn.path), fn.label))
+            elif len(parts) == 3:  # /Code/module/function -> observed callees
+                fn_name = parts[2]
+                for callee in sorted(self.callgraph.get(fn_name, ())):
+                    callee_path = self._code_path_for_function(callee)
+                    if callee_path is not None and callee_path != component:
+                        out.append((focus.with_code(callee_path), callee))
+        return out
+
+    def _code_path_for_function(self, fn_name: str) -> Optional[str]:
+        for module in self.frontend.hierarchy.code.children.values():
+            if fn_name in module.children:
+                return module.children[fn_name].path
+        return None
+
+    def _module_is_system(self, module_name: str) -> bool:
+        return module_name.startswith("lib") and module_name.endswith(".so")
+
+    def _machine_refinements(self, focus: Focus) -> list[tuple[Focus, str]]:
+        hierarchy = self.frontend.hierarchy
+        component = focus.machine
+        out: list[tuple[Focus, str]] = []
+        if component == "/Machine":
+            for machine in hierarchy.machine.active_children():
+                out.append((focus.with_machine(machine.path), machine.label))
+        else:
+            parts = component.strip("/").split("/")
+            if len(parts) == 2:  # node -> processes
+                node = hierarchy.find(component)
+                for proc in node.active_children():
+                    out.append((focus.with_machine(proc.path), proc.label))
+        return out
+
+    def _sync_refinements(self, focus: Focus) -> list[tuple[Focus, str]]:
+        hierarchy = self.frontend.hierarchy
+        component = focus.sync_object
+        out: list[tuple[Focus, str]] = []
+        if component == "/SyncObject":
+            for category in hierarchy.sync_objects.active_children():
+                out.append((focus.with_sync_object(category.path), category.name))
+        else:
+            parts = component.strip("/").split("/")
+            node = hierarchy.find(component)
+            if len(parts) == 2:  # category -> instances
+                for instance in node.active_children():
+                    out.append((focus.with_sync_object(instance.path), instance.label))
+            elif len(parts) == 3 and parts[1] == "Message":
+                for tag_node in node.active_children():
+                    out.append((focus.with_sync_object(tag_node.path), tag_node.label))
+        return out
+
+    # -- results ------------------------------------------------------------------------
+
+    def true_nodes(self) -> list[PCNode]:
+        result = []
+
+        def visit(node: PCNode) -> None:
+            for child in node.children:
+                if child.is_true:
+                    result.append(child)
+                visit(child)
+
+        visit(self.root)
+        return result
+
+    def found(self, hypothesis_name: str, *needles: str) -> bool:
+        """True iff some true node for the hypothesis mentions all needles
+        in its focus description (helper for the verdict logic)."""
+        for node in self.true_nodes():
+            if node.hypothesis.name != hypothesis_name:
+                continue
+            description = node.focus.describe()
+            if all(needle in description for needle in needles):
+                return True
+        return False
+
+    def search_history(self) -> list[PCNode]:
+        """Every node the search generated, in discovery order (Paradyn's
+        Search History Graph, including false/unknown nodes)."""
+        result: list[PCNode] = []
+
+        def visit(node: PCNode) -> None:
+            for child in node.children:
+                result.append(child)
+                visit(child)
+
+        visit(self.root)
+        return result
+
+    def summary(self) -> dict[str, int]:
+        """Counts by outcome over the whole search."""
+        counts = {state.value: 0 for state in NodeState}
+        for node in self.search_history():
+            counts[node.state.value] += 1
+        counts["total"] = len(self.search_history())
+        return counts
+
+    def render_search_history(self) -> str:
+        """The full search record: every experiment with its verdict."""
+        lines = [f"Search history ({len(self.search_history())} experiments):"]
+
+        def visit(node: PCNode, indent: int) -> None:
+            for child in node.children:
+                mark = {"true": "+", "false": "-", "unknown": "?"}.get(
+                    child.state.value, "."
+                )
+                lines.append(
+                    "  " * indent
+                    + f"{mark} {child.hypothesis.name} @ {child.focus.describe()}"
+                    + (f"  [{child.value:.2f}]" if child.state is not NodeState.UNKNOWN else "")
+                )
+                visit(child, indent + 1)
+
+        visit(self.root, 1)
+        return "\n".join(lines)
+
+    def render_condensed(self, *, show_values: bool = True) -> str:
+        """The condensed PC diagram of the paper: true nodes only."""
+        lines: list[str] = ["TopLevelHypothesis"]
+
+        def visit(node: PCNode, indent: int) -> None:
+            for child in node.children:
+                if child.is_true:
+                    value = f"  [{child.value:.2f}]" if show_values else ""
+                    what = child.label or child.focus.describe()
+                    if child.parent is self.root:
+                        what = child.hypothesis.name
+                    lines.append("  " * indent + "+ " + what + value)
+                    visit(child, indent + 1)
+                else:
+                    visit(child, indent)
+
+        visit(self.root, 1)
+        return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Paradyn's Metric Description Language (MDL): lexer, parser, compiler.
+
+The subset implemented covers everything Figure 2 of the paper shows --
+metric definitions with counter/walltimer/proctimer bases, ``foreach func
+in <set>`` instrumentation requests, ``constrained`` execution, resource
+constraints with ``$constraint[n]`` parameters, ``$arg[n]``/``$return``
+access, and instrumentation-runtime builtins -- plus ``funcset``
+definitions for naming function groups.
+"""
+
+from .ast import ConstraintDef, FuncSetDef, MdlFile, MetricDef
+from .compiler import MdlCompileError, MdlLibrary, MetricInstance, instantiate_metric
+from .lexer import MdlSyntaxError, tokenize
+from .parser import parse_code, parse_mdl
+
+__all__ = [
+    "MdlLibrary",
+    "MetricInstance",
+    "instantiate_metric",
+    "MdlCompileError",
+    "MdlSyntaxError",
+    "parse_mdl",
+    "parse_code",
+    "tokenize",
+    "MdlFile",
+    "MetricDef",
+    "ConstraintDef",
+    "FuncSetDef",
+]

@@ -1,0 +1,209 @@
+"""AST node types for the MDL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "MdlFile",
+    "MetricDef",
+    "ConstraintDef",
+    "FuncSetDef",
+    "InstrBlock",
+    "InstrRequest",
+    "CodeStmt",
+    "AssignStmt",
+    "IncrStmt",
+    "TimerStmt",
+    "CallStmt",
+    "IfStmt",
+    "CodeExpr",
+    "NumberExpr",
+    "NameExpr",
+    "ArgExpr",
+    "ReturnExpr",
+    "ConstraintParamExpr",
+    "CallExpr",
+    "BinaryExpr",
+]
+
+
+# ---------------------------------------------------------------------------
+# expressions inside (* ... *) code
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CodeExpr:
+    pass
+
+
+@dataclass(frozen=True)
+class NumberExpr(CodeExpr):
+    value: float
+
+
+@dataclass(frozen=True)
+class NameExpr(CodeExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class ArgExpr(CodeExpr):
+    """``$arg[n]``"""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ReturnExpr(CodeExpr):
+    """``$return``"""
+
+
+@dataclass(frozen=True)
+class ConstraintParamExpr(CodeExpr):
+    """``$constraint[n]`` -- the focus value bound at instantiation time."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class CallExpr(CodeExpr):
+    """Builtin call, e.g. ``MPI_Type_size($arg[2])`` or
+    ``DYNINSTWindow_FindUniqueId($arg[7])``."""
+
+    name: str
+    args: tuple[CodeExpr, ...]
+
+
+@dataclass(frozen=True)
+class BinaryExpr(CodeExpr):
+    op: str
+    left: CodeExpr
+    right: CodeExpr
+
+
+# ---------------------------------------------------------------------------
+# statements inside (* ... *) code
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CodeStmt:
+    pass
+
+
+@dataclass(frozen=True)
+class AssignStmt(CodeStmt):
+    """``name = expr`` or ``name += expr``."""
+
+    target: str
+    op: str  # "=" or "+="
+    value: CodeExpr
+
+
+@dataclass(frozen=True)
+class IncrStmt(CodeStmt):
+    """``name++``."""
+
+    target: str
+
+
+@dataclass(frozen=True)
+class TimerStmt(CodeStmt):
+    """``startWallTimer(t)`` / ``stopWallTimer(t)`` /
+    ``startProcessTimer(t)`` / ``stopProcessTimer(t)``."""
+
+    action: str  # "start" | "stop"
+    timer: str
+
+    VERBS = {
+        "startWallTimer": "start",
+        "stopWallTimer": "stop",
+        "startProcessTimer": "start",
+        "stopProcessTimer": "stop",
+    }
+
+
+@dataclass(frozen=True)
+class CallStmt(CodeStmt):
+    """A builtin call in statement position.  C-style out-parameters
+    (``MPI_Type_size($arg[2], &bytes)``) store the result into the named
+    variable."""
+
+    call: CallExpr
+    out_var: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class IfStmt(CodeStmt):
+    condition: CodeExpr
+    body: tuple[CodeStmt, ...]
+
+
+# ---------------------------------------------------------------------------
+# top-level definitions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InstrRequest:
+    """One ``append/prepend preinsn func.entry|func.return [constrained]``."""
+
+    order: str  # "append" | "prepend"
+    where: str  # "entry" | "return"
+    constrained: bool
+    statements: tuple[CodeStmt, ...]
+
+
+@dataclass(frozen=True)
+class InstrBlock:
+    """``foreach func in <set> { ... }``."""
+
+    funcset: str
+    requests: tuple[InstrRequest, ...]
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    ident: str
+    display_name: str
+    units: str
+    units_type: str  # "normalized" | "unnormalized"
+    aggregate: str  # "sum" | "avg" | "min" | "max"
+    style: str  # "EventCounter" | "SampledFunction"
+    flavors: tuple[str, ...]
+    constraints: tuple[str, ...]
+    counters: tuple[str, ...]  # auxiliary counter declarations
+    base_kind: str  # "counter" | "walltimer" | "proctimer"
+    blocks: tuple[InstrBlock, ...]
+
+
+@dataclass(frozen=True)
+class ConstraintDef:
+    ident: str
+    path: str  # hierarchy path the constraint applies to, e.g. /SyncObject/Window
+    base_kind: str  # always "counter" in the paper
+    blocks: tuple[InstrBlock, ...]
+
+
+@dataclass(frozen=True)
+class FuncSetDef:
+    """``funcset name = { f1, f2, ... };`` -- our MDL extension used to name
+    the function groups Table 1 references (``mpi_put``, ``mpi_rma_sync``...)."""
+
+    ident: str
+    functions: tuple[str, ...]
+
+
+@dataclass
+class MdlFile:
+    metrics: dict[str, MetricDef] = field(default_factory=dict)
+    constraints: dict[str, ConstraintDef] = field(default_factory=dict)
+    funcsets: dict[str, FuncSetDef] = field(default_factory=dict)
+
+    def merge(self, other: "MdlFile") -> None:
+        self.metrics.update(other.metrics)
+        self.constraints.update(other.constraints)
+        self.funcsets.update(other.funcsets)

@@ -1,0 +1,121 @@
+"""Tokenizer for the MDL subset (Paradyn's Metric Description Language).
+
+Handles the surface syntax of Figure 2 of the paper: block structure,
+identifiers, strings, numbers, paths (``/SyncObject/Window``), the
+``$arg[n]``/``$return``/``$constraint[n]`` instrumentation variables, and
+``(* ... *)`` instrumentation-code blocks (whose contents are re-lexed with
+the same tokenizer when the parser descends into them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Token", "MdlSyntaxError", "tokenize"]
+
+
+class MdlSyntaxError(SyntaxError):
+    """Raised on malformed MDL source."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # IDENT, NUMBER, STRING, PATH, DOLLAR, PUNCT, CODE, EOF
+    value: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.value!r}, line {self.line})"
+
+
+_PUNCT2 = ("++", "+=", "-=", "==", "!=", "<=", ">=", "&&", "||")
+_PUNCT1 = "{}();,=<>+-*/&[]."
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        # comments: // to end of line
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        # instrumentation code block (* ... *)
+        if source.startswith("(*", i):
+            end = source.find("*)", i + 2)
+            if end < 0:
+                raise MdlSyntaxError(f"line {line}: unterminated (* code block")
+            code = source[i + 2 : end]
+            tokens.append(Token("CODE", code, line))
+            line += code.count("\n")
+            i = end + 2
+            continue
+        if ch == '"':
+            end = source.find('"', i + 1)
+            if end < 0:
+                raise MdlSyntaxError(f"line {line}: unterminated string")
+            tokens.append(Token("STRING", source[i + 1 : end], line))
+            i = end + 1
+            continue
+        if ch == "$":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            name = source[i + 1 : j]
+            if not name:
+                raise MdlSyntaxError(f"line {line}: bare '$'")
+            tokens.append(Token("DOLLAR", name, line))
+            i = j
+            continue
+        if ch == "/" and i + 1 < n and (source[i + 1].isalpha() or source[i + 1] == "_"):
+            # resource path, e.g. /SyncObject/Window
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "/_"):
+                j += 1
+            tokens.append(Token("PATH", source[i:j], line))
+            i = j
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    # "1.5" vs "func.entry" style member access after a number
+                    if j + 1 >= n or not source[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", source[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            tokens.append(Token("IDENT", source[i:j], line))
+            i = j
+            continue
+        two = source[i : i + 2]
+        if two in _PUNCT2:
+            tokens.append(Token("PUNCT", two, line))
+            i += 2
+            continue
+        if ch in _PUNCT1:
+            tokens.append(Token("PUNCT", ch, line))
+            i += 1
+            continue
+        raise MdlSyntaxError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("EOF", "", line))
+    return tokens

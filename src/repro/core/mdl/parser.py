@@ -1,0 +1,358 @@
+"""Recursive-descent parser for the MDL subset.
+
+Accepts the metric and constraint definitions of Figure 2 of the paper
+verbatim (modulo whitespace), plus ``funcset`` definitions naming function
+groups.  Identifier keywords are matched case-insensitively where Paradyn's
+own examples vary (``aggregateOperator`` vs ``aggregateoperator``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast
+from .lexer import MdlSyntaxError, Token, tokenize
+
+__all__ = ["parse_mdl", "MdlSyntaxError"]
+
+_BASE_KINDS = {"counter", "walltimer", "proctimer", "processtimer"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def error(self, message: str) -> MdlSyntaxError:
+        token = self.peek()
+        return MdlSyntaxError(f"line {token.line}: {message} (at {token.value!r})")
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.next()
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value or kind
+            raise MdlSyntaxError(f"line {token.line}: expected {want!r}, got {token.value!r}")
+        return token
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.next()
+        return None
+
+    def keyword(self) -> str:
+        return self.expect("IDENT").value
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_file(self) -> ast.MdlFile:
+        result = ast.MdlFile()
+        while self.peek().kind != "EOF":
+            word = self.keyword()
+            if word == "metric":
+                metric = self.parse_metric()
+                result.metrics[metric.ident] = metric
+            elif word == "constraint":
+                constraint = self.parse_constraint()
+                result.constraints[constraint.ident] = constraint
+            elif word == "funcset":
+                funcset = self.parse_funcset()
+                result.funcsets[funcset.ident] = funcset
+            else:
+                raise MdlSyntaxError(
+                    f"expected 'metric', 'constraint' or 'funcset', got {word!r}"
+                )
+        return result
+
+    def parse_funcset(self) -> ast.FuncSetDef:
+        ident = self.expect("IDENT").value
+        self.expect("PUNCT", "=")
+        self.expect("PUNCT", "{")
+        names = [self.expect("IDENT").value]
+        while self.accept("PUNCT", ","):
+            names.append(self.expect("IDENT").value)
+        self.expect("PUNCT", "}")
+        self.expect("PUNCT", ";")
+        return ast.FuncSetDef(ident=ident, functions=tuple(names))
+
+    # -- metric --------------------------------------------------------------------
+
+    def parse_metric(self) -> ast.MetricDef:
+        ident = self.expect("IDENT").value
+        self.expect("PUNCT", "{")
+        display_name = ident
+        units = "ops"
+        units_type = "unnormalized"
+        aggregate = "sum"
+        style = "EventCounter"
+        flavors: tuple[str, ...] = ()
+        constraints: list[str] = []
+        counters: list[str] = []
+        base_kind: Optional[str] = None
+        blocks: tuple[ast.InstrBlock, ...] = ()
+
+        while not self.accept("PUNCT", "}"):
+            word = self.keyword()
+            lower = word.lower()
+            if lower == "name":
+                display_name = self.expect("STRING").value
+                self.expect("PUNCT", ";")
+            elif lower == "units":
+                units = self.expect("IDENT").value
+                self.expect("PUNCT", ";")
+            elif lower == "unitstype":
+                units_type = self.expect("IDENT").value.lower()
+                if units_type not in ("normalized", "unnormalized"):
+                    raise MdlSyntaxError(f"bad unitsType {units_type!r}")
+                self.expect("PUNCT", ";")
+            elif lower == "aggregateoperator":
+                aggregate = self.expect("IDENT").value.lower()
+                self.expect("PUNCT", ";")
+            elif lower == "style":
+                style = self.expect("IDENT").value
+                self.expect("PUNCT", ";")
+            elif lower == "flavor":
+                self.expect("PUNCT", "{")
+                names = [self.expect("IDENT").value]
+                while self.accept("PUNCT", ","):
+                    names.append(self.expect("IDENT").value)
+                self.expect("PUNCT", "}")
+                self.expect("PUNCT", ";")
+                flavors = tuple(names)
+            elif lower == "constraint":
+                constraints.append(self.expect("IDENT").value)
+                self.expect("PUNCT", ";")
+            elif lower == "counter":
+                counters.append(self.expect("IDENT").value)
+                self.expect("PUNCT", ";")
+            elif lower == "base":
+                self.expect("IDENT", "is")
+                kind = self.expect("IDENT").value.lower()
+                if kind not in _BASE_KINDS:
+                    raise MdlSyntaxError(f"bad base kind {kind!r}")
+                base_kind = "proctimer" if kind == "processtimer" else kind
+                blocks = self.parse_instr_body()
+            else:
+                raise MdlSyntaxError(f"unknown metric attribute {word!r}")
+        if base_kind is None:
+            raise MdlSyntaxError(f"metric {ident!r} has no base")
+        return ast.MetricDef(
+            ident=ident,
+            display_name=display_name,
+            units=units,
+            units_type=units_type,
+            aggregate=aggregate,
+            style=style,
+            flavors=flavors,
+            constraints=tuple(constraints),
+            counters=tuple(counters),
+            base_kind=base_kind,
+            blocks=blocks,
+        )
+
+    def parse_constraint(self) -> ast.ConstraintDef:
+        ident = self.expect("IDENT").value
+        path = self.expect("PATH").value
+        self.expect("IDENT", "is")
+        kind = self.expect("IDENT").value.lower()
+        if kind != "counter":
+            raise MdlSyntaxError(f"constraint base must be a counter, got {kind!r}")
+        blocks = self.parse_instr_body()
+        return ast.ConstraintDef(ident=ident, path=path, base_kind=kind, blocks=blocks)
+
+    def parse_instr_body(self) -> tuple[ast.InstrBlock, ...]:
+        self.expect("PUNCT", "{")
+        blocks: list[ast.InstrBlock] = []
+        while not self.accept("PUNCT", "}"):
+            self.expect("IDENT", "foreach")
+            self.expect("IDENT", "func")
+            self.expect("IDENT", "in")
+            funcset = self.expect("IDENT").value
+            self.expect("PUNCT", "{")
+            requests: list[ast.InstrRequest] = []
+            while not self.accept("PUNCT", "}"):
+                order = self.keyword()
+                if order not in ("append", "prepend"):
+                    raise MdlSyntaxError(f"expected append/prepend, got {order!r}")
+                self.expect("IDENT", "preinsn")
+                self.expect("IDENT", "func")
+                self.expect("PUNCT", ".")
+                where = self.keyword()
+                if where not in ("entry", "return"):
+                    raise MdlSyntaxError(f"expected func.entry or func.return, got {where!r}")
+                constrained = self.accept("IDENT", "constrained") is not None
+                code = self.expect("CODE").value
+                statements = parse_code(code)
+                requests.append(
+                    ast.InstrRequest(
+                        order=order,
+                        where=where,
+                        constrained=constrained,
+                        statements=tuple(statements),
+                    )
+                )
+            blocks.append(ast.InstrBlock(funcset=funcset, requests=tuple(requests)))
+        return tuple(blocks)
+
+
+# ---------------------------------------------------------------------------
+# instrumentation code: statements and expressions
+# ---------------------------------------------------------------------------
+
+
+class _CodeParser(_Parser):
+    def parse_statements(self) -> list[ast.CodeStmt]:
+        statements: list[ast.CodeStmt] = []
+        while self.peek().kind != "EOF":
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self) -> ast.CodeStmt:
+        if self.accept("IDENT", "if"):
+            self.expect("PUNCT", "(")
+            condition = self.parse_expr()
+            self.expect("PUNCT", ")")
+            if self.accept("PUNCT", "{"):
+                body: list[ast.CodeStmt] = []
+                while not self.accept("PUNCT", "}"):
+                    body.append(self.parse_statement())
+            else:
+                body = [self.parse_statement()]
+            return ast.IfStmt(condition=condition, body=tuple(body))
+        token = self.expect("IDENT")
+        name = token.value
+        if name in ast.TimerStmt.VERBS:
+            self.expect("PUNCT", "(")
+            timer = self.expect("IDENT").value
+            self.expect("PUNCT", ")")
+            self.expect("PUNCT", ";")
+            return ast.TimerStmt(action=ast.TimerStmt.VERBS[name], timer=timer)
+        if self.accept("PUNCT", "++"):
+            self.expect("PUNCT", ";")
+            return ast.IncrStmt(target=name)
+        if self.accept("PUNCT", "+="):
+            value = self.parse_expr()
+            self.expect("PUNCT", ";")
+            return ast.AssignStmt(target=name, op="+=", value=value)
+        if self.accept("PUNCT", "="):
+            value = self.parse_expr()
+            self.expect("PUNCT", ";")
+            return ast.AssignStmt(target=name, op="=", value=value)
+        if self.peek().kind == "PUNCT" and self.peek().value == "(":
+            call, out_var = self.parse_call(name, allow_out=True)
+            self.expect("PUNCT", ";")
+            return ast.CallStmt(call=call, out_var=out_var)
+        raise self.error(f"cannot parse statement starting with {name!r}")
+
+    def parse_call(self, name: str, *, allow_out: bool) -> tuple[ast.CallExpr, Optional[str]]:
+        self.expect("PUNCT", "(")
+        args: list[ast.CodeExpr] = []
+        out_var: Optional[str] = None
+        if not self.accept("PUNCT", ")"):
+            while True:
+                if allow_out and self.accept("PUNCT", "&"):
+                    out_token = self.expect("IDENT")
+                    if out_var is not None:
+                        raise MdlSyntaxError(
+                            f"line {out_token.line}: multiple out-parameters in {name}"
+                        )
+                    out_var = out_token.value
+                else:
+                    args.append(self.parse_expr())
+                if not self.accept("PUNCT", ","):
+                    break
+            self.expect("PUNCT", ")")
+        return ast.CallExpr(name=name, args=tuple(args)), out_var
+
+    # expression precedence: || < && < comparison < additive < multiplicative
+    def parse_expr(self) -> ast.CodeExpr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.CodeExpr:
+        left = self.parse_and()
+        while self.accept("PUNCT", "||"):
+            left = ast.BinaryExpr("||", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.CodeExpr:
+        left = self.parse_comparison()
+        while self.accept("PUNCT", "&&"):
+            left = ast.BinaryExpr("&&", left, self.parse_comparison())
+        return left
+
+    def parse_comparison(self) -> ast.CodeExpr:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value in ("==", "!=", "<", "<=", ">", ">="):
+            self.next()
+            return ast.BinaryExpr(token.value, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> ast.CodeExpr:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "PUNCT" and token.value in ("+", "-"):
+                self.next()
+                left = ast.BinaryExpr(token.value, left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> ast.CodeExpr:
+        left = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind == "PUNCT" and token.value in ("*", "/"):
+                self.next()
+                left = ast.BinaryExpr(token.value, left, self.parse_primary())
+            else:
+                return left
+
+    def parse_primary(self) -> ast.CodeExpr:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.next()
+            return ast.NumberExpr(float(token.value))
+        if token.kind == "DOLLAR":
+            self.next()
+            if token.value == "return":
+                return ast.ReturnExpr()
+            if token.value in ("arg", "constraint"):
+                self.expect("PUNCT", "[")
+                index = int(self.expect("NUMBER").value)
+                self.expect("PUNCT", "]")
+                if token.value == "arg":
+                    return ast.ArgExpr(index=index)
+                return ast.ConstraintParamExpr(index=index)
+            raise MdlSyntaxError(f"line {token.line}: unknown $-variable ${token.value}")
+        if token.kind == "IDENT":
+            self.next()
+            if self.peek().kind == "PUNCT" and self.peek().value == "(":
+                call, _ = self.parse_call(token.value, allow_out=False)
+                return call
+            return ast.NameExpr(name=token.value)
+        if self.accept("PUNCT", "("):
+            expr = self.parse_expr()
+            self.expect("PUNCT", ")")
+            return expr
+        raise self.error("cannot parse expression")
+
+
+def parse_code(code: str) -> list[ast.CodeStmt]:
+    """Parse the contents of a ``(* ... *)`` block."""
+    return _CodeParser(tokenize(code)).parse_statements()
+
+
+def parse_mdl(source: str) -> ast.MdlFile:
+    """Parse an MDL source string into metric/constraint/funcset definitions."""
+    return _Parser(tokenize(source)).parse_file()

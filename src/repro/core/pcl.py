@@ -1,0 +1,144 @@
+"""PCL -- the Paradyn Configuration Language (subset).
+
+Users modify the tool's behaviour through PCL: daemon definitions, process
+(application) definitions, and tunable constants (Section 4 of the paper).
+The enhancement relevant to the paper is the optional ``mpi_implementation``
+daemon attribute added for non-shared-filesystem LAM/MPICH support
+(Section 4.1)::
+
+    daemon pd_lam {
+        flavor mpi;
+        mpi_implementation "lam";
+    }
+
+    process app {
+        daemon pd_lam;
+        command "-np 6 small_messages";
+    }
+
+    tunable_constant {
+        PC_CPUThreshold 0.2;
+        samplingInterval 0.2;
+    }
+
+MDL is a sub-language of PCL, so ``metric``/``constraint``/``funcset``
+definitions may appear inline and are merged into the metric library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .mdl.ast import MdlFile
+from .mdl.lexer import MdlSyntaxError, Token, tokenize
+from .mdl.parser import _Parser  # reuse the token machinery
+
+__all__ = ["PclConfig", "DaemonDef", "ProcessDef", "parse_pcl"]
+
+
+@dataclass
+class DaemonDef:
+    name: str
+    flavor: str = "mpi"
+    #: Section 4.1: which MPI implementation this daemon drives ("lam",
+    #: "mpich", "mpich2", "refmpi"); empty means "host default".
+    mpi_implementation: str = ""
+    remote_shell: str = "ssh"
+
+
+@dataclass
+class ProcessDef:
+    name: str
+    daemon: str = ""
+    command: str = ""
+    directory: str = ""
+
+
+@dataclass
+class PclConfig:
+    daemons: dict[str, DaemonDef] = field(default_factory=dict)
+    processes: dict[str, ProcessDef] = field(default_factory=dict)
+    tunables: dict[str, float] = field(default_factory=dict)
+    mdl: Optional[MdlFile] = None
+
+    def tunable(self, name: str, default: float) -> float:
+        return self.tunables.get(name, default)
+
+
+class _PclParser(_Parser):
+    def parse_config(self) -> PclConfig:
+        config = PclConfig(mdl=MdlFile())
+        while self.peek().kind != "EOF":
+            word = self.keyword()
+            if word == "daemon":
+                d = self._parse_daemon()
+                config.daemons[d.name] = d
+            elif word == "process":
+                p = self._parse_process()
+                config.processes[p.name] = p
+            elif word == "tunable_constant":
+                self._parse_tunables(config)
+            elif word == "metric":
+                metric = self.parse_metric()
+                config.mdl.metrics[metric.ident] = metric
+            elif word == "constraint":
+                constraint = self.parse_constraint()
+                config.mdl.constraints[constraint.ident] = constraint
+            elif word == "funcset":
+                funcset = self.parse_funcset()
+                config.mdl.funcsets[funcset.ident] = funcset
+            else:
+                raise MdlSyntaxError(f"unknown PCL construct {word!r}")
+        return config
+
+    def _parse_daemon(self) -> DaemonDef:
+        name = self.expect("IDENT").value
+        d = DaemonDef(name=name)
+        self.expect("PUNCT", "{")
+        while not self.accept("PUNCT", "}"):
+            attr = self.keyword()
+            if attr == "flavor":
+                d.flavor = self.expect("IDENT").value
+            elif attr == "mpi_implementation":
+                d.mpi_implementation = self.expect("STRING").value
+            elif attr == "remote_shell":
+                d.remote_shell = self.expect("STRING").value
+            else:
+                raise MdlSyntaxError(f"unknown daemon attribute {attr!r}")
+            self.expect("PUNCT", ";")
+        return d
+
+    def _parse_process(self) -> ProcessDef:
+        name = self.expect("IDENT").value
+        p = ProcessDef(name=name)
+        self.expect("PUNCT", "{")
+        while not self.accept("PUNCT", "}"):
+            attr = self.keyword()
+            if attr == "daemon":
+                p.daemon = self.expect("IDENT").value
+            elif attr == "command":
+                p.command = self.expect("STRING").value
+            elif attr == "directory":
+                p.directory = self.expect("STRING").value
+            else:
+                raise MdlSyntaxError(f"unknown process attribute {attr!r}")
+            self.expect("PUNCT", ";")
+        return p
+
+    def _parse_tunables(self, config: PclConfig) -> None:
+        self.expect("PUNCT", "{")
+        while not self.accept("PUNCT", "}"):
+            name = self.expect("IDENT").value
+            token = self.next()
+            if token.kind != "NUMBER":
+                raise MdlSyntaxError(
+                    f"line {token.line}: tunable {name!r} needs a numeric value"
+                )
+            config.tunables[name] = float(token.value)
+            self.expect("PUNCT", ";")
+
+
+def parse_pcl(source: str) -> PclConfig:
+    """Parse PCL text (daemon/process/tunable_constant blocks + inline MDL)."""
+    return _PclParser(tokenize(source)).parse_config()

@@ -1,0 +1,121 @@
+"""Dynamic-process-creation support: the *intercept* and *attach* methods.
+
+Section 4.2.2 of the paper designs two ways for the tool to find processes
+created by ``MPI_Comm_spawn``:
+
+* **intercept** (what the paper implemented): a PMPI profiling wrapper
+  replaces the user's command with ``paradynd``, so the MPI implementation
+  starts tool daemons which then start (and are attached to) the real MPI
+  processes.  Simple -- but it *inflates the measured cost of the spawn
+  operation* and starts one daemon per process.
+* **attach** (the paper's proposed better solution): let the spawn proceed
+  untouched, discover where the children landed through the MPI debugging
+  interface's process table (MPIR), and attach daemons afterwards.  Less
+  overhead, but "as of this writing, neither LAM nor MPICH2 support the
+  dynamic process creation parts of the debugging interface" -- in this
+  reproduction only the ``refmpi`` personality exposes MPIR, exactly
+  mirroring that landscape.
+
+``bench_ablation_spawn_methods`` quantifies the overhead difference.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+from ..mpi.errors import SpawnError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mpi.runtime import Endpoint
+    from ..mpi.world import MpiUniverse, MpiWorld
+    from ..sim.process import SimProcess
+
+__all__ = ["InterceptSpawnSupport", "AttachSpawnSupport", "SpawnSupport"]
+
+
+class SpawnSupport:
+    """Base: decides how spawned children become visible to the tool."""
+
+    method = "none"
+
+    def __init__(self, tool: Any) -> None:
+        self.tool = tool
+        #: (parent world, child pid) spawn-detection log for tests/benches
+        self.detected: list[tuple[int, int]] = []
+
+    def install(self, proc: "SimProcess", endpoint: "Endpoint") -> None:
+        """Called at attach time on every monitored process."""
+
+    def on_spawned_process(self, proc: "SimProcess", endpoint: "Endpoint", world: "MpiWorld") -> None:
+        """Called by the tool when the universe reports a spawned process."""
+        raise NotImplementedError
+
+
+class InterceptSpawnSupport(SpawnSupport):
+    """Wrap MPI_Comm_spawn with a PMPI profiling wrapper.
+
+    The wrapper charges the cost of launching one paradynd per child before
+    delegating to ``PMPI_Comm_spawn`` -- the overhead the paper identifies
+    as this method's drawback.  Children are attached immediately at
+    startup (the daemon started them).
+    """
+
+    method = "intercept"
+    #: wrapper bookkeeping + paradynd launch time per spawned child
+    wrapper_overhead = 2e-4
+    daemon_launch_cost = 8e-3
+
+    def install(self, proc: "SimProcess", endpoint: "Endpoint") -> None:
+        image = proc.image
+        if image.lookup("PMPI_Comm_spawn") is None:
+            return  # implementation without spawn support
+        support = self
+
+        def wrapper(wproc, command, argv, maxprocs, info, root, comm) -> Generator:
+            cost = support.wrapper_overhead + support.daemon_launch_cost * maxprocs
+            yield from wproc.compute(cost)
+            result = yield from wproc.call(
+                "PMPI_Comm_spawn", command, argv, maxprocs, info, root, comm
+            )
+            return result
+
+        image.interpose(
+            "MPI_Comm_spawn", wrapper, module="libparadyn_wrap.so", tags={"mpi", "spawn", "sync"}
+        )
+
+    def on_spawned_process(self, proc, endpoint, world) -> None:
+        self.detected.append((world.world_id, proc.pid))
+        self.tool.attach_process(proc, endpoint, world)
+
+
+class AttachSpawnSupport(SpawnSupport):
+    """Discover children through the MPIR process table, then attach.
+
+    The spawn call itself is not perturbed; attachment happens
+    ``attach_latency`` later (daemon startup on the child's node).  Requires
+    an MPI implementation exposing the MPIR spawn table.
+    """
+
+    method = "attach"
+    attach_latency = 5e-3
+
+    def __init__(self, tool: Any) -> None:
+        super().__init__(tool)
+        impl = tool.universe.impl
+        if not impl.supports("mpir_proctable"):
+            raise SpawnError(
+                f"{impl.name} does not expose the MPIR debugging interface; "
+                "the attach method needs it (use intercept instead)"
+            )
+
+    def on_spawned_process(self, proc, endpoint, world) -> None:
+        table = self.tool.universe.mpir_proctable
+        if not any(desc.pid == proc.pid and desc.spawned for desc in table):
+            return  # invisible without the debug interface
+        self.detected.append((world.world_id, proc.pid))
+        kernel = self.tool.universe.kernel
+
+        def attach_later() -> None:
+            self.tool.attach_process(proc, endpoint, world)
+
+        kernel.schedule(self.attach_latency, attach_later)

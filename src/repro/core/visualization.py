@@ -1,0 +1,96 @@
+"""Paradyn's time-histogram display, rendered as text.
+
+The paper's Figures 4, 6, 8, 11, 15, and 18 are screenshots of Paradyn's
+histogram visualization: one curve per metric-focus pair, value-per-second
+on the y axis, time on the x axis.  This module renders the same view as a
+monospace chart so the reproduction's reports can show the curves, not
+just their integrals.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from .histogram import FoldingHistogram
+
+__all__ = ["render_histogram_chart", "CURVE_CHARS"]
+
+#: characters assigned to curves in order (Paradyn used colors)
+CURVE_CHARS = "*o+x#@%&"
+
+
+def render_histogram_chart(
+    curves: Mapping[str, FoldingHistogram],
+    *,
+    title: str = "",
+    ylabel: str = "value/sec",
+    width: int = 72,
+    height: int = 12,
+) -> str:
+    """Render one or more histograms as an ASCII chart.
+
+    Each curve is resampled onto ``width`` columns of its covering time
+    range; rows are linear in rate.  Overlapping curves show the later
+    curve's character (like overdrawn pixels).
+    """
+    if not curves:
+        return "(no data)"
+    if height < 2 or width < 8:
+        raise ValueError("chart needs at least 2 rows and 8 columns")
+
+    t_end = max(h.covered_time() for h in curves.values())
+    t_start = min(h.start_time for h in curves.values())
+    span = max(t_end - t_start, 1e-12)
+
+    sampled: dict[str, np.ndarray] = {}
+    for label, hist in curves.items():
+        rates = hist.rates()
+        columns = np.zeros(width)
+        if rates.size:
+            starts = hist.start_time + np.arange(rates.size) * hist.bin_width
+            for col in range(width):
+                t = t_start + (col + 0.5) / width * span
+                index = int((t - hist.start_time) / hist.bin_width)
+                if 0 <= index < rates.size:
+                    columns[col] = rates[index]
+        sampled[label] = columns
+
+    peak = max(float(c.max()) for c in sampled.values())
+    peak = peak if peak > 0 else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (label, columns) in enumerate(sampled.items()):
+        char = CURVE_CHARS[i % len(CURVE_CHARS)]
+        for col, value in enumerate(columns):
+            if value <= 0:
+                continue
+            row = height - 1 - int(round(value / peak * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = char
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{peak:.3g}"), len("0"))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            y_label = f"{peak:.3g}".rjust(label_width)
+        elif row_index == height - 1:
+            y_label = "0".rjust(label_width)
+        else:
+            y_label = " " * label_width
+        lines.append(f"{y_label} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  {t_start:.1f}s"
+        + f"{t_end:.1f}s".rjust(width - len(f"{t_start:.1f}s"))
+    )
+    legend = "   ".join(
+        f"{CURVE_CHARS[i % len(CURVE_CHARS)]} = {label}"
+        for i, label in enumerate(sampled)
+    )
+    lines.append(f"({ylabel})  {legend}")
+    return "\n".join(lines)

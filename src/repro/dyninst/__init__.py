@@ -1,0 +1,62 @@
+"""Simulated dynamic-instrumentation substrate (the Dyninst analogue).
+
+Provides binary images with weak-symbol-aware symbol tables, instrumentation
+points at function entry/return, a snippet IR with counters and timers, and
+a mutator that inserts/removes snippets in running simulated processes.
+"""
+
+from .image import FunctionDef, Image, ImageError, Module
+from .mutator import InstrumentationHandle, Mutator
+from .snippets import (
+    AddCounter,
+    ExprStmt,
+    Arg,
+    BinOp,
+    Block,
+    BuiltinCall,
+    Const,
+    CounterVar,
+    Expr,
+    If,
+    InstrumentationError,
+    InstrVar,
+    ProcTimerVar,
+    ReturnValue,
+    SetCounter,
+    Snippet,
+    StartTimer,
+    Stmt,
+    StopTimer,
+    VarValue,
+    WallTimerVar,
+)
+
+__all__ = [
+    "Image",
+    "Module",
+    "FunctionDef",
+    "ImageError",
+    "Mutator",
+    "InstrumentationHandle",
+    "Snippet",
+    "InstrVar",
+    "CounterVar",
+    "WallTimerVar",
+    "ProcTimerVar",
+    "Expr",
+    "Const",
+    "Arg",
+    "ReturnValue",
+    "VarValue",
+    "BuiltinCall",
+    "BinOp",
+    "Stmt",
+    "AddCounter",
+    "SetCounter",
+    "ExprStmt",
+    "StartTimer",
+    "StopTimer",
+    "If",
+    "Block",
+    "InstrumentationError",
+]

@@ -1,0 +1,398 @@
+"""Instrumentation snippet IR and the variables snippets manipulate.
+
+This is the simulated analogue of Dyninst's abstract syntax trees plus the
+Paradyn runtime's counters and timers.  A *snippet* is a small program
+inserted at an instrumentation point (function entry or return); it executes
+synchronously when the point is reached and manipulates *instrumentation
+variables* (counters, wall timers, process timers) that live in the mutatee
+process's data block (``SimProcess.instr_vars``).
+
+The IR is deliberately small -- it is the compilation target of the MDL
+subset in :mod:`repro.core.mdl` and covers everything in Figure 2 of the
+paper: counter arithmetic, wall-timer start/stop, argument access
+(``$arg[n]``), guarded execution (``if (...) ...``), ``constrained``
+execution, and calls to instrumentation builtins such as ``MPI_Type_size``
+and ``DYNINSTWindow_FindUniqueId``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.process import Frame, SimProcess
+
+__all__ = [
+    "InstrVar",
+    "CounterVar",
+    "WallTimerVar",
+    "ProcTimerVar",
+    "Expr",
+    "Const",
+    "Arg",
+    "ReturnValue",
+    "VarValue",
+    "BuiltinCall",
+    "BinOp",
+    "Stmt",
+    "AddCounter",
+    "SetCounter",
+    "ExprStmt",
+    "StartTimer",
+    "StopTimer",
+    "If",
+    "Block",
+    "Snippet",
+    "InstrumentationError",
+]
+
+
+class InstrumentationError(RuntimeError):
+    """Raised on malformed snippets or variable misuse."""
+
+
+# ---------------------------------------------------------------------------
+# Instrumentation variables
+# ---------------------------------------------------------------------------
+
+
+class InstrVar:
+    """Base class for per-process instrumentation variables."""
+
+    __slots__ = ("var_id", "name")
+    _next_id = 0
+
+    def __init__(self, name: str = "") -> None:
+        cls = InstrVar
+        self.var_id = cls._next_id
+        cls._next_id += 1
+        self.name = name or f"var{self.var_id}"
+
+    def sample(self, proc: "SimProcess") -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name} id={self.var_id}>"
+
+
+class CounterVar(InstrVar):
+    """An event counter (Paradyn ``counter``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str = "", initial: float = 0.0) -> None:
+        super().__init__(name)
+        self.value = float(initial)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def set(self, amount: float) -> None:
+        self.value = float(amount)
+
+    def sample(self, proc: "SimProcess") -> float:
+        return self.value
+
+
+class _TimerVar(InstrVar):
+    """Shared start/stop logic for wall and process timers.
+
+    Timers nest (Paradyn semantics): ``start`` while running increments a
+    depth count; only the matching outermost ``stop`` accrues time.  A
+    ``stop`` with no matching ``start`` is a no-op -- this happens routinely
+    when instrumentation is inserted while the mutatee is already inside the
+    instrumented function, so it must be tolerated.
+    """
+
+    __slots__ = ("accumulated", "_depth", "_started_at")
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self.accumulated = 0.0
+        self._depth = 0
+        self._started_at = 0.0
+
+    def _clock(self, proc: "SimProcess") -> float:
+        raise NotImplementedError
+
+    def start(self, proc: "SimProcess") -> None:
+        if self._depth == 0:
+            self._started_at = self._clock(proc)
+        self._depth += 1
+
+    def stop(self, proc: "SimProcess") -> None:
+        if self._depth == 0:
+            return  # inserted mid-flight; tolerate the unmatched stop
+        self._depth -= 1
+        if self._depth == 0:
+            self.accumulated += self._clock(proc) - self._started_at
+
+    @property
+    def running(self) -> bool:
+        return self._depth > 0
+
+    def sample(self, proc: "SimProcess") -> float:
+        value = self.accumulated
+        if self._depth > 0:
+            value += self._clock(proc) - self._started_at
+        return value
+
+
+class WallTimerVar(_TimerVar):
+    """Wall-clock timer (Paradyn ``walltimer``)."""
+
+    __slots__ = ()
+
+    def _clock(self, proc: "SimProcess") -> float:
+        return proc.kernel.now
+
+
+class ProcTimerVar(_TimerVar):
+    """Virtual (user CPU) timer (Paradyn ``proctimer``)."""
+
+    __slots__ = ()
+
+    def _clock(self, proc: "SimProcess") -> float:
+        return proc.cpu_user_time()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for snippet expressions."""
+
+    def evaluate(self, ctx: "ExecContext") -> Any:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: Any
+
+    def evaluate(self, ctx: "ExecContext") -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Arg(Expr):
+    """``$arg[n]`` -- the n-th argument of the instrumented call."""
+
+    index: int
+
+    def evaluate(self, ctx: "ExecContext") -> Any:
+        args = ctx.frame.args
+        if self.index >= len(args):
+            raise InstrumentationError(
+                f"$arg[{self.index}] out of range for {ctx.frame.name} "
+                f"(got {len(args)} args)"
+            )
+        return args[self.index]
+
+
+@dataclass(frozen=True)
+class ReturnValue(Expr):
+    """``$return`` -- only meaningful at a return point."""
+
+    def evaluate(self, ctx: "ExecContext") -> Any:
+        if ctx.at_entry:
+            raise InstrumentationError("$return read at an entry point")
+        return ctx.frame.return_value
+
+
+@dataclass(frozen=True)
+class VarValue(Expr):
+    """The current value of another instrumentation variable."""
+
+    var: InstrVar
+
+    def evaluate(self, ctx: "ExecContext") -> Any:
+        return self.var.sample(ctx.proc)
+
+
+@dataclass(frozen=True)
+class BuiltinCall(Expr):
+    """Call into the instrumentation runtime (``MPI_Type_size`` etc.).
+
+    Builtins are looked up in the process's instrumentation environment
+    (installed by the tool daemon) as ``callable(proc, frame, *values)``.
+    """
+
+    name: str
+    args: tuple[Expr, ...] = ()
+
+    def evaluate(self, ctx: "ExecContext") -> Any:
+        fn = ctx.builtins.get(self.name)
+        if fn is None:
+            raise InstrumentationError(f"unknown instrumentation builtin {self.name!r}")
+        values = [a.evaluate(ctx) for a in self.args]
+        return fn(ctx.proc, ctx.frame, *values)
+
+
+_BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "&&": lambda a, b: bool(a) and bool(b),
+    "||": lambda a, b: bool(a) or bool(b),
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINOPS:
+            raise InstrumentationError(f"unsupported operator {self.op!r}")
+
+    def evaluate(self, ctx: "ExecContext") -> Any:
+        return _BINOPS[self.op](self.left.evaluate(ctx), self.right.evaluate(ctx))
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    def execute(self, ctx: "ExecContext") -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AddCounter(Stmt):
+    """``counter += expr`` (``counter++`` is ``AddCounter(var, Const(1))``)."""
+
+    var: CounterVar
+    amount: Expr = Const(1)
+
+    def execute(self, ctx: "ExecContext") -> None:
+        value = self.amount.evaluate(ctx)
+        self.var.add(float(value))
+
+
+@dataclass(frozen=True)
+class SetCounter(Stmt):
+    var: CounterVar
+    value: Expr
+
+    def execute(self, ctx: "ExecContext") -> None:
+        self.var.set(float(self.value.evaluate(ctx)))
+
+
+@dataclass(frozen=True)
+class StartTimer(Stmt):
+    var: _TimerVar
+
+    def execute(self, ctx: "ExecContext") -> None:
+        self.var.start(ctx.proc)
+
+
+@dataclass(frozen=True)
+class StopTimer(Stmt):
+    var: _TimerVar
+
+    def execute(self, ctx: "ExecContext") -> None:
+        self.var.stop(ctx.proc)
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    """Evaluate an expression for its side effect (builtin calls)."""
+
+    expr: Expr
+
+    def execute(self, ctx: "ExecContext") -> None:
+        self.expr.evaluate(ctx)
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    condition: Expr
+    body: tuple[Stmt, ...]
+
+    def execute(self, ctx: "ExecContext") -> None:
+        if self.condition.evaluate(ctx):
+            for stmt in self.body:
+                stmt.execute(ctx)
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    body: tuple[Stmt, ...]
+
+    def execute(self, ctx: "ExecContext") -> None:
+        for stmt in self.body:
+            stmt.execute(ctx)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExecContext:
+    proc: "SimProcess"
+    frame: "Frame"
+    at_entry: bool
+    builtins: dict[str, Callable]
+
+
+class Snippet:
+    """A compiled snippet: statements plus optional constraint guards.
+
+    ``guards`` are counter variables that must all be non-zero for the body
+    to execute -- the implementation of MDL's ``constrained`` keyword.  The
+    guards themselves are maintained by separately-inserted constraint
+    snippets (which prepend, so they run first at a shared point).
+    """
+
+    __slots__ = ("statements", "guards", "label", "owner")
+
+    def __init__(
+        self,
+        statements: Sequence[Stmt],
+        *,
+        guards: Sequence[CounterVar] = (),
+        label: str = "",
+        owner: Any = None,
+    ) -> None:
+        self.statements = tuple(statements)
+        self.guards = tuple(guards)
+        self.label = label
+        self.owner = owner
+
+    def execute(self, proc: "SimProcess", frame: "Frame", *, at_entry: bool) -> None:
+        for guard in self.guards:
+            if not guard.value:
+                return
+        ctx = ExecContext(
+            proc=proc,
+            frame=frame,
+            at_entry=at_entry,
+            builtins=getattr(proc, "instr_builtins", _EMPTY_BUILTINS),
+        )
+        for stmt in self.statements:
+            stmt.execute(ctx)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Snippet {self.label or hex(id(self))} stmts={len(self.statements)}>"
+
+
+_EMPTY_BUILTINS: dict[str, Callable] = {}

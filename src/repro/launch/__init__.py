@@ -1,0 +1,22 @@
+"""Job launching: machine files, LAM sessions, application schemas, mpirun."""
+
+from .appschema import AppSchema, AppSchemaError, AppSchemaLine
+from .lamboot import LamSession, NotationError, parse_range_list
+from .machinefile import MachineEntry, MachineFile, MachineFileError
+from .mpirun import MpirunError, mpirun, parse_lam_args, parse_mpich_args
+
+__all__ = [
+    "MachineFile",
+    "MachineEntry",
+    "MachineFileError",
+    "LamSession",
+    "NotationError",
+    "parse_range_list",
+    "AppSchema",
+    "AppSchemaLine",
+    "AppSchemaError",
+    "mpirun",
+    "parse_lam_args",
+    "parse_mpich_args",
+    "MpirunError",
+]

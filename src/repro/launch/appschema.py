@@ -1,0 +1,92 @@
+"""LAM application schemas.
+
+An application schema tells the LAM daemons exactly where to start
+processes; ``MPI_Comm_spawn`` consumes one through the LAM-specific
+``lam_spawn_file`` info key (Section 4.2.2 of the paper -- this is the
+implementation-defined spawn-placement channel that makes spawn placement
+opaque to tools).
+
+Schema line format (subset)::
+
+    <program> [-np N] [location tokens...]
+
+e.g. ``child -np 3 n0-2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.node import Cluster, Cpu
+from .lamboot import LamSession, NotationError
+from .machinefile import MachineFile
+
+__all__ = ["AppSchemaLine", "AppSchema", "AppSchemaError"]
+
+
+class AppSchemaError(ValueError):
+    """Raised for malformed application schemas."""
+
+
+@dataclass
+class AppSchemaLine:
+    program: str
+    np: int = 0  # 0 means "derived from the location tokens"
+    locations: list[str] = field(default_factory=list)
+
+
+class AppSchema:
+    """A parsed application schema."""
+
+    def __init__(self, lines: list[AppSchemaLine]) -> None:
+        if not lines:
+            raise AppSchemaError("application schema is empty")
+        self.lines = lines
+
+    @classmethod
+    def parse(cls, text: str) -> "AppSchema":
+        lines: list[AppSchemaLine] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            stripped = raw.split("#", 1)[0].strip()
+            if not stripped:
+                continue
+            tokens = stripped.split()
+            program = tokens[0]
+            np = 0
+            locations: list[str] = []
+            i = 1
+            while i < len(tokens):
+                token = tokens[i]
+                if token == "-np":
+                    if i + 1 >= len(tokens):
+                        raise AppSchemaError(f"line {lineno}: -np needs a count")
+                    try:
+                        np = int(tokens[i + 1])
+                    except ValueError:
+                        raise AppSchemaError(
+                            f"line {lineno}: bad -np count {tokens[i + 1]!r}"
+                        ) from None
+                    i += 2
+                else:
+                    locations.append(token)
+                    i += 1
+            lines.append(AppSchemaLine(program=program, np=np, locations=locations))
+        return cls(lines)
+
+    def placement(self, cluster: Cluster, maxprocs: int) -> list[Cpu]:
+        """CPUs for ``maxprocs`` processes according to the schema."""
+        session = LamSession.boot(cluster, MachineFile.for_cluster(cluster))
+        cpus: list[Cpu] = []
+        for line in self.lines:
+            if line.locations:
+                located = session.placement_from_tokens(line.locations)
+            else:
+                located = session.placement_all_cpus()
+            count = line.np or len(located)
+            for i in range(count):
+                cpus.append(located[i % len(located)])
+        if len(cpus) < maxprocs:
+            raise AppSchemaError(
+                f"schema provides {len(cpus)} slots, spawn wants {maxprocs}"
+            )
+        return cpus[:maxprocs]

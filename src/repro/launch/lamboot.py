@@ -1,0 +1,134 @@
+"""LAM session management: ``lamboot`` plus the node/CPU selection notation.
+
+Section 4.1.2 of the paper enumerates the three ways LAM users specify
+where MPI processes start, all of which the enhanced Paradyn had to parse:
+
+1. **Direct CPU count**: ``-np n`` starts ``n`` processes on the first
+   ``n`` processors.
+2. **Node specification**: ``N`` (one process per node) or ``nR[,R]*``
+   where each ``R`` is a node index or inclusive range within
+   ``[0, num_nodes)`` -- e.g. ``n0-2,4`` selects nodes 0,1,2,4.
+3. **Processor specification**: ``C`` (one process per CPU) or ``cR[,R]*``
+   over ``[0, num_cpus)``.
+
+Mixtures of node and processor specifications are allowed on one command
+line, as in LAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.node import Cluster, Cpu, Node
+from .machinefile import MachineFile, MachineFileError
+
+__all__ = ["LamSession", "NotationError", "parse_range_list"]
+
+
+class NotationError(ValueError):
+    """Raised for malformed or out-of-range LAM node/CPU notation."""
+
+
+def parse_range_list(spec: str, limit: int, what: str) -> list[int]:
+    """Parse ``R[,R]*`` where R is ``i`` or ``i-j`` (inclusive), each index
+    in ``[0, limit)``.  Order is preserved; duplicates are kept (LAM starts
+    one process per mention)."""
+    if not spec:
+        raise NotationError(f"empty {what} specification")
+    indices: list[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            raise NotationError(f"empty element in {what} specification {spec!r}")
+        if "-" in part:
+            lo_s, _, hi_s = part.partition("-")
+            try:
+                lo, hi = int(lo_s), int(hi_s)
+            except ValueError:
+                raise NotationError(f"bad {what} range {part!r}") from None
+            if lo > hi:
+                raise NotationError(f"reversed {what} range {part!r}")
+            span = list(range(lo, hi + 1))
+        else:
+            try:
+                span = [int(part)]
+            except ValueError:
+                raise NotationError(f"bad {what} index {part!r}") from None
+        for index in span:
+            if not 0 <= index < limit:
+                raise NotationError(
+                    f"{what} index {index} out of range [0, {limit}) in {spec!r}"
+                )
+            indices.append(index)
+    return indices
+
+
+class LamSession:
+    """A booted LAM session: the node/CPU universe mpirun selects from."""
+
+    def __init__(self, cluster: Cluster, machinefile: MachineFile) -> None:
+        self.cluster = cluster
+        self.machinefile = machinefile
+        self.nodes: list[Node] = machinefile.nodes(cluster)
+        # LAM numbers CPUs across nodes in boot-schema order.
+        self.cpus: list[Cpu] = []
+        for node, entry in zip(self.nodes, machinefile.entries):
+            self.cpus.extend(node.cpus[: entry.cpus])
+
+    @classmethod
+    def boot(cls, cluster: Cluster, machinefile: "MachineFile | str | None" = None) -> "LamSession":
+        if machinefile is None:
+            machinefile = MachineFile.for_cluster(cluster)
+        elif isinstance(machinefile, str):
+            machinefile = MachineFile.parse(machinefile)
+        return cls(cluster, machinefile)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_cpus(self) -> int:
+        return len(self.cpus)
+
+    # -- process placement ----------------------------------------------------
+
+    def placement_np(self, n: int) -> list[Cpu]:
+        """``-np n``: the first n processors (wrapping if oversubscribed)."""
+        if n < 1:
+            raise NotationError("-np requires a positive count")
+        return [self.cpus[i % self.num_cpus] for i in range(n)]
+
+    def placement_all_nodes(self) -> list[Cpu]:
+        """``N``: one process on each node of the session."""
+        return [node.cpus[0] for node in self.nodes]
+
+    def placement_all_cpus(self) -> list[Cpu]:
+        """``C``: one process on every processor of the session."""
+        return list(self.cpus)
+
+    def placement_nodes(self, spec: str) -> list[Cpu]:
+        """``nR[,R]*``: one process on each named node."""
+        indices = parse_range_list(spec, self.num_nodes, "node")
+        return [self.nodes[i].cpus[0] for i in indices]
+
+    def placement_cpus(self, spec: str) -> list[Cpu]:
+        """``cR[,R]*``: one process on each named processor."""
+        indices = parse_range_list(spec, self.num_cpus, "cpu")
+        return [self.cpus[i] for i in indices]
+
+    def placement_from_tokens(self, tokens: list[str]) -> list[Cpu]:
+        """Resolve a mixture of node/processor specifications, in order."""
+        placement: list[Cpu] = []
+        for token in tokens:
+            if token == "N":
+                placement.extend(self.placement_all_nodes())
+            elif token == "C":
+                placement.extend(self.placement_all_cpus())
+            elif token.startswith("n") and len(token) > 1:
+                placement.extend(self.placement_nodes(token[1:]))
+            elif token.startswith("c") and len(token) > 1:
+                placement.extend(self.placement_cpus(token[1:]))
+            else:
+                raise NotationError(f"unrecognized LAM location token {token!r}")
+        return placement

@@ -1,0 +1,109 @@
+"""Machine-file parsing.
+
+Both LAM (``lamboot`` boot schema) and MPICH (``mpirun -m``) describe the
+cluster in a plain-text machine file: one host per line, an optional CPU
+count, ``#`` comments.  Section 4.1 of the paper covers the handling added
+to Paradyn for these files on non-shared filesystems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.node import Cluster, Node
+
+__all__ = ["MachineEntry", "MachineFile", "MachineFileError"]
+
+
+class MachineFileError(ValueError):
+    """Raised for malformed machine files or unknown hosts."""
+
+
+@dataclass(frozen=True)
+class MachineEntry:
+    hostname: str
+    cpus: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cpus < 1:
+            raise MachineFileError(f"{self.hostname}: cpu count must be >= 1")
+
+
+class MachineFile:
+    """An ordered list of (hostname, cpu count) entries.
+
+    LAM node indices (``n0``, ``n1`` ...) follow the order hosts are listed
+    here, as do LAM CPU indices (``c0`` ... across hosts in file order).
+    """
+
+    def __init__(self, entries: list[MachineEntry]) -> None:
+        if not entries:
+            raise MachineFileError("machine file lists no hosts")
+        self.entries = list(entries)
+
+    @classmethod
+    def parse(cls, text: str) -> "MachineFile":
+        """Parse machine-file text.  Accepted line forms::
+
+            hostname
+            hostname:4          # MPICH style
+            hostname cpu=4      # LAM boot-schema style
+        """
+        entries: list[MachineEntry] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            cpus = 1
+            if ":" in line:
+                host, _, count = line.partition(":")
+                host = host.strip()
+                try:
+                    cpus = int(count.strip())
+                except ValueError:
+                    raise MachineFileError(f"line {lineno}: bad cpu count {count.strip()!r}")
+            else:
+                parts = line.split()
+                host = parts[0]
+                for part in parts[1:]:
+                    if part.startswith("cpu="):
+                        try:
+                            cpus = int(part[4:])
+                        except ValueError:
+                            raise MachineFileError(f"line {lineno}: bad cpu count {part!r}")
+                    else:
+                        raise MachineFileError(f"line {lineno}: unrecognized token {part!r}")
+            entries.append(MachineEntry(hostname=host, cpus=cpus))
+        return cls(entries)
+
+    @classmethod
+    def for_cluster(cls, cluster: Cluster) -> "MachineFile":
+        """The machine file describing an entire simulated cluster."""
+        return cls([MachineEntry(node.name, node.num_cpus) for node in cluster.nodes])
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self.entries)
+
+    @property
+    def num_cpus(self) -> int:
+        return sum(entry.cpus for entry in self.entries)
+
+    def nodes(self, cluster: Cluster) -> list[Node]:
+        """Resolve hostnames against a cluster (order preserved)."""
+        resolved = []
+        for entry in self.entries:
+            try:
+                node = cluster.node_by_name(entry.hostname)
+            except KeyError:
+                raise MachineFileError(f"unknown host {entry.hostname!r}") from None
+            if entry.cpus > node.num_cpus:
+                raise MachineFileError(
+                    f"{entry.hostname}: machine file claims {entry.cpus} CPUs, "
+                    f"node has {node.num_cpus}"
+                )
+            resolved.append(node)
+        return resolved
+
+    def render(self) -> str:
+        return "\n".join(f"{e.hostname} cpu={e.cpus}" for e in self.entries) + "\n"

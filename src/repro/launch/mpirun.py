@@ -1,0 +1,166 @@
+"""``mpirun`` argument handling for both implementations.
+
+Reproduces the launch paths the enhanced Paradyn had to understand
+(Section 4.1 of the paper):
+
+* **LAM**: ``mpirun -np N prog``, ``mpirun N prog``, ``mpirun C prog``,
+  ``mpirun n0-2,4 prog``, ``mpirun c0,3 prog``, and mixtures;
+* **MPICH ch_p4mpd**: ``mpirun -np N -m machinefile -wdir dir prog`` --
+  ``-m``/``-wdir`` are the arguments Section 4.1.1 added support for on
+  non-shared filesystems.
+
+``mpirun`` returns the launched :class:`~repro.mpi.world.MpiWorld`; the
+performance tool attaches via the universe's process hooks, the way the
+enhanced Paradyn daemon starts MPI processes directly rather than through
+the intermediate generated script the paper removed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..mpi.world import MpiProgram, MpiUniverse, MpiWorld
+from ..sim.node import Cpu
+from .lamboot import LamSession, NotationError
+from .machinefile import MachineFile
+
+__all__ = ["MpirunError", "parse_lam_args", "parse_mpich_args", "mpirun"]
+
+
+class MpirunError(ValueError):
+    """Raised for malformed mpirun command lines."""
+
+
+def parse_lam_args(
+    args: Sequence[str], session: LamSession
+) -> tuple[str, list[str], list[Cpu]]:
+    """Parse a LAM mpirun command line -> (program, program args, placement)."""
+    placement: list[Cpu] = []
+    np: Optional[int] = None
+    program: Optional[str] = None
+    prog_args: list[str] = []
+    i = 0
+    args = list(args)
+    while i < len(args):
+        token = args[i]
+        if program is not None:
+            prog_args.append(token)
+            i += 1
+            continue
+        if token == "-np":
+            if i + 1 >= len(args):
+                raise MpirunError("-np needs a count")
+            try:
+                np = int(args[i + 1])
+            except ValueError:
+                raise MpirunError(f"bad -np count {args[i + 1]!r}") from None
+            i += 2
+        elif token == "N" or token == "C" or (
+            len(token) > 1 and token[0] in "nc" and token[1].isdigit()
+        ):
+            try:
+                placement.extend(session.placement_from_tokens([token]))
+            except NotationError as exc:
+                raise MpirunError(str(exc)) from exc
+            i += 1
+        elif token.startswith("-"):
+            raise MpirunError(f"unknown LAM mpirun option {token!r}")
+        else:
+            program = token
+            i += 1
+    if program is None:
+        raise MpirunError("no program named on the command line")
+    if np is not None and placement:
+        # e.g. "mpirun -np 4 n0-1 prog": first np slots of the location list
+        placement = [placement[i % len(placement)] for i in range(np)]
+    elif np is not None:
+        placement = session.placement_np(np)
+    elif not placement:
+        raise MpirunError("no process count or location specification given")
+    return program, prog_args, placement
+
+
+def parse_mpich_args(
+    args: Sequence[str], universe: MpiUniverse
+) -> tuple[str, list[str], list[Cpu], str]:
+    """Parse an MPICH mpirun command line -> (program, args, placement, wdir)."""
+    np: Optional[int] = None
+    machinefile: Optional[MachineFile] = None
+    wdir = "/home/user"
+    program: Optional[str] = None
+    prog_args: list[str] = []
+    i = 0
+    args = list(args)
+    while i < len(args):
+        token = args[i]
+        if program is not None:
+            prog_args.append(token)
+            i += 1
+            continue
+        if token == "-np":
+            if i + 1 >= len(args):
+                raise MpirunError("-np needs a count")
+            try:
+                np = int(args[i + 1])
+            except ValueError:
+                raise MpirunError(f"bad -np count {args[i + 1]!r}") from None
+            i += 2
+        elif token == "-m":
+            if i + 1 >= len(args):
+                raise MpirunError("-m needs a machine file")
+            machinefile = MachineFile.parse(args[i + 1])
+            i += 2
+        elif token == "-wdir":
+            if i + 1 >= len(args):
+                raise MpirunError("-wdir needs a directory")
+            wdir = args[i + 1]
+            i += 2
+        elif token.startswith("-"):
+            raise MpirunError(f"unknown MPICH mpirun option {token!r}")
+        else:
+            program = token
+            i += 1
+    if program is None:
+        raise MpirunError("no program named on the command line")
+    if np is None:
+        raise MpirunError("MPICH mpirun requires -np")
+    if machinefile is None:
+        machinefile = MachineFile.for_cluster(universe.cluster)
+    nodes = machinefile.nodes(universe.cluster)
+    cpus: list[Cpu] = []
+    for node, entry in zip(nodes, machinefile.entries):
+        cpus.extend(node.cpus[: entry.cpus])
+    placement = [cpus[i % len(cpus)] for i in range(np)]
+    return program, prog_args, placement, wdir
+
+
+def mpirun(
+    universe: MpiUniverse,
+    args: Sequence[str],
+    *,
+    program: Optional[MpiProgram] = None,
+    machinefile: "MachineFile | str | None" = None,
+) -> MpiWorld:
+    """Launch an MPI job the way the universe's implementation would.
+
+    ``args`` is the mpirun command line (without the leading ``mpirun``).
+    The program token is looked up in the universe's program registry unless
+    a :class:`MpiProgram` is passed explicitly (it is then registered under
+    its command-line name).
+    """
+    impl_name = universe.impl.name
+    if impl_name in ("lam", "refmpi"):
+        session = LamSession.boot(
+            universe.cluster,
+            machinefile if machinefile is not None else MachineFile.for_cluster(universe.cluster),
+        ) if not isinstance(machinefile, LamSession) else machinefile
+        command, prog_args, placement = parse_lam_args(args, session)
+        wdir = "/home/user"
+    else:
+        command, prog_args, placement, wdir = parse_mpich_args(args, universe)
+    if program is not None:
+        universe.program_registry[command] = program
+    world = universe.launch(command, len(placement), placement=placement, argv=prog_args)
+    for ep in world.endpoints:
+        ep.proc.working_dir = wdir
+    return world

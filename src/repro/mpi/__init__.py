@@ -1,0 +1,72 @@
+"""Simulated MPI library (MPI-1 + the MPI-2 features the paper studies).
+
+Point-to-point with eager/rendezvous protocols and flow control, tree-based
+collectives, one-sided communication (RMA), dynamic process creation,
+object naming, and minimal MPI-IO -- with pluggable implementation
+personalities modelling LAM/MPI 7.0, MPICH ch_p4mpd and MPICH2 0.96p2.
+"""
+
+from .comm import CollectiveContext, Communicator, Group
+from .datatypes import ANY_SOURCE, ANY_TAG, BYTE, CHAR, DOUBLE, FLOAT, INT, LONG, MAX, MIN, PROD, SUM, Datatype, Op
+from .errors import (
+    CommunicatorError,
+    MpiError,
+    RmaEpochError,
+    SpawnError,
+    TruncationError,
+    UnsupportedFeature,
+)
+from .impls import IMPLEMENTATIONS, BaseImpl, LamImpl, Mpich2Impl, MpichImpl, RefMpiImpl, create_impl
+from .message import Envelope, Mailbox, PostedRecv, Protocol
+from .rma import AccessEpoch, RmaOp, RmaOpKind, Window
+from .runtime import Endpoint, MpiApi
+from .status import Request, Status
+from .world import MpiProgram, MpiUniverse, MpiWorld
+
+__all__ = [
+    "MpiUniverse",
+    "MpiWorld",
+    "MpiProgram",
+    "MpiApi",
+    "Endpoint",
+    "Communicator",
+    "Group",
+    "CollectiveContext",
+    "Window",
+    "RmaOp",
+    "RmaOpKind",
+    "AccessEpoch",
+    "Request",
+    "Status",
+    "Mailbox",
+    "Envelope",
+    "PostedRecv",
+    "Protocol",
+    "Datatype",
+    "Op",
+    "BYTE",
+    "CHAR",
+    "INT",
+    "LONG",
+    "FLOAT",
+    "DOUBLE",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MpiError",
+    "UnsupportedFeature",
+    "RmaEpochError",
+    "SpawnError",
+    "CommunicatorError",
+    "TruncationError",
+    "BaseImpl",
+    "LamImpl",
+    "MpichImpl",
+    "Mpich2Impl",
+    "RefMpiImpl",
+    "IMPLEMENTATIONS",
+    "create_impl",
+]

@@ -1,0 +1,88 @@
+"""MPI datatypes and reduction operations.
+
+Only the properties the tool layer observes are modelled: a name and a size
+in bytes (``MPI_Type_size`` is an instrumentation builtin used by the
+``rma_put_bytes`` metric in Figure 2 of the paper), plus numpy dtype mapping
+so RMA windows can hold real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "Datatype",
+    "BYTE",
+    "CHAR",
+    "INT",
+    "LONG",
+    "FLOAT",
+    "DOUBLE",
+    "Op",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A basic MPI datatype."""
+
+    name: str
+    size: int
+    np_dtype: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"datatype {self.name} must have positive size")
+
+    def extent(self, count: int) -> int:
+        """Total bytes for ``count`` elements."""
+        return self.size * count
+
+    def __repr__(self) -> str:
+        return f"MPI_{self.name}"
+
+
+BYTE = Datatype("BYTE", 1, "u1")
+CHAR = Datatype("CHAR", 1, "i1")
+INT = Datatype("INT", 4, "i4")
+LONG = Datatype("LONG", 8, "i8")
+FLOAT = Datatype("FLOAT", 4, "f4")
+DOUBLE = Datatype("DOUBLE", 8, "f8")
+
+
+@dataclass(frozen=True)
+class Op:
+    """A reduction operation usable by reduce/allreduce/accumulate."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def reduce(self, values: list) -> Any:
+        if not values:
+            raise ValueError("reduce of empty value list")
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.fn(acc, v)
+        return acc
+
+    def __repr__(self) -> str:
+        return f"MPI_{self.name}"
+
+
+SUM = Op("SUM", lambda a, b: a + b)
+PROD = Op("PROD", lambda a, b: a * b)
+MAX = Op("MAX", lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b))
+MIN = Op("MIN", lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b))
+
+#: Wildcards for point-to-point matching.
+ANY_SOURCE = -1
+ANY_TAG = -1

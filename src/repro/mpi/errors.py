@@ -1,0 +1,46 @@
+"""Error types for the simulated MPI library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MpiError",
+    "UnsupportedFeature",
+    "RmaEpochError",
+    "SpawnError",
+    "CommunicatorError",
+    "TruncationError",
+]
+
+
+class MpiError(RuntimeError):
+    """Base class for errors raised by the simulated MPI library."""
+
+
+class UnsupportedFeature(MpiError):
+    """The selected MPI implementation does not support this feature.
+
+    Mirrors the paper's landscape: LAM/MPI 7.0 and MPICH2 0.96p2 each
+    implement only portions of MPI-2 (no passive-target RMA in either, no
+    dynamic process creation in MPICH2, no MPIR spawn-debug interface).
+    """
+
+    def __init__(self, impl_name: str, feature: str) -> None:
+        super().__init__(f"{impl_name} does not support {feature}")
+        self.impl_name = impl_name
+        self.feature = feature
+
+
+class RmaEpochError(MpiError):
+    """An RMA call was made outside a legal access/exposure epoch."""
+
+
+class SpawnError(MpiError):
+    """Dynamic process creation failed."""
+
+
+class CommunicatorError(MpiError):
+    """Invalid rank, communicator misuse, or group mismatch."""
+
+
+class TruncationError(MpiError):
+    """A receive buffer was smaller than the matched message."""

@@ -1,0 +1,44 @@
+"""MPI implementation personalities (LAM, MPICH, MPICH2, refmpi)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .base import BaseImpl, FlowChannel, MpiFile
+from .lam import LamImpl
+from .mpich import MpichImpl
+from .mpich2 import Mpich2Impl
+from .refmpi import RefMpiImpl
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..world import MpiUniverse
+
+__all__ = [
+    "BaseImpl",
+    "FlowChannel",
+    "MpiFile",
+    "LamImpl",
+    "MpichImpl",
+    "Mpich2Impl",
+    "RefMpiImpl",
+    "IMPLEMENTATIONS",
+    "create_impl",
+]
+
+IMPLEMENTATIONS: dict[str, type[BaseImpl]] = {
+    "lam": LamImpl,
+    "mpich": MpichImpl,
+    "mpich2": Mpich2Impl,
+    "refmpi": RefMpiImpl,
+}
+
+
+def create_impl(name: str, universe: "MpiUniverse") -> BaseImpl:
+    """Instantiate a personality by name (``lam``/``mpich``/``mpich2``/``refmpi``)."""
+    try:
+        cls = IMPLEMENTATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown MPI implementation {name!r}; choose from {sorted(IMPLEMENTATIONS)}"
+        ) from None
+    return cls(universe)

@@ -1,0 +1,39 @@
+"""The MPICH2 0.96p2 beta personality (sock channel, mpd process manager).
+
+Adds the MPI-2 features the paper tested with MPICH2 on top of the MPICH
+socket transport:
+
+* RMA with an *internal* fence (no nested ``MPI_Barrier`` -- contrast with
+  LAM in Figure 22) and a **non-blocking** ``MPI_Win_start`` whose
+  synchronization cost surfaces in ``MPI_Win_complete`` instead (the
+  implementation difference Figure 21 shows);
+* MPI object naming and MPI-IO;
+* **no dynamic process creation** -- the paper notes "MPICH2 0.96p2 beta
+  does not yet fully support dynamic process creation", so spawn raises
+  :class:`~repro.mpi.errors.UnsupportedFeature`;
+* no passive-target RMA (lock/unlock unsupported, as in the paper).
+
+Passive target is carved out by overriding the feature set rather than the
+bodies: the base implementation is complete, but ``MPI_Win_lock`` checks the
+``rma_passive`` capability first.
+"""
+
+from __future__ import annotations
+
+from .base import BaseImpl
+
+__all__ = ["Mpich2Impl"]
+
+
+class Mpich2Impl(BaseImpl):
+    name = "mpich2"
+    version = "0.96p2 (sock/mpd)"
+    pmpi_weak_symbols = True
+    shared_memory_transport = False
+    socket_functions = ("write", "read")
+    visible_collective_p2p = True
+    fence_uses_barrier = False
+    win_start_blocks = False
+    window_creates_internal_comm = False
+    reuse_window_ids = True
+    features = frozenset({"p2p", "collectives", "rma", "naming", "mpio"})

@@ -1,0 +1,29 @@
+"""A forward-looking reference personality used for extension benches.
+
+The paper could not evaluate two things because no freely-available
+implementation supported them yet:
+
+* **passive-target RMA** ("We have not yet implemented the passive target
+  test programs because neither LAM nor MPICH2 support passive target
+  synchronization as of this writing", Section 5.2.1.1);
+* the **MPIR debug-interface spawn table**, the basis of the proposed
+  *attach* method for dynamic process creation ("neither LAM nor MPICH2
+  support the dynamic process creation parts of the debugging interface",
+  Section 4.2.2).
+
+``refmpi`` is LAM with both gaps filled, so the tool's passive-target
+metrics (``pt_rma_sync_wait``) and the attach spawn-support path can be
+exercised -- the paper's stated future work.
+"""
+
+from __future__ import annotations
+
+from .lam import LamImpl
+
+__all__ = ["RefMpiImpl"]
+
+
+class RefMpiImpl(LamImpl):
+    name = "refmpi"
+    version = "1.0"
+    features = LamImpl.features | frozenset({"rma_passive", "mpir_proctable"})

@@ -1,0 +1,54 @@
+"""MPI_Status and request objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..sim.kernel import Kernel, SimEvent
+
+__all__ = ["Status", "Request"]
+
+
+@dataclass
+class Status:
+    """Mutable receive status (source/tag/byte count), filled on completion."""
+
+    source: int = -1
+    tag: int = -1
+    count_bytes: int = 0
+    cancelled: bool = False
+
+    def set(self, *, source: int, tag: int, count_bytes: int) -> None:
+        self.source = source
+        self.tag = tag
+        self.count_bytes = count_bytes
+
+
+class Request:
+    """Handle for a nonblocking operation.
+
+    Completion is an event; ``value`` carries the received payload for
+    receive requests.  ``MPI_Wait``/``MPI_Waitall`` bodies block on
+    :attr:`done`.
+    """
+
+    __slots__ = ("kind", "done", "status", "value")
+
+    def __init__(self, kernel: Kernel, kind: str) -> None:
+        self.kind = kind
+        self.done: SimEvent = kernel.event(name=f"req.{kind}")
+        self.status = Status()
+        self.value: Any = None
+
+    @property
+    def completed(self) -> bool:
+        return self.done.triggered
+
+    def complete(self, value: Any = None) -> None:
+        self.value = value
+        self.done.trigger(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.completed else "pending"
+        return f"<Request {self.kind} {state}>"

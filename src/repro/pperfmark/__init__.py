@@ -1,0 +1,61 @@
+"""PPerfMark: the paper's performance-tool benchmark suite (Section 5).
+
+MPI-1 programs derived from the Grindstone test suite (Table 2), the new
+MPI-2 programs (Table 3), the sstwod/Oned book examples, and the ASCI
+Purple Presta rma stress test.
+"""
+
+from .base import Expectation, PPerfProgram, REGISTRY, create, program_names, register
+from .mpi1 import (
+    BigMessage,
+    DiffuseProcedure,
+    HotProcedure,
+    IntensiveServer,
+    RandomBarrier,
+    SmallMessages,
+    Sstwod,
+    SystemTime,
+    WrongWay,
+)
+from .mpi2 import (
+    AllCount,
+    Oned,
+    SpawnCount,
+    SpawnSync,
+    SpawnWinSync,
+    WinCreateBlast,
+    WinFenceSync,
+    WinLockSync,
+    WinScpwSync,
+)
+from .presta import PATTERNS, PrestaResult, PrestaRma
+
+__all__ = [
+    "PPerfProgram",
+    "Expectation",
+    "REGISTRY",
+    "register",
+    "create",
+    "program_names",
+    "SmallMessages",
+    "BigMessage",
+    "WrongWay",
+    "IntensiveServer",
+    "RandomBarrier",
+    "DiffuseProcedure",
+    "SystemTime",
+    "HotProcedure",
+    "Sstwod",
+    "AllCount",
+    "WinCreateBlast",
+    "WinFenceSync",
+    "WinScpwSync",
+    "SpawnCount",
+    "SpawnSync",
+    "SpawnWinSync",
+    "WinLockSync",
+    "Oned",
+    "PrestaRma",
+    "PrestaResult",
+    "PATTERNS",
+]

@@ -1,0 +1,90 @@
+"""PPerfMark: the paper's performance-tool benchmark suite.
+
+PPerfMark (Section 5.1.1) is derived from the Grindstone PVM test suite,
+converted to MPI, plus new MPI-2 programs (Section 5.2).  Every program is
+a *behavioural contract*: it has a known bottleneck, and a performance tool
+passes if it finds that bottleneck.  :class:`PPerfProgram` carries the
+contract (:attr:`expectation`) alongside the workload; the verdict logic in
+:mod:`repro.analysis.verify` checks a Performance Consultant run against
+it, regenerating Tables 2 and 3.
+
+All programs take scaled-down iteration counts relative to the paper (the
+defaults target seconds of simulated time); the paper's parameters are
+recorded in each class docstring.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional, Type
+
+from ..mpi.world import MpiProgram
+
+__all__ = ["PPerfProgram", "Expectation", "REGISTRY", "register", "program_names", "create"]
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """What a correct tool must (and must not) report for a program.
+
+    ``required`` entries are ``(hypothesis, needles...)`` tuples: some true
+    PC node for that hypothesis must mention every needle in its focus.
+    ``forbidden`` entries must match no true node.  ``all_false`` asserts
+    the PC finds nothing at all (the system-time program).
+    """
+
+    required: tuple[tuple[str, ...], ...] = ()
+    forbidden: tuple[tuple[str, ...], ...] = ()
+    all_false: bool = False
+
+
+class PPerfProgram(MpiProgram):
+    """Base class: adds the contract, default process counts, RNG support."""
+
+    #: suite the program belongs to: "mpi1" or "mpi2"
+    suite = "mpi1"
+    #: default number of processes (paper's run configuration, Section 5)
+    default_nprocs = 4
+    #: processes per node in the paper's runs ("two each on three nodes")
+    procs_per_node = 2
+    #: the behavioural contract
+    expectation = Expectation()
+    #: human description straight out of Table 2/3
+    description = ""
+
+    def deterministic_choice(self, label: str, iteration: int, n: int) -> int:
+        """A pseudo-random value all ranks agree on without communicating
+        (used by random-barrier): stable across runs and platforms."""
+        return zlib.crc32(f"{self.name}:{label}:{iteration}".encode()) % n
+
+    # convenience used by many programs ------------------------------------
+
+    def waste(self, mpi, proc, seconds: float) -> Generator:
+        """The canonical ``waste_time`` busy loop."""
+        yield from mpi.compute(seconds)
+
+
+REGISTRY: dict[str, Type[PPerfProgram]] = {}
+
+
+def register(cls: Type[PPerfProgram]) -> Type[PPerfProgram]:
+    """Class decorator adding a program to the suite registry."""
+    if cls.name in REGISTRY:
+        raise ValueError(f"duplicate PPerfMark program {cls.name!r}")
+    REGISTRY[cls.name] = cls
+    return cls
+
+
+def program_names(suite: Optional[str] = None) -> list[str]:
+    return sorted(
+        name for name, cls in REGISTRY.items() if suite is None or cls.suite == suite
+    )
+
+
+def create(name: str, **params) -> PPerfProgram:
+    try:
+        cls = REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown PPerfMark program {name!r}; have {program_names()}") from None
+    return cls(**params)

@@ -1,0 +1,23 @@
+"""PPerfMark MPI-1 programs (Grindstone-derived, Table 2) plus sstwod."""
+
+from .big_message import BigMessage
+from .diffuse_procedure import DiffuseProcedure
+from .hot_procedure import HotProcedure
+from .intensive_server import IntensiveServer
+from .random_barrier import RandomBarrier
+from .small_messages import SmallMessages
+from .sstwod import Sstwod
+from .system_time import SystemTime
+from .wrong_way import WrongWay
+
+__all__ = [
+    "SmallMessages",
+    "BigMessage",
+    "WrongWay",
+    "IntensiveServer",
+    "RandomBarrier",
+    "DiffuseProcedure",
+    "SystemTime",
+    "HotProcedure",
+    "Sstwod",
+]

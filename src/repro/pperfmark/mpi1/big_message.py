@@ -1,0 +1,72 @@
+"""big-message: very large messages between two processes.
+
+Paper parameters (Section 5.1.3): 1000 iterations, 100,000-element
+messages (400 KB), 2 processes on 2 nodes; each process sent and received
+400 MB total in ~68.6 s.  The bottleneck is the overhead of setting up and
+sending very large messages (rendezvous protocol); the PC finds
+``ExcessiveSyncWaitingTime`` in both ``MPI_Send`` and ``MPI_Recv`` under
+``Gsend_message``/``Grecv_message`` for both implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = ["BigMessage"]
+
+MSG_TAG = 11
+
+
+@register
+class BigMessage(PPerfProgram):
+    name = "big_message"
+    module = "big_message.c"
+    suite = "mpi1"
+    default_nprocs = 2
+    procs_per_node = 1
+    description = (
+        "This program sends very large messages between two processes. The "
+        "bottleneck is the overhead associated with setting up and sending "
+        "a very large message."
+    )
+    expectation = Expectation(
+        required=(
+            ("ExcessiveSyncWaitingTime",),
+            ("ExcessiveSyncWaitingTime", "Gsend_message"),
+            ("ExcessiveSyncWaitingTime", "Grecv_message"),
+        ),
+    )
+
+    def __init__(self, iterations: int = 250, msg_bytes: int = 400_000) -> None:
+        self.iterations = iterations
+        self.msg_bytes = msg_bytes
+
+    def functions(self):
+        return {
+            "Gsend_message": self._gsend,
+            "Grecv_message": self._grecv,
+        }
+
+    def _gsend(self, mpi, proc, dest: int) -> Generator:
+        yield from mpi.send(dest, nbytes=self.msg_bytes, tag=MSG_TAG)
+
+    def _grecv(self, mpi, proc, source: int) -> Generator:
+        return (yield from mpi.recv(source=source, tag=MSG_TAG, nbytes=self.msg_bytes))
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        peer = 1 - mpi.rank
+        for _ in range(self.iterations):
+            if mpi.rank == 0:
+                yield from mpi.call("Gsend_message", peer)
+                yield from mpi.call("Grecv_message", peer)
+            else:
+                yield from mpi.call("Grecv_message", peer)
+                yield from mpi.call("Gsend_message", peer)
+        yield from mpi.finalize()
+
+    def expected_bytes_per_process(self) -> int:
+        """Each process both sends and receives this many bytes (Figure 6)."""
+        return self.iterations * self.msg_bytes

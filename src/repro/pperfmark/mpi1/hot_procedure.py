@@ -1,0 +1,71 @@
+"""hot-procedure: a computational bottleneck in one procedure.
+
+Paper parameters (Section 5.1.9): 1,000,000 iterations, 4 processes (2
+each on 2 nodes).  ``bottleneckProcedure`` consumes essentially all of the
+program's time; the ``irrelevantProcedure``s are called equally often but
+use none of it (Figure 19's gprof profile).  The PC finds ``CPUBound``
+true and drills to ``bottleneckProcedure``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = ["HotProcedure"]
+
+
+@register
+class HotProcedure(PPerfProgram):
+    name = "hot_procedure"
+    module = "hot_procedure.c"
+    suite = "mpi1"
+    default_nprocs = 4
+    description = (
+        "This program has a bottleneck in a single procedure, called "
+        "bottleneckProcedure, that uses most of the program's time. There "
+        "are also several irrelevantProcedures that use hardly any of the "
+        "program's time."
+    )
+    expectation = Expectation(
+        required=(
+            ("CPUBound",),
+            ("CPUBound", "bottleneckProcedure"),
+        ),
+        forbidden=(
+            ("CPUBound", "irrelevantProcedure"),
+        ),
+    )
+
+    def __init__(
+        self,
+        iterations: int = 1500,
+        bottleneck_seconds: float = 5e-3,
+        irrelevant_seconds: float = 0.0,
+        num_irrelevant: int = 13,
+    ) -> None:
+        self.iterations = iterations
+        self.bottleneck_seconds = bottleneck_seconds
+        self.irrelevant_seconds = irrelevant_seconds
+        self.num_irrelevant = num_irrelevant
+
+    def functions(self):
+        fns = {"bottleneckProcedure": self._bottleneck}
+        for i in range(self.num_irrelevant):
+            fns[f"irrelevantProcedure{i}"] = self._irrelevant
+        return fns
+
+    def _bottleneck(self, mpi, proc) -> Generator:
+        yield from mpi.compute(self.bottleneck_seconds)
+
+    def _irrelevant(self, mpi, proc) -> Generator:
+        yield from mpi.compute(self.irrelevant_seconds)
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        for _ in range(self.iterations):
+            yield from mpi.call("bottleneckProcedure")
+            for i in range(self.num_irrelevant):
+                yield from mpi.call(f"irrelevantProcedure{i}")
+        yield from mpi.finalize()

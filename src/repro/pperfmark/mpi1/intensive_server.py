@@ -1,0 +1,89 @@
+"""intensive-server: clients waiting on an overloaded server.
+
+Paper parameters (Section 5.1.6): 10,000 iterations, TIMETOWASTE=1,
+6 processes (2 each on 3 nodes).  Rank 0 is the server; each client
+repeatedly sends a request and waits for the reply, while the server
+wastes time before replying.  The PC finds clients' excessive
+synchronization waiting time in ``MPI_Recv`` under ``Grecv_message`` and
+``CPUBound`` true (the server); the paper notes the CPU root was not
+refined further in their run.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ...mpi.status import Status
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = ["IntensiveServer"]
+
+REQUEST_TAG = 1
+REPLY_TAG = 2
+
+
+@register
+class IntensiveServer(PPerfProgram):
+    name = "intensive_server"
+    module = "intensive_server.c"
+    suite = "mpi1"
+    default_nprocs = 6
+    description = (
+        "This program simulates an overloaded server. The process with rank "
+        "0 acts as the server and the other processes are the clients. Each "
+        "of the clients repeatedly sends a message to the server and then "
+        "waits for a reply. The server wastes time before replying, "
+        "simulating a busy server."
+    )
+    expectation = Expectation(
+        required=(
+            ("ExcessiveSyncWaitingTime",),
+            ("ExcessiveSyncWaitingTime", "Grecv_message"),
+            ("CPUBound",),
+        ),
+    )
+
+    def __init__(
+        self,
+        iterations: int = 900,
+        time_to_waste: float = 1.0,
+        waste_unit: float = 1.2e-3,
+        msg_bytes: int = 4,
+    ) -> None:
+        self.iterations = iterations
+        self.time_to_waste = time_to_waste
+        self.waste_unit = waste_unit
+        self.msg_bytes = msg_bytes
+
+    def functions(self):
+        return {
+            "Gsend_message": self._gsend,
+            "Grecv_message": self._grecv,
+            "waste_time": self._waste,
+        }
+
+    def _gsend(self, mpi, proc, dest: int, tag: int) -> Generator:
+        yield from mpi.send(dest, nbytes=self.msg_bytes, tag=tag)
+
+    def _grecv(self, mpi, proc, source: int, tag: int, status=None) -> Generator:
+        return (
+            yield from mpi.recv(source=source, tag=tag, nbytes=self.msg_bytes, status=status)
+        )
+
+    def _waste(self, mpi, proc) -> Generator:
+        yield from mpi.compute(self.time_to_waste * self.waste_unit)
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        nclients = mpi.size - 1
+        if mpi.rank == 0:
+            for _ in range(self.iterations * nclients):
+                status = Status()
+                yield from mpi.call("Grecv_message", mpi.ANY_SOURCE, REQUEST_TAG, status)
+                yield from mpi.call("waste_time")
+                yield from mpi.call("Gsend_message", status.source, REPLY_TAG)
+        else:
+            for _ in range(self.iterations):
+                yield from mpi.call("Gsend_message", 0, REQUEST_TAG)
+                yield from mpi.call("Grecv_message", 0, REPLY_TAG)
+        yield from mpi.finalize()

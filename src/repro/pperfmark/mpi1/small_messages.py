@@ -1,0 +1,73 @@
+"""small-messages: many small messages from clients to one server.
+
+Paper parameters (Section 5.1.2): 10,000,000 iterations, 4-byte messages,
+6 processes (2 each on 3 nodes), ~515 s under LAM/MPI.  The rank-0 process
+is the server; the others are clients that each send ``iterations``
+messages.  The known bottleneck is communication: clients spend their time
+in ``MPI_Send`` (inside ``Gsend_message``).  Under MPICH ch_p4mpd the PC
+additionally reports ``ExcessiveIOBlockingTime`` because the socket-based
+transport funnels everything through ``read``/``write``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = ["SmallMessages"]
+
+MSG_TAG = 7
+
+
+@register
+class SmallMessages(PPerfProgram):
+    name = "small_messages"
+    module = "small_messages.c"
+    suite = "mpi1"
+    default_nprocs = 6
+    description = (
+        "This program sends many small messages between several processes. "
+        "The process with rank 0 acts as the server and the other processes "
+        "act as clients."
+    )
+    expectation = Expectation(
+        required=(
+            ("ExcessiveSyncWaitingTime",),
+            ("ExcessiveSyncWaitingTime", "Gsend_message"),
+        ),
+    )
+
+    def __init__(self, iterations: int = 20_000, msg_bytes: int = 4) -> None:
+        self.iterations = iterations
+        self.msg_bytes = msg_bytes
+
+    def functions(self):
+        return {
+            "Gsend_message": self._gsend,
+            "Grecv_message": self._grecv,
+        }
+
+    def _gsend(self, mpi, proc, dest: int, tag: int) -> Generator:
+        yield from mpi.send(dest, nbytes=self.msg_bytes, tag=tag)
+
+    def _grecv(self, mpi, proc, source: int, tag: int) -> Generator:
+        return (yield from mpi.recv(source=source, tag=tag, nbytes=self.msg_bytes))
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        nclients = mpi.size - 1
+        if mpi.rank == 0:
+            for _ in range(self.iterations * nclients):
+                yield from mpi.call("Grecv_message", mpi.ANY_SOURCE, MSG_TAG)
+        else:
+            for _ in range(self.iterations):
+                yield from mpi.call("Gsend_message", 0, MSG_TAG)
+        yield from mpi.finalize()
+
+    def expected_bytes_at_server(self, nprocs: int) -> int:
+        """Ground truth for the Figure 4 byte-count validation."""
+        return (nprocs - 1) * self.iterations * self.msg_bytes
+
+    def expected_bytes_per_client(self) -> int:
+        return self.iterations * self.msg_bytes

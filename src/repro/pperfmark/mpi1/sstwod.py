@@ -1,0 +1,104 @@
+"""sstwod: the 2-D Poisson example from "Using MPI" (Gropp/Lusk/Skjellum).
+
+The paper's final MPI-1 test (Section 5.1.10).  A Jacobi sweep over a 2-D
+domain decomposition: each iteration exchanges ghost cells with the four
+neighbours in ``exchng2`` (via ``MPI_Sendrecv``) and reduces the residual
+with ``MPI_Allreduce``.  The book uses ``exchng2`` as its communication
+tuning lesson; the PC finds ``ExcessiveSyncWaitingTime`` in
+``MPI_Sendrecv`` and ``MPI_Allreduce``.
+
+This version really solves the Poisson iteration on numpy blocks, with a
+per-rank compute skew so the sendrecv/allreduce waits are genuine.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = ["Sstwod"]
+
+TAG_X = 21
+TAG_Y = 22
+
+
+@register
+class Sstwod(PPerfProgram):
+    name = "sstwod"
+    module = "sstwod.c"
+    suite = "mpi1"
+    default_nprocs = 4
+    description = (
+        "2-D Poisson solver from 'Using MPI'; known communication "
+        "bottleneck in the function exchng2."
+    )
+    expectation = Expectation(
+        required=(
+            ("ExcessiveSyncWaitingTime",),
+            ("ExcessiveSyncWaitingTime", "exchng2"),
+        ),
+    )
+
+    def __init__(
+        self,
+        iterations: int = 3200,
+        local_n: int = 512,
+        compute_seconds: float = 0.4e-3,
+        jitter: float = 0.4,
+    ) -> None:
+        self.iterations = iterations
+        self.local_n = local_n
+        self.compute_seconds = compute_seconds
+        #: per-(rank, iteration) load factor range [0.5, 0.5 + jitter): the
+        #: slowest rank changes every sweep, so every rank waits sometimes
+        #: and none is individually CPU-bound -- communication is the
+        #: bottleneck, as in the book's tuning lesson.
+        self.jitter = jitter
+
+    def functions(self):
+        return {"exchng2": self._exchng2, "sweep2d": self._sweep}
+
+    def _grid_shape(self, nprocs: int) -> tuple[int, int]:
+        px = int(np.sqrt(nprocs))
+        while nprocs % px:
+            px -= 1
+        return px, nprocs // px
+
+    def _exchng2(self, mpi, proc, px: int, py: int) -> Generator:
+        """Ghost exchange with up/down/left/right neighbours (torus)."""
+        rank = mpi.rank
+        x, y = rank % px, rank // px
+        nbytes = self.local_n * 8
+        up = x + ((y + 1) % py) * px
+        down = x + ((y - 1) % py) * px
+        right = (x + 1) % px + y * px
+        left = (x - 1) % px + y * px
+        yield from mpi.sendrecv(up, down, send_nbytes=nbytes, recv_nbytes=nbytes, sendtag=TAG_Y, recvtag=TAG_Y)
+        yield from mpi.sendrecv(down, up, send_nbytes=nbytes, recv_nbytes=nbytes, sendtag=TAG_Y, recvtag=TAG_Y)
+        if px > 1:
+            yield from mpi.sendrecv(right, left, send_nbytes=nbytes, recv_nbytes=nbytes, sendtag=TAG_X, recvtag=TAG_X)
+            yield from mpi.sendrecv(left, right, send_nbytes=nbytes, recv_nbytes=nbytes, sendtag=TAG_X, recvtag=TAG_X)
+
+    def _sweep(self, mpi, proc, grid: np.ndarray, iteration: int) -> Generator:
+        """One Jacobi relaxation sweep (real arithmetic, simulated time)."""
+        draw = self.deterministic_choice("load", iteration * mpi.size + mpi.rank, 1000)
+        factor = 0.5 + self.jitter * draw / 1000.0
+        yield from mpi.compute(self.compute_seconds * factor)
+        grid[1:-1, 1:-1] = 0.25 * (
+            grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+        )
+        return float(np.abs(grid).max())
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        px, py = self._grid_shape(mpi.size)
+        rng = np.random.default_rng(42 + mpi.rank)
+        grid = rng.random((self.local_n + 2, self.local_n + 2))
+        for iteration in range(self.iterations):
+            yield from mpi.call("exchng2", px, py)
+            diff = yield from mpi.call("sweep2d", grid, iteration)
+            yield from mpi.allreduce(diff, nbytes=8)
+        yield from mpi.finalize()

@@ -1,0 +1,51 @@
+"""system-time: a program whose time goes to system calls.
+
+Paper parameters (Section 5.1.8): 10,000 iterations, 4 processes (2 each
+on 2 nodes).  The program spends most of its time executing in system
+calls.  **Paradyn fails this test** -- its default metrics measure user CPU
+only, so the Performance Consultant reports every top-level hypothesis
+false -- and this reproduction preserves the failure (the ``system_time``
+extension metric that would fix it exists but is not in the default set).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = ["SystemTime"]
+
+
+@register
+class SystemTime(PPerfProgram):
+    name = "system_time"
+    module = "system_time.c"
+    suite = "mpi1"
+    default_nprocs = 4
+    description = "This program spends most of its time executing in system calls."
+    expectation = Expectation(all_false=True)
+
+    def __init__(
+        self,
+        iterations: int = 1200,
+        syscall_seconds: float = 5e-3,
+        barrier_every: int = 200,
+    ) -> None:
+        self.iterations = iterations
+        self.syscall_seconds = syscall_seconds
+        self.barrier_every = barrier_every
+
+    def functions(self):
+        return {"do_system_work": self._system_work}
+
+    def _system_work(self, mpi, proc) -> Generator:
+        yield from mpi.system_work(self.syscall_seconds)
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        for iteration in range(self.iterations):
+            yield from mpi.call("do_system_work")
+            if self.barrier_every and (iteration + 1) % self.barrier_every == 0:
+                yield from mpi.barrier()
+        yield from mpi.finalize()

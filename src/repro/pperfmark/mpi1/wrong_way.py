@@ -1,0 +1,71 @@
+"""wrong-way: messages received in a different order than they were sent.
+
+Paper parameters (Section 5.1.4): 18,000 iterations of 1000 messages;
+72 MB total in ~74.6 s.  Process 1 sends a batch of messages with
+*descending* tags; process 0 receives them in *ascending* tag order, so
+every batch stalls the receiver until the batch's last message arrives and
+forces matching out of the unexpected queue.  The PC finds
+``ExcessiveSyncWaitingTime`` in ``Gsend_message``/``Grecv_message``
+(``MPI_Send``/``MPI_Recv``) for both implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = ["WrongWay"]
+
+
+@register
+class WrongWay(PPerfProgram):
+    name = "wrong_way"
+    module = "wrong_way.c"
+    suite = "mpi1"
+    default_nprocs = 2
+    procs_per_node = 1
+    description = (
+        "This program simulates the problem where one process expects to "
+        "receive messages in a certain order, but another process sends them "
+        "in a different order than is expected."
+    )
+    expectation = Expectation(
+        required=(
+            ("ExcessiveSyncWaitingTime",),
+            ("ExcessiveSyncWaitingTime", "Grecv_message"),
+        ),
+    )
+
+    def __init__(self, iterations: int = 500, batch: int = 100, msg_bytes: int = 4) -> None:
+        self.iterations = iterations
+        self.batch = batch
+        self.msg_bytes = msg_bytes
+
+    def functions(self):
+        return {
+            "Gsend_message": self._gsend,
+            "Grecv_message": self._grecv,
+        }
+
+    def _gsend(self, mpi, proc, dest: int, tag: int) -> Generator:
+        yield from mpi.send(dest, nbytes=self.msg_bytes, tag=tag)
+
+    def _grecv(self, mpi, proc, source: int, tag: int) -> Generator:
+        return (yield from mpi.recv(source=source, tag=tag, nbytes=self.msg_bytes))
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        if mpi.rank == 1:
+            for _ in range(self.iterations):
+                for tag in reversed(range(self.batch)):  # the wrong way
+                    yield from mpi.call("Gsend_message", 0, tag)
+        elif mpi.rank == 0:
+            for _ in range(self.iterations):
+                for tag in range(self.batch):  # the expected order
+                    yield from mpi.call("Grecv_message", 1, tag)
+        yield from mpi.finalize()
+
+    def expected_total_bytes(self) -> int:
+        """Total bytes sent == received (Figure 8)."""
+        return self.iterations * self.batch * self.msg_bytes

@@ -1,0 +1,31 @@
+"""PPerfMark MPI-2 programs (Table 3) plus Oned and the passive-target test."""
+
+from .allcount import AllCount
+from .oned import Oned
+from .spawn_programs import (
+    SpawnCount,
+    SpawnCountChild,
+    SpawnSync,
+    SpawnSyncChild,
+    SpawnWinSync,
+    SpawnWinSyncChild,
+)
+from .wincreateblast import WinCreateBlast
+from .winfencesync import WinFenceSync
+from .winlocksync import WinLockSync
+from .winscpwsync import WinScpwSync
+
+__all__ = [
+    "AllCount",
+    "WinCreateBlast",
+    "WinFenceSync",
+    "WinScpwSync",
+    "SpawnCount",
+    "SpawnCountChild",
+    "SpawnSync",
+    "SpawnSyncChild",
+    "SpawnWinSync",
+    "SpawnWinSyncChild",
+    "WinLockSync",
+    "Oned",
+]

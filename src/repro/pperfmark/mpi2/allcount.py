@@ -1,0 +1,98 @@
+"""allcount: known numbers of Put/Get/Accumulate over a window.
+
+PPerfMark MPI-2 (Table 3): "This program uses a known number of Puts,
+Gets, and Accumulates to transfer a known amount of data to and from an
+RMA window."  The pass criterion is exact: Paradyn's Table-1 counters must
+equal the ground truth the program computes (operation counts and byte
+counts).  The data movement is real -- the program asserts the window
+contents at the end, so the simulated RMA semantics are validated too.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ...mpi.datatypes import INT, SUM
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = ["AllCount"]
+
+
+@register
+class AllCount(PPerfProgram):
+    name = "allcount"
+    module = "allcount.c"
+    suite = "mpi2"
+    default_nprocs = 2
+    description = (
+        "This program uses a known number of Puts, Gets, and Accumulates to "
+        "transfer a known amount of data to and from an RMA window."
+    )
+    expectation = Expectation()  # verified by exact counter comparison
+
+    def __init__(
+        self,
+        epochs: int = 60,
+        puts_per_epoch: int = 5,
+        gets_per_epoch: int = 3,
+        accs_per_epoch: int = 2,
+        count: int = 16,
+    ) -> None:
+        self.epochs = epochs
+        self.puts_per_epoch = puts_per_epoch
+        self.gets_per_epoch = gets_per_epoch
+        self.accs_per_epoch = accs_per_epoch
+        self.count = count
+        self.verified = False
+
+    # ground truth ----------------------------------------------------------
+
+    def expected_put_ops(self) -> int:
+        return self.epochs * self.puts_per_epoch
+
+    def expected_get_ops(self) -> int:
+        return self.epochs * self.gets_per_epoch
+
+    def expected_acc_ops(self) -> int:
+        return self.epochs * self.accs_per_epoch
+
+    def expected_put_bytes(self) -> int:
+        return self.expected_put_ops() * self.count * INT.size
+
+    def expected_get_bytes(self) -> int:
+        return self.expected_get_ops() * self.count * INT.size
+
+    def expected_acc_bytes(self) -> int:
+        return self.expected_acc_ops() * self.count * INT.size
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        size = max(self.count * 4, 64)
+        win = yield from mpi.win_create(size, datatype=INT)
+        yield from mpi.win_set_name(win, "AllCountWindow")
+        data = np.arange(self.count, dtype="i4")
+        scratch = np.zeros(self.count, dtype="i4")
+        yield from mpi.win_fence(win)
+        if mpi.rank == 0:
+            for _ in range(self.epochs):
+                for _ in range(self.puts_per_epoch):
+                    yield from mpi.put(win, 1, data, target_disp=0)
+                for _ in range(self.gets_per_epoch):
+                    yield from mpi.get(win, 1, scratch, target_disp=0)
+                for _ in range(self.accs_per_epoch):
+                    yield from mpi.accumulate(win, 1, data, target_disp=self.count, op=SUM)
+                yield from mpi.win_fence(win)
+        else:
+            for _ in range(self.epochs):
+                yield from mpi.win_fence(win)
+        yield from mpi.win_fence(win)
+        if mpi.rank == 1:
+            expected_acc = data.astype("i8") * self.epochs * self.accs_per_epoch
+            window_acc = win.buffers[1][self.count : 2 * self.count].astype("i8")
+            assert np.array_equal(win.buffers[1][: self.count], data), "Put data mismatch"
+            assert np.array_equal(window_acc, expected_acc), "Accumulate data mismatch"
+            self.verified = True
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()

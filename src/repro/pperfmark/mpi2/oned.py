@@ -1,0 +1,97 @@
+"""Oned: the 1-D Poisson RMA example from "Using MPI-2" (Gropp/Lusk/Thakur).
+
+Section 5.2.1.2 of the paper: like ``sstwod`` but ghost-cell exchange uses
+one-sided communication -- ``exchng1`` opens a fence epoch, ``MPI_Put``s
+boundary rows to both neighbours' windows, and closes with a second fence.
+The known communication bottleneck is ``MPI_Win_fence`` inside
+``exchng1``.  The paper's Figure 22 also shows a LAM-only refinement to
+the ``Barrier`` synchronization object, because LAM implements
+``MPI_Win_fence`` with a call to ``MPI_Barrier`` -- reproduced here by the
+LAM personality's fence implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ...mpi.datatypes import DOUBLE
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = ["Oned"]
+
+
+@register
+class Oned(PPerfProgram):
+    name = "oned"
+    module = "oned.c"
+    suite = "mpi2"
+    default_nprocs = 4
+    procs_per_node = 2
+    description = (
+        "1-D Poisson solver from 'Using MPI-2' using RMA for communication; "
+        "known communication bottleneck in MPI_Win_fence in exchng1."
+    )
+    expectation = Expectation(
+        required=(
+            ("ExcessiveSyncWaitingTime",),
+            ("ExcessiveSyncWaitingTime", "exchng1"),
+        ),
+    )
+
+    def __init__(
+        self,
+        iterations: int = 2500,
+        local_rows: int = 32,
+        row_width: int = 2048,
+        compute_seconds: float = 0.2e-3,
+        jitter: float = 0.3,
+    ) -> None:
+        self.iterations = iterations
+        self.local_rows = local_rows
+        self.row_width = row_width
+        self.compute_seconds = compute_seconds
+        #: per-(rank, iteration) load factor range (see Sstwod)
+        self.jitter = jitter
+
+    def functions(self):
+        return {"exchng1": self._exchng1, "sweep1d": self._sweep}
+
+    def _exchng1(self, mpi, proc, win, grid) -> Generator:
+        """Fence; put boundary rows into the neighbours' windows; fence."""
+        rank, n = mpi.rank, mpi.size
+        yield from mpi.win_fence(win)
+        if rank > 0:
+            yield from mpi.put(win, rank - 1, grid[1], target_disp=self.row_width)
+        if rank < n - 1:
+            yield from mpi.put(win, rank + 1, grid[-2], target_disp=0)
+        yield from mpi.win_fence(win)
+
+    def _sweep(self, mpi, proc, win, grid, iteration: int) -> Generator:
+        draw = self.deterministic_choice("load", iteration * mpi.size + mpi.rank, 1000)
+        factor = 0.5 + self.jitter * draw / 1000.0
+        yield from mpi.compute(self.compute_seconds * factor)
+        # ghost rows live in the window: [0:w] was put by the right
+        # neighbour, [w:2w] by the left (see _exchng1's target_disp values)
+        w = self.row_width
+        ghosts = win.buffers[mpi.rank]
+        grid[0, :] = ghosts[w : 2 * w]
+        grid[-1, :] = ghosts[:w]
+        grid[1:-1, 1:-1] = 0.25 * (
+            grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+        )
+        return float(np.abs(grid).mean())
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        rng = np.random.default_rng(7 + mpi.rank)
+        grid = rng.random((self.local_rows + 2, self.row_width))
+        win = yield from mpi.win_create(2 * self.row_width, datatype=DOUBLE)
+        yield from mpi.win_set_name(win, "GhostCellWindow")
+        for iteration in range(self.iterations):
+            yield from mpi.call("exchng1", win, grid)
+            diff = yield from mpi.call("sweep1d", win, grid, iteration)
+            yield from mpi.allreduce(diff, nbytes=8)
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()

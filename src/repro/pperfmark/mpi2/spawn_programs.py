@@ -1,0 +1,248 @@
+"""Dynamic-process-creation PPerfMark programs (Table 3).
+
+* **spawncount** -- spawns a known number of children that simply exit;
+  the tool must detect and incorporate every new process (Figure 23).
+* **spawnsync** -- children receive a known number of messages from the
+  parent over the spawn intercommunicator while the parent wastes time in
+  ``parentfunction``; the PC must find the children's excessive
+  synchronization waiting time in ``MPI_Recv`` (inside ``childfunction``)
+  and the parent CPU-bound in ``parentfunction`` (Figure 24, left).
+* **spawnwinsync** -- parent and children merge the intercommunicator and
+  create an RMA window named ``ParentChildWin`` over it; the parent's
+  compute bottleneck makes children wait in ``MPI_Win_fence`` (Figure 24,
+  right).  Under LAM the fence is built on ``MPI_Isend``/``MPI_Waitall``
+  plus ``MPI_Barrier``, so message-passing synchronization shows up too --
+  and the window's friendly name must appear in the PC output.
+
+Each parent program registers its child program in the universe's program
+registry the first time it runs, so ``MPI_Comm_spawn("<child>")`` resolves.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ...mpi.datatypes import INT
+from ...mpi.world import MpiProgram
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = [
+    "SpawnCount",
+    "SpawnCountChild",
+    "SpawnSync",
+    "SpawnSyncChild",
+    "SpawnWinSync",
+    "SpawnWinSyncChild",
+]
+
+WORK_TAG = 3
+
+
+class SpawnCountChild(MpiProgram):
+    """Children of spawncount: initialize, synchronize with parent, exit."""
+
+    name = "spawncount_child"
+    module = "spawncount_child.c"
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        parent = yield from mpi.comm_get_parent()
+        yield from mpi.send(0, nbytes=4, tag=WORK_TAG, comm=parent, payload="up")
+        yield from mpi.finalize()
+
+
+@register
+class SpawnCount(PPerfProgram):
+    name = "spawncount"
+    module = "spawncount.c"
+    suite = "mpi2"
+    default_nprocs = 2
+    description = (
+        "This program spawns a known number of child processes. The child "
+        "processes simply exit."
+    )
+    expectation = Expectation()  # verified by hierarchy/process inspection
+
+    def __init__(self, spawns: int = 3, children_per_spawn: int = 3) -> None:
+        self.spawns = spawns
+        self.children_per_spawn = children_per_spawn
+
+    def expected_children(self) -> int:
+        return self.spawns * self.children_per_spawn
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        if "spawncount_child" not in mpi.ep.world.universe.program_registry:
+            mpi.ep.world.universe.register_program(SpawnCountChild())
+        for _ in range(self.spawns):
+            inter, _codes = yield from mpi.comm_spawn(
+                "spawncount_child", [], self.children_per_spawn
+            )
+            if mpi.rank == 0:
+                for _ in range(self.children_per_spawn):
+                    yield from mpi.recv(tag=WORK_TAG, comm=inter)
+        yield from mpi.finalize()
+
+
+class SpawnSyncChild(MpiProgram):
+    """Children of spawnsync: receive the parent's messages in childfunction."""
+
+    name = "spawnsync_child"
+    module = "spawnsync_child.c"
+
+    def __init__(self, messages: int = 700) -> None:
+        self.messages = messages
+
+    def functions(self):
+        return {"childfunction": self._childfunction}
+
+    def _childfunction(self, mpi, proc, parent) -> Generator:
+        yield from mpi.recv(source=0, tag=WORK_TAG, comm=parent)
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        parent = yield from mpi.comm_get_parent()
+        for _ in range(self.messages):
+            yield from mpi.call("childfunction", parent)
+        yield from mpi.finalize()
+
+
+@register
+class SpawnSync(PPerfProgram):
+    name = "spawnsync"
+    module = "spawnsync.c"
+    suite = "mpi2"
+    default_nprocs = 1
+    description = (
+        "This program spawns children and then sends a known number of "
+        "messages on an intracommunicator between the parent and child "
+        "processes. An artificial bottleneck is introduced in the parent "
+        "process."
+    )
+    expectation = Expectation(
+        required=(
+            ("ExcessiveSyncWaitingTime", "childfunction"),
+            ("CPUBound", "parentfunction"),
+        ),
+    )
+
+    def __init__(
+        self,
+        children: int = 3,
+        messages: int = 700,
+        waste_seconds: float = 12e-3,
+        msg_bytes: int = 4,
+    ) -> None:
+        self.children = children
+        self.messages = messages
+        self.waste_seconds = waste_seconds
+        self.msg_bytes = msg_bytes
+
+    def functions(self):
+        return {"parentfunction": self._parentfunction}
+
+    def _parentfunction(self, mpi, proc, inter) -> Generator:
+        yield from mpi.compute(self.waste_seconds)
+        for child in range(self.children):
+            yield from mpi.send(child, nbytes=self.msg_bytes, tag=WORK_TAG, comm=inter)
+
+    def expected_messages(self) -> int:
+        return self.messages * self.children
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        universe = mpi.ep.world.universe
+        if "spawnsync_child" not in universe.program_registry:
+            universe.register_program(SpawnSyncChild(messages=self.messages))
+        inter, _codes = yield from mpi.comm_spawn("spawnsync_child", [], self.children)
+        for _ in range(self.messages):
+            yield from mpi.call("parentfunction", inter)
+        yield from mpi.finalize()
+
+
+class SpawnWinSyncChild(MpiProgram):
+    """Children of spawnwinsync: fence on the parent/child window."""
+
+    name = "spawnwinsync_child"
+    module = "spawnwinsync_child.c"
+
+    def __init__(self, iterations: int = 700, count: int = 16) -> None:
+        self.iterations = iterations
+        self.count = count
+
+    def functions(self):
+        return {"childfunction": self._childfunction}
+
+    def _childfunction(self, mpi, proc, win, data) -> Generator:
+        yield from mpi.put(win, 0, data, target_disp=0)
+        yield from mpi.win_fence(win)
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        parent = yield from mpi.comm_get_parent()
+        merged = yield from mpi.intercomm_merge(parent, high=True)
+        win = yield from mpi.win_create(max(64, self.count * 4), datatype=INT, comm=merged)
+        yield from mpi.win_fence(win)
+        data = np.full(self.count, mpi.rank + 1, dtype="i4")
+        for _ in range(self.iterations):
+            yield from mpi.call("childfunction", win, data)
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()
+
+
+@register
+class SpawnWinSync(PPerfProgram):
+    name = "spawnwinsync"
+    module = "spawnwinsync.c"
+    suite = "mpi2"
+    default_nprocs = 1
+    description = (
+        "This program spawns child processes and then sets up an RMA window "
+        "over an intracommunicator between the parent and child processes. "
+        "There is an artificial bottleneck in the parent process."
+    )
+    expectation = Expectation(
+        required=(
+            ("ExcessiveSyncWaitingTime",),
+            ("CPUBound", "parentfunction"),
+        ),
+    )
+
+    def __init__(
+        self,
+        children: int = 3,
+        iterations: int = 700,
+        waste_seconds: float = 10e-3,
+        count: int = 16,
+    ) -> None:
+        self.children = children
+        self.iterations = iterations
+        self.waste_seconds = waste_seconds
+        self.count = count
+
+    def functions(self):
+        return {"parentfunction": self._parentfunction}
+
+    def _parentfunction(self, mpi, proc, win) -> Generator:
+        yield from mpi.compute(self.waste_seconds)
+        yield from mpi.win_fence(win)
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        universe = mpi.ep.world.universe
+        if "spawnwinsync_child" not in universe.program_registry:
+            universe.register_program(
+                SpawnWinSyncChild(iterations=self.iterations, count=self.count)
+            )
+        inter, _codes = yield from mpi.comm_spawn("spawnwinsync_child", [], self.children)
+        merged = yield from mpi.intercomm_merge(inter, high=False)
+        yield from mpi.comm_set_name(merged, "Parent&Child")
+        win = yield from mpi.win_create(max(64, self.count * 4), datatype=INT, comm=merged)
+        yield from mpi.win_set_name(win, "ParentChildWin")
+        yield from mpi.win_fence(win)
+        for _ in range(self.iterations):
+            yield from mpi.call("parentfunction", win)
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()

@@ -1,0 +1,48 @@
+"""wincreateblast: create and free many RMA windows very quickly.
+
+PPerfMark MPI-2 (Table 3): the tool must detect every window and
+incorporate it into the Resource Hierarchy.  Because the MPI
+implementation reuses window identifiers after ``MPI_Win_free``, this
+program is the stress test for the paper's composite ``N-M`` unique
+identifier (Section 4.2.1): with LAM-style id reuse, ``num_windows``
+windows map to a handful of implementation ids but ``num_windows``
+distinct resources.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ...mpi.datatypes import INT
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = ["WinCreateBlast"]
+
+
+@register
+class WinCreateBlast(PPerfProgram):
+    name = "wincreateblast"
+    module = "wincreateblast.c"
+    suite = "mpi2"
+    default_nprocs = 2
+    description = (
+        "This program creates and deallocates a large number of RMA windows "
+        "very quickly."
+    )
+    expectation = Expectation()  # verified by hierarchy inspection
+
+    def __init__(self, num_windows: int = 80, live_at_once: int = 2) -> None:
+        self.num_windows = num_windows
+        self.live_at_once = max(1, live_at_once)
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        live = []
+        for i in range(self.num_windows):
+            win = yield from mpi.win_create(32, datatype=INT)
+            live.append(win)
+            if len(live) >= self.live_at_once:
+                yield from mpi.win_free(live.pop(0))
+        for win in live:
+            yield from mpi.win_free(win)
+        yield from mpi.finalize()

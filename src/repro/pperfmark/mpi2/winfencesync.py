@@ -1,0 +1,71 @@
+"""winfencesync: an artificial straggler at MPI_Win_fence.
+
+PPerfMark MPI-2 (Table 3): rank 0 wastes time before each fence, so all
+other ranks wait in ``MPI_Win_fence``.  The PC must find rank 0 CPU-bound
+in ``waste_time`` and the others with excessive (active-target) RMA
+synchronization waiting time on the window.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ...mpi.datatypes import INT
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = ["WinFenceSync"]
+
+
+@register
+class WinFenceSync(PPerfProgram):
+    name = "winfencesync"
+    module = "winfencesync.c"
+    suite = "mpi2"
+    default_nprocs = 4
+    description = (
+        "This program uses MPI_Win_fence for synchronization. An artificial "
+        "bottleneck is introduced in rank 0, which makes it late to the "
+        "fence operation."
+    )
+    expectation = Expectation(
+        required=(
+            ("ExcessiveSyncWaitingTime",),
+            ("CPUBound", "waste_time"),
+        ),
+    )
+
+    def __init__(
+        self,
+        iterations: int = 700,
+        waste_seconds: float = 8e-3,
+        count: int = 32,
+    ) -> None:
+        self.iterations = iterations
+        self.waste_seconds = waste_seconds
+        self.count = count
+
+    def functions(self):
+        return {"waste_time": self._waste, "update_window": self._update}
+
+    def _waste(self, mpi, proc) -> Generator:
+        yield from mpi.compute(self.waste_seconds)
+
+    def _update(self, mpi, proc, win, data) -> Generator:
+        target = (mpi.rank + 1) % mpi.size
+        yield from mpi.put(win, target, data)
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        win = yield from mpi.win_create(self.count, datatype=INT)
+        yield from mpi.win_set_name(win, "FenceWindow")
+        data = np.full(self.count, mpi.rank, dtype="i4")
+        yield from mpi.win_fence(win)
+        for _ in range(self.iterations):
+            if mpi.rank == 0:
+                yield from mpi.call("waste_time")
+            yield from mpi.call("update_window", win, data)
+            yield from mpi.win_fence(win)
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()

@@ -1,0 +1,83 @@
+"""winlocksync: the passive-target test the paper could not run.
+
+Section 5.2.1.1: "We have not yet implemented the passive target test
+programs because neither LAM nor MPICH2 support passive target
+synchronization as of this writing."  This is that program, runnable on
+the forward-looking ``refmpi`` personality: origin ranks contend for an
+exclusive window lock on rank 0, so lock-waiting time accumulates in
+``MPI_Win_lock``/``MPI_Win_unlock`` and the ``pt_rma_sync_wait`` metric of
+Table 1 finally has something to measure (``bench_ext_passive_target``).
+On ``lam``/``mpich2`` the program raises
+:class:`~repro.mpi.errors.UnsupportedFeature`, as the paper's environment
+would have.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ...mpi.datatypes import INT, SUM
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = ["WinLockSync"]
+
+
+@register
+class WinLockSync(PPerfProgram):
+    name = "winlocksync"
+    module = "winlocksync.c"
+    suite = "mpi2"
+    default_nprocs = 4
+    description = (
+        "Passive-target synchronization stress: ranks contend for an "
+        "exclusive lock on rank 0's window (requires passive-target RMA "
+        "support; refmpi only)."
+    )
+    expectation = Expectation(
+        required=(
+            ("ExcessiveSyncWaitingTime",),
+        ),
+    )
+
+    def __init__(
+        self,
+        iterations: int = 500,
+        hold_seconds: float = 2.5e-3,
+        count: int = 16,
+    ) -> None:
+        self.iterations = iterations
+        self.hold_seconds = hold_seconds
+        self.count = count
+
+    def functions(self):
+        return {"update_shared": self._update}
+
+    def _update(self, mpi, proc, win, data) -> Generator:
+        yield from mpi.win_lock(win, 0)
+        yield from mpi.compute(self.hold_seconds)  # long critical section
+        yield from mpi.accumulate(win, 0, data, op=SUM)
+        yield from mpi.win_unlock(win, 0)
+
+    def expected_total(self, nprocs: int) -> int:
+        """Sum accumulated at rank 0 per element when all ranks finish."""
+        return (nprocs - 1) * self.iterations
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        win = yield from mpi.win_create(self.count, datatype=INT)
+        yield from mpi.win_set_name(win, "LockWindow")
+        data = np.ones(self.count, dtype="i4")
+        if mpi.rank != 0:
+            for _ in range(self.iterations):
+                yield from mpi.call("update_shared", win, data)
+        yield from mpi.barrier()
+        if mpi.rank == 0:
+            expected = self.expected_total(mpi.size)
+            assert int(win.buffers[0][0]) == expected, (
+                f"lock-protected accumulate lost updates: "
+                f"{int(win.buffers[0][0])} != {expected}"
+            )
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()

@@ -1,0 +1,74 @@
+"""winscpwsync: start/complete/post/wait with a late target.
+
+PPerfMark MPI-2 (Section 5.2.1.1): generalized active-target
+synchronization.  Rank 0 is the target, calling ``waste_time`` between its
+successive ``MPI_Win_wait`` and ``MPI_Win_post`` calls; the origin ranks
+therefore block in ``MPI_Win_start`` *or* ``MPI_Win_complete`` -- the
+MPI-2 standard leaves the choice of blocking routine to the
+implementation, and the paper observes exactly this difference between LAM
+(start blocks) and MPICH2 (complete blocks), Figure 21.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ...mpi.datatypes import INT
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = ["WinScpwSync"]
+
+
+@register
+class WinScpwSync(PPerfProgram):
+    name = "winscpwsync"
+    module = "winscpwsync.c"
+    suite = "mpi2"
+    default_nprocs = 4
+    description = (
+        "This is similar to winfencesync, except that Start/Complete, "
+        "Post/Wait synchronization is used."
+    )
+    expectation = Expectation(
+        required=(
+            ("ExcessiveSyncWaitingTime",),
+            ("CPUBound", "waste_time"),
+        ),
+    )
+
+    def __init__(
+        self,
+        iterations: int = 700,
+        waste_seconds: float = 8e-3,
+        count: int = 32,
+    ) -> None:
+        self.iterations = iterations
+        self.waste_seconds = waste_seconds
+        self.count = count
+
+    def functions(self):
+        return {"waste_time": self._waste}
+
+    def _waste(self, mpi, proc) -> Generator:
+        yield from mpi.compute(self.waste_seconds)
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        win = yield from mpi.win_create(self.count * max(1, mpi.size), datatype=INT)
+        yield from mpi.win_set_name(win, "ScpwWindow")
+        data = np.full(self.count, mpi.rank, dtype="i4")
+        origins = list(range(1, mpi.size))
+        if mpi.rank == 0:
+            for _ in range(self.iterations):
+                yield from mpi.win_post(win, origins)
+                yield from mpi.win_wait(win)
+                yield from mpi.call("waste_time")
+        else:
+            for _ in range(self.iterations):
+                yield from mpi.win_start(win, [0])
+                yield from mpi.put(win, 0, data, target_disp=self.count * mpi.rank)
+                yield from mpi.win_complete(win)
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()

@@ -1,0 +1,33 @@
+"""Discrete-event cluster simulation substrate.
+
+This package provides the virtual hardware/OS layer everything else runs on:
+the event-loop kernel, processes with user/system CPU clocks, cluster
+topology, network cost models, and deterministic RNG streams.
+"""
+
+from .kernel import DeadlockError, Delay, Kernel, SimEvent, SimulationError, Task, WaitEvent
+from .network import ETHERNET, SHARED_MEMORY, LinkModel, NetworkModel
+from .node import Cluster, Cpu, Node
+from .process import Frame, ProcState, SimProcess
+from .rng import RngStreams
+
+__all__ = [
+    "Kernel",
+    "Task",
+    "SimEvent",
+    "Delay",
+    "WaitEvent",
+    "SimulationError",
+    "DeadlockError",
+    "Cluster",
+    "Node",
+    "Cpu",
+    "SimProcess",
+    "Frame",
+    "ProcState",
+    "LinkModel",
+    "NetworkModel",
+    "ETHERNET",
+    "SHARED_MEMORY",
+    "RngStreams",
+]

@@ -1,0 +1,271 @@
+"""Discrete-event simulation kernel.
+
+The kernel owns a virtual clock and an event queue.  All other subsystems
+(the cluster model, the simulated MPI library, the Paradyn-style tool) are
+built on top of three primitives:
+
+* :class:`Kernel` -- the event loop (``schedule`` / ``run``).
+* :class:`SimEvent` -- a one-shot trigger that tasks can wait on.
+* :class:`Task` -- a coroutine (generator) driven by the kernel.
+
+Tasks are plain Python generators.  They communicate with the kernel by
+yielding *effects*:
+
+* ``Delay(dt)`` -- resume the task ``dt`` simulated seconds later.
+* ``WaitEvent(ev)`` -- suspend until ``ev.trigger(value)`` fires; the
+  triggered value becomes the result of the ``yield``.
+
+Nested calls compose with ``yield from``, so user-level "programs" read like
+ordinary sequential code.  The design deliberately mirrors process-based DES
+frameworks (SimPy) so that simulated MPI programs stay legible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Delay",
+    "WaitEvent",
+    "SimEvent",
+    "Task",
+    "Kernel",
+    "SimulationError",
+    "DeadlockError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when tasks remain but no event can ever fire again."""
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Effect: resume the yielding task after ``dt`` simulated seconds."""
+
+    dt: float
+
+    def __post_init__(self) -> None:
+        if self.dt < 0:
+            raise ValueError(f"negative delay: {self.dt}")
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Effect: suspend the yielding task until the event triggers."""
+
+    event: "SimEvent"
+
+
+class SimEvent:
+    """One-shot event with an optional payload value.
+
+    Tasks wait on an event by yielding ``WaitEvent(event)``; the value passed
+    to :meth:`trigger` is delivered as the result of the ``yield``.  Waiting
+    on an already-triggered event resumes immediately with the stored value.
+    """
+
+    __slots__ = ("kernel", "name", "_value", "_triggered", "_waiters")
+
+    def __init__(self, kernel: "Kernel", name: str = "") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._value: Any = None
+        self._triggered = False
+        self._waiters: list[Task] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} not yet triggered")
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking every waiter at the current time."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for task in waiters:
+            self.kernel.schedule(0.0, task._step, value)
+
+    def add_waiter(self, task: "Task") -> None:
+        if self._triggered:
+            self.kernel.schedule(0.0, task._step, self._value)
+        else:
+            self._waiters.append(task)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+class Task:
+    """A generator coroutine driven by the kernel.
+
+    The task finishes when its generator returns; the return value is stored
+    on :attr:`result` and :attr:`done_event` is triggered with it.  Exceptions
+    escaping the generator are re-raised out of :meth:`Kernel.run` wrapped in
+    their original type, so test failures point at simulated program bugs.
+    """
+
+    __slots__ = ("kernel", "name", "_gen", "result", "done_event", "finished", "error")
+
+    def __init__(self, kernel: "Kernel", gen: Generator, name: str = "task") -> None:
+        if not hasattr(gen, "send"):
+            raise TypeError(f"task body for {name!r} must be a generator, got {type(gen).__name__}")
+        self.kernel = kernel
+        self.name = name
+        self._gen = gen
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.finished = False
+        self.done_event = SimEvent(kernel, name=f"{name}.done")
+
+    def _step(self, value: Any = None) -> None:
+        try:
+            effect = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # propagate simulated-program bugs
+            self.error = exc
+            self.finished = True
+            self.kernel._live_tasks -= 1
+            self.kernel._failed_task = self
+            raise
+        if isinstance(effect, Delay):
+            self.kernel.schedule(effect.dt, self._step, None)
+        elif isinstance(effect, WaitEvent):
+            effect.event.add_waiter(self)
+        else:
+            raise SimulationError(
+                f"task {self.name!r} yielded unsupported effect {effect!r}; "
+                "yield Delay(...) or WaitEvent(...)"
+            )
+
+    def _finish(self, value: Any) -> None:
+        self.result = value
+        self.finished = True
+        self.kernel._live_tasks -= 1
+        self.done_event.trigger(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "finished" if self.finished else "running"
+        return f"<Task {self.name!r} {state}>"
+
+
+class _NoValue:
+    """Sentinel: the callback takes no argument."""
+
+    __slots__ = ()
+
+
+_NOVALUE = _NoValue()
+
+
+@dataclass(order=True)
+class _ScheduledCall:
+    time: float
+    seq: int
+    callback: Callable = field(compare=False)
+    value: Any = field(compare=False, default=_NOVALUE)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class Kernel:
+    """The event loop: a priority queue of timestamped callbacks.
+
+    Determinism: ties in time are broken by insertion order (a monotonically
+    increasing sequence number), so a run is fully reproducible.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[_ScheduledCall] = []
+        self._seq = 0
+        self._live_tasks = 0
+        self._failed_task: Optional[Task] = None
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable, value: Any = _NOVALUE) -> _ScheduledCall:
+        """Schedule ``callback(value)`` -- or ``callback()`` when no value is
+        given -- at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._seq += 1
+        call = _ScheduledCall(self.now + delay, self._seq, callback, value)
+        heapq.heappush(self._queue, call)
+        return call
+
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(self, name=name)
+
+    def spawn(self, gen: Generator, name: str = "task") -> Task:
+        """Create a task and schedule its first step at the current time."""
+        task = Task(self, gen, name=name)
+        self._live_tasks += 1
+        self.schedule(0.0, task._step, None)
+        return task
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the queue drains or ``until`` simulated seconds pass.
+
+        Returns the final simulated time.  Raises :class:`DeadlockError` when
+        live tasks remain but nothing is scheduled (a real deadlock in the
+        simulated program, e.g. an unmatched blocking receive).
+        """
+        events = 0
+        while self._queue:
+            call = self._queue[0]
+            if until is not None and call.time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            if call.time < self.now:  # pragma: no cover - defensive
+                raise SimulationError("time went backwards")
+            self.now = call.time
+            if call.value is _NOVALUE:
+                call.callback()
+            else:
+                call.callback(call.value)
+            events += 1
+            if events > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
+        if self._live_tasks > 0:
+            blocked = self._live_tasks
+            raise DeadlockError(
+                f"simulation deadlock at t={self.now:.6f}: {blocked} task(s) "
+                "blocked with an empty event queue"
+            )
+        return self.now
+
+    def run_tasks(self, tasks: Iterable[Task], until: Optional[float] = None) -> float:
+        """Run until every task in ``tasks`` has finished (or ``until``)."""
+        tasks = list(tasks)
+        deadline = until
+        while any(not t.finished for t in tasks):
+            before = self.now
+            self.run(until=deadline)
+            if deadline is not None and self.now >= deadline:
+                break
+            if self.now == before and not self._queue:
+                break
+        return self.now
+

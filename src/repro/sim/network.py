@@ -1,0 +1,101 @@
+"""Network cost models for the simulated cluster.
+
+The MPI personalities (:mod:`repro.mpi.impls`) map each message onto a
+:class:`LinkModel` -- e.g. LAM's ``sysv`` RPI uses the shared-memory link for
+same-node peers, while MPICH ``ch_p4mpd`` (which, as the paper notes in
+Section 5.1.2, had no SMP support) always pays the socket link.  A link is a
+classic latency/bandwidth (LogP-flavoured) model with explicit sender /
+receiver CPU overheads so that time spent *inside* MPI calls is attributable
+to the right place by the instrumentation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LinkModel", "NetworkModel", "ETHERNET", "SHARED_MEMORY"]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Cost model for moving one message across one link.
+
+    Attributes
+    ----------
+    latency:
+        One-way wire latency in seconds (independent of size).
+    bandwidth:
+        Sustained bytes/second for the payload.
+    send_overhead / recv_overhead:
+        CPU seconds charged to the sender / receiver per message (protocol
+        processing, buffer management).
+    syscall_fraction:
+        Fraction of the CPU overheads spent in ``read``/``write`` system
+        calls.  Socket transports have a high fraction -- this is what makes
+        Paradyn's I/O metrics (and hence ``ExcessiveIOBlockingTime``) fire
+        for MPICH in the paper's small-messages experiment.
+    """
+
+    name: str
+    latency: float
+    bandwidth: float
+    send_overhead: float
+    recv_overhead: float
+    syscall_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= self.syscall_fraction <= 1.0:
+            raise ValueError("syscall_fraction must be in [0, 1]")
+
+    def wire_time(self, nbytes: int) -> float:
+        """Time on the wire for ``nbytes`` (latency + serialization)."""
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        return self.latency + nbytes / self.bandwidth
+
+
+#: 100 Mbit-era cluster Ethernet over TCP, the class of interconnect in the
+#: paper's testbed: ~120 us latency, ~11.5 MB/s sustained, and substantial
+#: per-message CPU overheads in the socket stack.
+ETHERNET = LinkModel(
+    name="ethernet",
+    latency=120e-6,
+    bandwidth=11.5e6,
+    send_overhead=60e-6,
+    recv_overhead=60e-6,
+    syscall_fraction=0.85,
+)
+
+#: System-V shared memory (LAM's sysv RPI) for same-node peers.
+SHARED_MEMORY = LinkModel(
+    name="sysv-shm",
+    latency=3e-6,
+    bandwidth=700e6,
+    send_overhead=8e-6,
+    recv_overhead=8e-6,
+    syscall_fraction=0.05,
+)
+
+
+class NetworkModel:
+    """Pairs of (intra-node, inter-node) links for a cluster."""
+
+    def __init__(
+        self,
+        inter_node: LinkModel = ETHERNET,
+        intra_node: LinkModel = SHARED_MEMORY,
+    ) -> None:
+        self.inter_node = inter_node
+        self.intra_node = intra_node
+
+    def link(self, src_node, dst_node, *, allow_shared_memory: bool = True) -> LinkModel:
+        """The link used between two nodes.
+
+        ``allow_shared_memory=False`` models transports (MPICH ch_p4mpd)
+        that use sockets even between processes on one node.
+        """
+        if src_node is dst_node and allow_shared_memory:
+            return self.intra_node
+        return self.inter_node

@@ -1,0 +1,109 @@
+"""Cluster topology: machines (nodes), CPUs, and the cluster itself.
+
+A :class:`Cluster` is the simulated analogue of the paper's "Wyeast" Linux
+cluster: a set of named nodes, each with one or more CPUs, connected by a
+network (modelled in :mod:`repro.sim.network`).  Nodes are deliberately
+simple -- the performance phenomena the paper studies are dominated by
+message-passing behaviour, not by micro-architecture -- but CPU placement
+matters (LAM's ``sysv`` RPI uses shared memory for same-node communication
+while MPICH ``ch_p4mpd`` always uses sockets, see Section 5.1.2 of the
+paper), so node identity is tracked for every process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["Cpu", "Node", "Cluster"]
+
+
+@dataclass
+class Cpu:
+    """One CPU of a node; processes are pinned to CPUs at launch."""
+
+    node: "Node"
+    index: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.node.name}/cpu{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Cpu {self.name}>"
+
+
+class Node:
+    """A machine in the cluster."""
+
+    def __init__(self, name: str, num_cpus: int = 1, index: int = 0) -> None:
+        if num_cpus < 1:
+            raise ValueError(f"node {name!r} needs at least one CPU")
+        self.name = name
+        self.index = index
+        self.cpus = [Cpu(self, i) for i in range(num_cpus)]
+        self.shared_filesystem = True
+
+    @property
+    def num_cpus(self) -> int:
+        return len(self.cpus)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.name} cpus={self.num_cpus}>"
+
+
+class Cluster:
+    """A collection of nodes plus a pid allocator.
+
+    ``shared_filesystem=False`` models the non-shared-filesystem clusters the
+    paper added support for (Section 4.1): launchers must then ship per-node
+    working directories / machine files rather than assuming one view.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        cpus_per_node: int = 2,
+        name_prefix: str = "wyeast",
+        shared_filesystem: bool = False,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.nodes = [
+            Node(f"{name_prefix}{i:02d}", num_cpus=cpus_per_node, index=i)
+            for i in range(num_nodes)
+        ]
+        self.shared_filesystem = shared_filesystem
+        for node in self.nodes:
+            node.shared_filesystem = shared_filesystem
+        self._next_pid = 1000
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_cpus(self) -> int:
+        return sum(node.num_cpus for node in self.nodes)
+
+    def node(self, index: int) -> Node:
+        return self.nodes[index]
+
+    def node_by_name(self, name: str) -> Node:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no such node: {name!r}")
+
+    def cpus(self) -> Iterator[Cpu]:
+        """All CPUs in node order, CPU-index order (LAM's numbering)."""
+        for node in self.nodes:
+            yield from node.cpus
+
+    def allocate_pid(self) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Cluster nodes={self.num_nodes} cpus={self.num_cpus}>"

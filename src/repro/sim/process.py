@@ -1,0 +1,259 @@
+"""Simulated processes: virtual CPU accounting and instrumentable calls.
+
+A :class:`SimProcess` is one OS process on one CPU of the simulated cluster.
+It owns:
+
+* **time accounting** -- wall time comes from the kernel clock; user and
+  system CPU time accrue while the process is in :meth:`compute` /
+  :meth:`syscall`.  CPU clocks are *interpolated*: sampling mid-compute sees
+  partially-accrued time, which is what makes Paradyn-style periodic sampling
+  of process timers meaningful.
+* **a call stack** of :class:`Frame` objects.  Every function call in a
+  simulated program goes through :meth:`call`, which resolves the callee in
+  the process's binary image (weak-symbol aware, see
+  :mod:`repro.dyninst.image`), runs any entry instrumentation, executes the
+  body, and runs exit instrumentation.  This is the boundary at which the
+  dynamic-instrumentation substrate operates -- the simulated equivalent of
+  Dyninst trampolines.
+* **trace hooks** used by the comparator tools (MPE tracing, gprof).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from .kernel import Delay, Kernel, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dyninst.image import FunctionDef, Image
+    from .node import Cpu, Node
+
+__all__ = ["ProcState", "Frame", "SimProcess"]
+
+
+class ProcState(enum.Enum):
+    """What the process is doing right now (for CPU-clock interpolation)."""
+
+    BLOCKED = "blocked"
+    USER = "user"
+    SYSTEM = "system"
+    EXITED = "exited"
+
+
+@dataclass
+class Frame:
+    """One activation record on a simulated process's call stack."""
+
+    function: "FunctionDef"
+    args: tuple
+    entry_time: float
+    caller: Optional["Frame"] = None
+    return_value: Any = None
+
+    @property
+    def name(self) -> str:
+        return self.function.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Frame {self.name}>"
+
+
+class SimProcess:
+    """One simulated OS process.
+
+    ``instr_vars`` is the process-local instrumentation data block: the
+    counters and timers inserted by the tool daemon live here, keyed by
+    variable id.  It is intentionally a plain dict -- the daemon allocates
+    and samples entries; the process itself never interprets them.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        image: "Image",
+        *,
+        pid: int,
+        node: "Node",
+        cpu: "Cpu",
+        name: str = "a.out",
+        argv: Optional[list[str]] = None,
+        working_dir: str = "/home/user",
+    ) -> None:
+        self.kernel = kernel
+        self.image = image
+        self.pid = pid
+        self.node = node
+        self.cpu = cpu
+        self.name = name
+        self.argv = list(argv or [])
+        self.working_dir = working_dir
+        self.env: dict[str, str] = {}
+
+        self.start_time = kernel.now
+        self.exit_time: Optional[float] = None
+        self.exited = False
+        self.exit_event = kernel.event(name=f"proc{pid}.exit")
+
+        self._state = ProcState.BLOCKED
+        self._state_since = kernel.now
+        self._cpu_user = 0.0
+        self._cpu_system = 0.0
+
+        self.stack: list[Frame] = []
+        self.instr_vars: dict[int, Any] = {}
+        # entry/exit trace hooks: callable(proc, frame, event) where event is
+        # "entry" or "exit"; used by MPE-style tracing and gprof.
+        self.trace_hooks: list[Callable[["SimProcess", Frame, str], None]] = []
+        # hooks run when the process exits (daemon bookkeeping).
+        self.exit_hooks: list[Callable[["SimProcess"], None]] = []
+        # instrumentation perturbation: virtual seconds charged per executed
+        # snippet (0.0 disables perturbation entirely).
+        self.snippet_cost = 0.0
+        self.snippets_executed = 0
+
+    # -- CPU clocks ----------------------------------------------------------
+
+    def _accrue(self) -> None:
+        elapsed = self.kernel.now - self._state_since
+        if self._state is ProcState.USER:
+            self._cpu_user += elapsed
+        elif self._state is ProcState.SYSTEM:
+            self._cpu_system += elapsed
+        self._state_since = self.kernel.now
+
+    def _set_state(self, state: ProcState) -> None:
+        self._accrue()
+        self._state = state
+
+    @property
+    def state(self) -> ProcState:
+        return self._state
+
+    def cpu_user_time(self) -> float:
+        """User CPU seconds, interpolated to the current instant."""
+        extra = self.kernel.now - self._state_since if self._state is ProcState.USER else 0.0
+        return self._cpu_user + extra
+
+    def cpu_system_time(self) -> float:
+        """System CPU seconds, interpolated to the current instant."""
+        extra = self.kernel.now - self._state_since if self._state is ProcState.SYSTEM else 0.0
+        return self._cpu_system + extra
+
+    def cpu_time(self) -> float:
+        return self.cpu_user_time() + self.cpu_system_time()
+
+    def wall_time(self) -> float:
+        end = self.exit_time if self.exit_time is not None else self.kernel.now
+        return end - self.start_time
+
+    # -- effects used by simulated code ---------------------------------------
+
+    def compute(self, seconds: float) -> Generator:
+        """Burn ``seconds`` of user CPU time."""
+        if seconds < 0:
+            raise ValueError(f"negative compute time: {seconds}")
+        if seconds == 0.0:
+            return
+        self._set_state(ProcState.USER)
+        yield Delay(seconds)
+        self._set_state(ProcState.BLOCKED)
+
+    def syscall(self, seconds: float) -> Generator:
+        """Burn ``seconds`` of *system* CPU time (invisible to user-CPU metrics)."""
+        if seconds < 0:
+            raise ValueError(f"negative syscall time: {seconds}")
+        if seconds == 0.0:
+            return
+        self._set_state(ProcState.SYSTEM)
+        yield Delay(seconds)
+        self._set_state(ProcState.BLOCKED)
+
+    def block(self, event) -> Generator:
+        """Block (no CPU accrual) until ``event`` triggers; returns its value."""
+        from .kernel import WaitEvent
+
+        self._set_state(ProcState.BLOCKED)
+        value = yield WaitEvent(event)
+        return value
+
+    def sleep(self, seconds: float) -> Generator:
+        """Idle (blocked, no CPU) for ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"negative sleep: {seconds}")
+        self._set_state(ProcState.BLOCKED)
+        if seconds > 0.0:
+            yield Delay(seconds)
+
+    # -- the instrumented call boundary ---------------------------------------
+
+    def call(self, name: str, *args: Any) -> Generator:
+        """Call the function ``name`` in this process's image.
+
+        Resolution honours weak symbols (an MPICH ``MPI_Send`` call executes
+        ``PMPI_Send``); entry and exit instrumentation snippets attached to
+        the resolved function run around the body.  The body is a generator
+        ``body(proc, *args)``.
+        """
+        fn = self.image.resolve(name)
+        return (yield from self._call_function(fn, args))
+
+    def _call_function(self, fn: "FunctionDef", args: tuple) -> Generator:
+        frame = Frame(
+            function=fn,
+            args=args,
+            entry_time=self.kernel.now,
+            caller=self.stack[-1] if self.stack else None,
+        )
+        self.stack.append(frame)
+        for hook in self.trace_hooks:
+            hook(self, frame, "entry")
+        yield from self._run_snippets(fn.entry_snippets(), frame, at_entry=True)
+        result: Any = None
+        try:
+            result = yield from fn.body(self, *args)
+        finally:
+            # Exit snippets and trace hooks run even if the body raises, so
+            # timers never dangle when simulated programs abort.
+            frame.return_value = result
+            yield from self._run_snippets(fn.exit_snippets(), frame, at_entry=False)
+            for hook in self.trace_hooks:
+                hook(self, frame, "exit")
+            self.stack.pop()
+        return result
+
+    def _run_snippets(self, snippets, frame: Frame, *, at_entry: bool) -> Generator:
+        if not snippets:
+            return
+        cost = 0.0
+        for snippet in list(snippets):
+            snippet.execute(self, frame, at_entry=at_entry)
+            self.snippets_executed += 1
+            cost += self.snippet_cost
+        if cost > 0.0:
+            yield from self.compute(cost)
+
+    def current_function(self) -> Optional[str]:
+        return self.stack[-1].name if self.stack else None
+
+    def call_path(self) -> list[str]:
+        return [frame.name for frame in self.stack]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def run_main(self, body: Generator) -> Generator:
+        """Wrap a program's top-level generator with exit bookkeeping."""
+        try:
+            result = yield from body
+        finally:
+            self._set_state(ProcState.EXITED)
+            self.exited = True
+            self.exit_time = self.kernel.now
+            for hook in list(self.exit_hooks):
+                hook(self)
+            self.exit_event.trigger(self)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimProcess pid={self.pid} {self.name!r} on {self.node.name}>"

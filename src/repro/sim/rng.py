@@ -1,0 +1,55 @@
+"""Deterministic random-number streams for the simulation.
+
+Every stochastic decision in the simulation (which rank wastes time in
+``random-barrier``, measurement jitter, network-latency noise) draws from a
+named stream so that (a) runs are reproducible given a seed, and (b) adding a
+new consumer of randomness does not perturb existing streams -- essential for
+the paper-vs-measured comparisons in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["RngStreams"]
+
+
+class RngStreams:
+    """A family of independent, named ``numpy`` generators.
+
+    Streams are derived from a root seed and a stream name via CRC32, so the
+    mapping is stable across runs and across Python versions (unlike
+    ``hash()``).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``."""
+        gen = self._streams.get(name)
+        if gen is None:
+            child = zlib.crc32(name.encode("utf-8"))
+            gen = np.random.default_rng(np.random.SeedSequence([self.seed, child]))
+            self._streams[name] = gen
+        return gen
+
+    def uniform(self, name: str, low: float = 0.0, high: float = 1.0) -> float:
+        return float(self.stream(name).uniform(low, high))
+
+    def integers(self, name: str, low: int, high: int) -> int:
+        """Random integer in ``[low, high)`` from the named stream."""
+        return int(self.stream(name).integers(low, high))
+
+    def normal(self, name: str, loc: float = 0.0, scale: float = 1.0) -> float:
+        return float(self.stream(name).normal(loc, scale))
+
+    def jitter(self, name: str, base: float, rel_sigma: float) -> float:
+        """``base`` perturbed by a truncated relative Gaussian (never < 0)."""
+        if rel_sigma <= 0.0:
+            return base
+        value = base * (1.0 + self.normal(name, 0.0, rel_sigma))
+        return max(0.0, value)

@@ -1,0 +1,25 @@
+"""Comparator tools the paper uses to validate Paradyn's findings:
+MPE-style tracing, Jumpshot-3-style views, and a gprof-style profiler."""
+
+from .clog import CLOG_MAGIC, merge_logs, read_clog, write_clog
+from .gprof import FlatProfileRow, GprofProfiler
+from .jumpshot import StatisticalPreview, render_timelines
+from .mpe import EVENT_BYTES, MpeEvent, MpeLog, MpeLogger
+from .mpip import CallsiteStats, MpipProfiler
+
+__all__ = [
+    "MpeLogger",
+    "write_clog",
+    "read_clog",
+    "merge_logs",
+    "CLOG_MAGIC",
+    "MpeLog",
+    "MpeEvent",
+    "EVENT_BYTES",
+    "StatisticalPreview",
+    "render_timelines",
+    "GprofProfiler",
+    "FlatProfileRow",
+    "MpipProfiler",
+    "CallsiteStats",
+]

@@ -1,0 +1,119 @@
+"""Jumpshot-3-style views over MPE logs.
+
+Two views from the paper:
+
+* the **Statistical Preview** (Figures 12 and 17): for each state
+  (MPI function), the average number of processes concurrently in that
+  state -- the paper reads off "of the four processes ... approximately
+  three of them were executing in MPI_Barrier at any given time";
+* the **Time Lines window** (Figures 13 and 16): per-process state
+  intervals, rendered as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .mpe import MpeLog
+
+__all__ = ["StatisticalPreview", "render_timelines"]
+
+
+@dataclass
+class StatisticalPreview:
+    """Average concurrent process count per state over a time range."""
+
+    log: MpeLog
+    num_ranks: int
+    t0: float = 0.0
+    t1: Optional[float] = None
+
+    def _range(self) -> tuple[float, float]:
+        if not self.log.events:
+            return (0.0, 0.0)
+        t1 = self.t1 if self.t1 is not None else max(e.time for e in self.log.events)
+        return (self.t0, t1)
+
+    def mean_concurrency(self, function: str) -> float:
+        """Average number of processes inside ``function`` at once."""
+        t0, t1 = self._range()
+        span = t1 - t0
+        if span <= 0.0:
+            return 0.0
+        total = 0.0
+        for rank in range(self.num_ranks):
+            for start, end, name in self.log.intervals(rank):
+                if name != function:
+                    continue
+                total += max(0.0, min(end, t1) - max(start, t0))
+        return total / span
+
+    def busiest_states(self, top: int = 5) -> list[tuple[str, float]]:
+        rows = [
+            (fn, self.mean_concurrency(fn))
+            for fn in sorted(self.log.functions())
+        ]
+        rows.sort(key=lambda pair: pair[1], reverse=True)
+        return rows[:top]
+
+    def render(self, top: int = 5) -> str:
+        t0, t1 = self._range()
+        lines = [f"Jumpshot Statistical Preview  [{t0:.2f}s .. {t1:.2f}s], {self.num_ranks} processes"]
+        for fn, mean in self.busiest_states(top):
+            bar = "#" * int(round(mean * 10))
+            lines.append(f"  {fn:24s} avg {mean:5.2f} procs  {bar}")
+        return "\n".join(lines)
+
+
+def render_timelines(
+    log: MpeLog,
+    num_ranks: int,
+    *,
+    t0: float = 0.0,
+    t1: Optional[float] = None,
+    columns: int = 72,
+    state_chars: Optional[dict[str, str]] = None,
+) -> str:
+    """A text Time Lines window: one row per process, one character per
+    time slice showing the MPI state occupying most of that slice
+    ('.' = computing / outside MPI)."""
+    events = log.events
+    if not events:
+        return "(empty trace)"
+    end = t1 if t1 is not None else max(e.time for e in events)
+    if end <= t0:
+        return "(empty range)"
+    width = (end - t0) / columns
+    chars = dict(state_chars or {})
+
+    def char_for(name: str) -> str:
+        if name not in chars:
+            # stable assignment: first letter of the MPI call, uppercased
+            short = name.replace("PMPI_", "").replace("MPI_", "")
+            chars[name] = short[0].upper() if short else "?"
+        return chars[name]
+
+    lines = []
+    for rank in range(num_ranks):
+        occupancy = np.zeros(columns)
+        labels: list[Optional[str]] = [None] * columns
+        best = np.zeros(columns)
+        for start, stop, name in log.intervals(rank):
+            lo = int(max(0.0, (start - t0) / width))
+            hi = int(min(columns - 1, (stop - t0) / width))
+            for col in range(lo, hi + 1):
+                c0 = t0 + col * width
+                overlap = max(0.0, min(stop, c0 + width) - max(start, c0))
+                if overlap > best[col]:
+                    best[col] = overlap
+                    labels[col] = name
+        row = "".join(
+            char_for(label) if label is not None and best[i] > width * 0.5 else "."
+            for i, label in enumerate(labels)
+        )
+        lines.append(f"rank {rank}: {row}")
+    legend = "  ".join(f"{char_for(n)}={n}" for n in sorted(log.functions()))
+    return "\n".join(lines) + "\n" + legend

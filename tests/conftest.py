@@ -1,0 +1,51 @@
+"""Shared fixtures: small clusters, universes, and simple MPI programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi import MpiProgram, MpiUniverse
+from repro.sim import Cluster, Kernel
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    return Kernel()
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster(num_nodes=3, cpus_per_node=2)
+
+
+def make_universe(impl: str = "lam", *, num_nodes: int = 3, seed: int = 0) -> MpiUniverse:
+    return MpiUniverse(impl=impl, cluster=Cluster(num_nodes=num_nodes, cpus_per_node=2), seed=seed)
+
+
+@pytest.fixture
+def universe() -> MpiUniverse:
+    return make_universe()
+
+
+class ScriptProgram(MpiProgram):
+    """Wrap a plain generator function ``script(mpi)`` as an MpiProgram."""
+
+    def __init__(self, script, name="script", module="script.c", functions=None):
+        self.name = name
+        self.module = module
+        self._script = script
+        self._functions = functions or {}
+
+    def functions(self):
+        return dict(self._functions)
+
+    def main(self, mpi):
+        return (yield from self._script(mpi))
+
+
+def run_script(script, nprocs=2, impl="lam", *, universe=None, functions=None, until=None):
+    """Launch ``script(mpi)`` on ``nprocs`` ranks and run to completion."""
+    uni = universe or make_universe(impl)
+    world = uni.launch(ScriptProgram(script, functions=functions), nprocs)
+    uni.run(until=until)
+    return uni, world

@@ -1,0 +1,77 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "small_messages" in out
+    assert "winscpwsync" in out
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "rma_put_ops" in out and "pt_rma_sync_wait" in out
+
+
+def test_run_command_with_metric(capsys):
+    code = main([
+        "run", "hot_procedure", "--impl", "lam", "--no-consultant",
+        "--metric", "msgs_sent",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "simulated" in out
+    assert "msgs_sent" in out
+
+
+def test_run_with_unusable_metric_reports_cleanly(capsys):
+    # procedure_calls needs a /Code focus; at Whole Program it cannot compile
+    code = main([
+        "run", "hot_procedure", "--no-consultant", "--metric", "procedure_calls",
+    ])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_run_with_consultant_and_hierarchy(capsys):
+    code = main(["run", "allcount", "--impl", "mpich2", "--hierarchy"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "TopLevelHypothesis" in out
+    assert "SyncObject" in out
+
+
+def test_verify_command_exit_codes(capsys):
+    assert main(["verify", "wincreateblast", "--impl", "lam"]) == 0
+    out = capsys.readouterr().out
+    assert "match" in out
+
+
+def test_bad_program_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "no_such_program"])
+
+
+def test_parser_has_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("list", "run", "verify", "table1", "table2", "table3"):
+        assert command in text
+
+
+def test_mpirun_command_lam_notation(capsys):
+    code = main(["mpirun", "--impl", "lam", "--", "-np", "2", "hot_procedure"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2 processes" in out and "rank 0" in out
+
+
+def test_mpirun_command_bad_args(capsys):
+    code = main(["mpirun", "--", "hot_procedure"])  # LAM needs a count/location
+    assert code == 2
+    assert "mpirun:" in capsys.readouterr().err

@@ -1,0 +1,82 @@
+"""The instrumentation cost model and PC throttling."""
+
+import pytest
+
+from repro.core import Paradyn
+from repro.core.costmodel import CostTracker
+
+from conftest import ScriptProgram, make_universe
+
+
+class FakeProc:
+    def __init__(self, pid=1, snippet_cost=1e-3):
+        self.pid = pid
+        self.snippet_cost = snippet_cost
+        self.snippets_executed = 0
+        self.start_time = 0.0
+
+
+class TestCostTracker:
+    def test_fraction_tracks_snippet_work(self):
+        tracker = CostTracker(cost_limit=0.1)
+        proc = FakeProc()
+        proc.snippets_executed = 50  # 50 * 1ms over 1s = 5%
+        assert tracker.observe(proc, 1.0) == pytest.approx(0.05)
+        assert tracker.observed_fraction() == pytest.approx(0.05)
+        assert not tracker.over_limit()
+        proc.snippets_executed = 250  # +200 * 1ms over the next second = 20%
+        tracker.observe(proc, 2.0)
+        assert tracker.over_limit()
+        assert tracker.throttle_events == 1
+
+    def test_worst_process_wins(self):
+        tracker = CostTracker()
+        calm, busy = FakeProc(pid=1), FakeProc(pid=2)
+        busy.snippets_executed = 1000
+        tracker.observe(calm, 1.0)
+        tracker.observe(busy, 1.0)
+        assert tracker.observed_fraction() == pytest.approx(1.0)
+
+    def test_empty_tracker_is_free(self):
+        assert CostTracker().observed_fraction() == 0.0
+
+
+class TestConsultantThrottling:
+    def _run(self, snippet_cost, cost_limit):
+        def script(mpi):
+            yield from mpi.init()
+            for _ in range(200):
+                if mpi.rank == 0:
+                    yield from mpi.send(1, tag=1)
+                    yield from mpi.compute(5e-3)
+                else:
+                    yield from mpi.recv(source=0, tag=1)
+            yield from mpi.finalize()
+
+        universe = make_universe()
+        tool = Paradyn(universe, snippet_cost=snippet_cost,
+                       pc_experiment_window=0.5)
+        tool.frontend.cost_tracker.cost_limit = cost_limit
+        tool.run_consultant()
+        universe.launch(ScriptProgram(script), 2)
+        universe.run()
+        return tool
+
+    def test_cheap_instrumentation_never_throttles(self):
+        tool = self._run(snippet_cost=2.5e-7, cost_limit=0.05)
+        assert tool.frontend.cost_tracker.throttle_events == 0
+        assert tool.consultant.summary()["true"] > 0
+
+    def test_expensive_instrumentation_throttles_search(self):
+        cheap = self._run(snippet_cost=2.5e-7, cost_limit=0.05)
+        costly = self._run(snippet_cost=2e-4, cost_limit=0.02)
+        assert costly.frontend.cost_tracker.throttle_events > 0
+        # the throttled search ran fewer experiments
+        assert costly.consultant.summary()["total"] <= cheap.consultant.summary()["total"]
+
+    def test_pcl_costlimit_tunable(self):
+        from repro.core import parse_pcl
+
+        universe = make_universe()
+        tool = Paradyn(universe, config=parse_pcl("tunable_constant { costLimit 0.25; }"))
+        assert tool.frontend.cost_tracker.cost_limit == 0.25

@@ -1,0 +1,201 @@
+"""Frontend data-path details: sampling, aggregation, update protocol."""
+
+import pytest
+
+from repro.core import Focus, Paradyn
+from repro.core.frontend import MetricFocusData
+
+from conftest import ScriptProgram, make_universe
+
+
+class TestMetricFocusDataMath:
+    def _data(self, bin_width=1.0, num_bins=10):
+        return MetricFocusData(
+            "m", Focus.whole_program(),
+            num_bins=num_bins, bin_width=bin_width, start_time=0.0, normalized=True,
+        )
+
+    def test_value_over_partial_window(self):
+        data = self._data()
+        data.record(1, 0.5, 10.0)
+        data.record(1, 1.5, 10.0)
+        # [0.5, 1.5) covers half of each bin
+        assert data.value_over(0.5, 1.5) == pytest.approx(10.0)
+        assert data.value_over(0.0, 2.0) == pytest.approx(20.0)
+
+    def test_mean_vs_max_normalized(self):
+        data = self._data()
+        data.record(1, 0.5, 1.0)   # busy process
+        data.record(2, 0.5, 0.0)   # idle process
+        assert data.mean_normalized(0.0, 1.0) == pytest.approx(0.5)
+        assert data.max_normalized(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_aggregate_histogram_sums_processes(self):
+        data = self._data()
+        data.record(1, 0.5, 3.0)
+        data.record(2, 0.5, 4.0)
+        agg = data.aggregate_histogram()
+        assert agg.total() == pytest.approx(7.0)
+
+    def test_empty_data_is_zero(self):
+        data = self._data()
+        assert data.mean_normalized(0.0, 1.0) == 0.0
+        assert data.max_normalized(0.0, 1.0) == 0.0
+        assert data.total() == 0.0
+
+
+class TestSamplingPipeline:
+    def test_periodic_sampling_builds_time_series(self):
+        """A steady sender produces an approximately flat rate histogram."""
+
+        def script(mpi):
+            yield from mpi.init()
+            if mpi.rank == 0:
+                for _ in range(100):
+                    yield from mpi.send(1, tag=1)
+                    yield from mpi.compute(0.02)
+            else:
+                for _ in range(100):
+                    yield from mpi.recv(source=0, tag=1)
+            yield from mpi.finalize()
+
+        universe = make_universe()
+        tool = Paradyn(universe)
+        tool.enable("msgs_sent")
+        universe.launch(ScriptProgram(script), 2)
+        universe.run()
+        hist = tool.data("msgs_sent").aggregate_histogram()
+        rates = hist.rates()
+        interior = rates[1:-1]
+        assert len(interior) >= 5
+        assert interior.min() > 0.5 * interior.max()  # roughly steady
+
+    def test_histograms_fold_on_long_runs(self):
+        def script(mpi):
+            yield from mpi.init()
+            for _ in range(40):
+                yield from mpi.compute(0.1)
+                if mpi.rank == 0:
+                    yield from mpi.send(1, tag=1)
+                else:
+                    yield from mpi.recv(source=0, tag=1)
+            yield from mpi.finalize()
+
+        universe = make_universe()
+        tool = Paradyn(universe, num_bins=8, bin_width=0.2)  # tiny capacity
+        tool.enable("msgs_sent")
+        universe.launch(ScriptProgram(script), 2)
+        universe.run()
+        data = tool.data("msgs_sent")
+        hist = data.histogram_for(universe.worlds[0].endpoints[0].proc.pid)
+        assert hist.folds >= 1
+        assert hist.total() == 40  # folding loses no events
+
+    def test_sampling_stops_after_processes_exit(self):
+        def script(mpi):
+            yield from mpi.init()
+            yield from mpi.compute(0.5)
+            yield from mpi.finalize()
+
+        universe = make_universe()
+        tool = Paradyn(universe)
+        tool.enable("cpu")
+        universe.launch(ScriptProgram(script), 2)
+        universe.run()
+        # the kernel drained: no sampler left re-scheduling itself
+        assert universe.kernel.now < 1.5
+        for daemon in tool.daemons:
+            assert not daemon._sampling
+
+
+class TestUpdateProtocol:
+    def test_updates_log_records_lifecycle(self):
+        from repro.mpi import INT
+
+        def script(mpi):
+            yield from mpi.init()
+            win = yield from mpi.win_create(4, datatype=INT)
+            yield from mpi.win_set_name(win, "W")
+            yield from mpi.win_free(win)
+            yield from mpi.finalize()
+
+        universe = make_universe()
+        tool = Paradyn(universe)
+        universe.launch(ScriptProgram(script), 2)
+        universe.run()
+        kinds = [kind for kind, _ in tool.hierarchy.updates]
+        assert "new" in kinds and "named" in kinds and "retired" in kinds
+        named = [p for k, p in tool.hierarchy.updates if k == "named"]
+        assert any("=W" in p for p in named)
+
+    def test_retired_window_excluded_from_pc_candidates(self):
+        from repro.core.consultant import PerformanceConsultant
+        from repro.mpi import INT
+
+        def script(mpi):
+            yield from mpi.init()
+            win1 = yield from mpi.win_create(4, datatype=INT)
+            yield from mpi.win_free(win1)
+            win2 = yield from mpi.win_create(4, datatype=INT)
+            yield from mpi.win_fence(win2)
+            yield from mpi.win_free(win2)
+            yield from mpi.finalize()
+
+        universe = make_universe()
+        tool = Paradyn(universe)
+        universe.launch(ScriptProgram(script), 2)
+        universe.run()
+        pc = tool.consultant
+        refinements = pc._sync_refinements(
+            Focus.whole_program().with_sync_object("/SyncObject/Window")
+        )
+        assert refinements == []  # both windows retired: no candidates
+
+
+class TestFoldCoupledSampling:
+    def test_sampler_interval_follows_folds(self):
+        """Paradyn doubles the sampling interval when histograms fold."""
+
+        def script(mpi):
+            yield from mpi.init()
+            for _ in range(50):
+                yield from mpi.compute(0.1)
+                if mpi.rank == 0:
+                    yield from mpi.send(1, tag=1)
+                else:
+                    yield from mpi.recv(source=0, tag=1)
+            yield from mpi.finalize()
+
+        universe = make_universe()
+        tool = Paradyn(universe, num_bins=8, bin_width=0.2)
+        tool.enable("msgs_sent")
+        universe.launch(ScriptProgram(script), 2)
+        universe.run()
+        daemon = tool.daemons[0]
+        hist = next(iter(tool.data("msgs_sent").per_process.values()))
+        assert hist.folds >= 1
+        assert daemon._current_interval() == pytest.approx(
+            daemon.sample_interval * 2**hist.folds
+        )
+
+
+class TestPartialRuns:
+    def test_stopping_early_leaves_usable_data(self):
+        def script(mpi):
+            yield from mpi.init()
+            for _ in range(1000):
+                yield from mpi.compute(0.05)
+                if mpi.rank == 0:
+                    yield from mpi.send(1, tag=1)
+                else:
+                    yield from mpi.recv(source=0, tag=1)
+            yield from mpi.finalize()
+
+        universe = make_universe()
+        tool = Paradyn(universe)
+        tool.enable("msgs_sent")
+        universe.launch(ScriptProgram(script), 2)
+        universe.run(until=5.0)  # stop mid-run (an interactive session)
+        assert universe.kernel.now == pytest.approx(5.0)
+        partial = tool.data("msgs_sent").total()
+        assert 50 <= partial <= 105  # ~one message per 0.05s, minus lag

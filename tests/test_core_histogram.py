@@ -1,0 +1,121 @@
+"""Folding histogram invariants (Section 5's data representation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import FoldingHistogram
+
+
+def test_basic_binning_and_rates():
+    h = FoldingHistogram(num_bins=10, bin_width=0.2)
+    h.add(0.05, 4.0)
+    h.add(0.30, 2.0)
+    h.add(0.35, 2.0)
+    assert h.total() == 8.0
+    bins = h.filled_bins()
+    assert bins.tolist() == [4.0, 4.0]
+    assert h.rates().tolist() == [20.0, 20.0]
+
+
+def test_fold_doubles_width_and_preserves_total():
+    h = FoldingHistogram(num_bins=4, bin_width=0.2)
+    for i in range(4):
+        h.add(i * 0.2 + 0.01, float(i + 1))
+    assert h.bin_width == 0.2
+    h.add(0.81, 10.0)  # beyond capacity: triggers a fold
+    assert h.bin_width == 0.4
+    assert h.folds == 1
+    assert h.total() == pytest.approx(1 + 2 + 3 + 4 + 10)
+    assert h.bins[:3].tolist() == [3.0, 7.0, 10.0]
+
+
+def test_repeated_folds_track_long_runs():
+    """The paper's experiments ran at 0.2 to 0.8 s granularity."""
+    h = FoldingHistogram(num_bins=10, bin_width=0.2)
+    h.add(7.9, 1.0)  # needs capacity 8s: 0.2 -> 0.4 -> 0.8
+    assert h.bin_width == pytest.approx(0.8)
+    assert h.folds == 2
+
+
+def test_samples_before_start_rejected():
+    h = FoldingHistogram(num_bins=10, bin_width=0.2, start_time=5.0)
+    with pytest.raises(ValueError):
+        h.add(4.9, 1.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FoldingHistogram(num_bins=1)
+    with pytest.raises(ValueError):
+        FoldingHistogram(num_bins=7)  # odd
+    with pytest.raises(ValueError):
+        FoldingHistogram(bin_width=0.0)
+
+
+def test_interior_calculations_drop_endpoint_bins():
+    """The paper's byte-count computations drop the two end-point bins."""
+    h = FoldingHistogram(num_bins=10, bin_width=1.0)
+    for i in range(5):
+        h.add(i + 0.5, 10.0)
+    assert h.total() == 50.0
+    assert h.interior_total() == 30.0
+    assert h.interior_duration() == 3.0
+    assert h.interior_mean_rate() == pytest.approx(10.0)
+
+
+def test_active_duration_counts_nonzero_bins():
+    h = FoldingHistogram(num_bins=10, bin_width=1.0)
+    h.add(0.5, 1.0)
+    h.add(3.5, 1.0)
+    h.add(4.5, 1.0)
+    assert h.active_duration() == 3.0
+    assert h.interior_active_duration() == 1.0
+
+
+def test_export_pairs():
+    h = FoldingHistogram(num_bins=4, bin_width=0.5)
+    h.add(0.1, 2.0)
+    pairs = h.export()
+    assert pairs == [(0.0, 4.0)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    samples=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=500.0),
+            st.floats(min_value=-10.0, max_value=10.0),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_total_is_fold_invariant(samples):
+    """Folding never loses mass: total == sum of all deltas, regardless of
+    how many folds the sample times forced."""
+    h = FoldingHistogram(num_bins=8, bin_width=0.2)
+    for t, v in samples:
+        h.add(t, v)
+    assert h.total() == pytest.approx(sum(v for _, v in samples), abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(min_value=0.0, max_value=10000.0))
+def test_property_capacity_always_covers_latest_sample(t):
+    h = FoldingHistogram(num_bins=8, bin_width=0.2)
+    h.add(t, 1.0)
+    assert h.end_time > t
+    assert h.bin_width == 0.2 * 2**h.folds
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=3, max_size=40),
+)
+def test_property_covered_time_reaches_last_filled_bin(times):
+    h = FoldingHistogram(num_bins=16, bin_width=0.5)
+    for t in times:
+        h.add(t, 1.0)
+    assert h.covered_time() >= max(times)

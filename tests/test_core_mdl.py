@@ -1,0 +1,233 @@
+"""MDL language: lexer, parser (Figure 2 verbatim), compiler."""
+
+import pytest
+
+from repro.core.mdl import MdlCompileError, MdlLibrary, MdlSyntaxError, parse_code, parse_mdl
+from repro.core.mdl import ast as mdl_ast
+from repro.core.mdl.lexer import tokenize
+
+#: The rma_put_ops metric exactly as printed in Figure 2 of the paper.
+FIG2_RMA_PUT_OPS = """
+metric mpi_rma_put_ops {
+    name "rma_put_ops";
+    units ops;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitsType unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_windowConstraint;
+    base is counter {
+        foreach func in mpi_put {
+            append preinsn func.entry constrained (* mpi_rma_put_ops++; *)
+        }
+    }
+}
+"""
+
+#: The rma_put_bytes metric from Figure 2 (with its C-style out parameter).
+FIG2_RMA_PUT_BYTES = """
+metric mpi_rma_put_bytes {
+    name "rma_put_bytes";
+    units bytes;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_windowConstraint;
+    counter bytes;
+    counter count;
+    base is counter {
+        foreach func in mpi_put {
+            append preinsn func.entry constrained (*
+                MPI_Type_size($arg[2], &bytes);
+                count = $arg[1];
+                mpi_rma_put_bytes += bytes * count;
+            *)
+        }
+    }
+}
+"""
+
+#: The window resource constraint from Figure 2 (put/get entries).
+FIG2_CONSTRAINT = """
+constraint mpi_windowConstraint /SyncObject/Window is counter {
+    foreach func in mpi_get {
+        prepend preinsn func.entry (*
+            if (DYNINSTWindow_FindUniqueId($arg[7]) == $constraint[0]) mpi_windowConstraint = 1;
+        *)
+        append preinsn func.return (* mpi_windowConstraint = 0; *)
+    }
+    foreach func in mpi_put {
+        prepend preinsn func.entry (*
+            if (DYNINSTWindow_FindUniqueId($arg[7]) == $constraint[0]) mpi_windowConstraint = 1;
+        *)
+        append preinsn func.return (* mpi_windowConstraint = 0; *)
+    }
+}
+"""
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize('metric m { name "x"; } /Path/Here $arg[3] 1.5 ++')
+        kinds = [t.kind for t in tokens]
+        assert "IDENT" in kinds and "STRING" in kinds and "PATH" in kinds
+        assert "DOLLAR" in kinds and "NUMBER" in kinds
+        assert kinds[-1] == "EOF"
+
+    def test_code_block_is_one_token(self):
+        tokens = tokenize("(* a++; b = 1; *)")
+        assert tokens[0].kind == "CODE"
+        assert "a++" in tokens[0].value
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // comment\n b")
+        assert [t.value for t in tokens[:2]] == ["a", "b"]
+
+    def test_unterminated_constructs_raise(self):
+        with pytest.raises(MdlSyntaxError):
+            tokenize('"unterminated')
+        with pytest.raises(MdlSyntaxError):
+            tokenize("(* unterminated")
+        with pytest.raises(MdlSyntaxError):
+            tokenize("$")
+        with pytest.raises(MdlSyntaxError):
+            tokenize("@")
+
+
+class TestParser:
+    def test_figure2_rma_put_ops_parses(self):
+        result = parse_mdl(FIG2_RMA_PUT_OPS)
+        metric = result.metrics["mpi_rma_put_ops"]
+        assert metric.display_name == "rma_put_ops"
+        assert metric.units == "ops"
+        assert metric.units_type == "unnormalized"
+        assert metric.aggregate == "sum"
+        assert metric.style == "EventCounter"
+        assert metric.flavors == ("mpi",)
+        assert metric.constraints == (
+            "moduleConstraint", "procedureConstraint", "mpi_windowConstraint",
+        )
+        assert metric.base_kind == "counter"
+        block = metric.blocks[0]
+        assert block.funcset == "mpi_put"
+        request = block.requests[0]
+        assert request.order == "append" and request.where == "entry"
+        assert request.constrained
+        assert isinstance(request.statements[0], mdl_ast.IncrStmt)
+
+    def test_figure2_rma_put_bytes_parses_with_out_param(self):
+        result = parse_mdl(FIG2_RMA_PUT_BYTES)
+        metric = result.metrics["mpi_rma_put_bytes"]
+        assert metric.counters == ("bytes", "count")
+        stmts = metric.blocks[0].requests[0].statements
+        call = stmts[0]
+        assert isinstance(call, mdl_ast.CallStmt)
+        assert call.call.name == "MPI_Type_size"
+        assert call.out_var == "bytes"
+        assert isinstance(stmts[1], mdl_ast.AssignStmt)
+        add = stmts[2]
+        assert isinstance(add, mdl_ast.AssignStmt) and add.op == "+="
+        assert isinstance(add.value, mdl_ast.BinaryExpr) and add.value.op == "*"
+
+    def test_figure2_constraint_parses(self):
+        result = parse_mdl(FIG2_CONSTRAINT)
+        constraint = result.constraints["mpi_windowConstraint"]
+        assert constraint.path == "/SyncObject/Window"
+        assert len(constraint.blocks) == 2
+        entry = constraint.blocks[0].requests[0]
+        assert entry.order == "prepend" and not entry.constrained
+        if_stmt = entry.statements[0]
+        assert isinstance(if_stmt, mdl_ast.IfStmt)
+        assert isinstance(if_stmt.condition, mdl_ast.BinaryExpr)
+        assert if_stmt.condition.op == "=="
+
+    def test_walltimer_metric(self):
+        src = """
+        metric t {
+            name "t";
+            base is walltimer {
+                foreach func in fs {
+                    append preinsn func.entry (* startWallTimer(t); *)
+                    prepend preinsn func.return (* stopWallTimer(t); *)
+                }
+            }
+        }
+        """
+        metric = parse_mdl(src).metrics["t"]
+        assert metric.base_kind == "walltimer"
+        stmts = [r.statements[0] for r in metric.blocks[0].requests]
+        assert [s.action for s in stmts] == ["start", "stop"]
+
+    def test_funcset_definition(self):
+        result = parse_mdl("funcset s = { A, B, C };")
+        assert result.funcsets["s"].functions == ("A", "B", "C")
+
+    def test_metric_without_base_rejected(self):
+        with pytest.raises(MdlSyntaxError, match="no base"):
+            parse_mdl('metric m { name "m"; }')
+
+    def test_unknown_constructs_rejected(self):
+        with pytest.raises(MdlSyntaxError):
+            parse_mdl("frobnicate x {}")
+        with pytest.raises(MdlSyntaxError):
+            parse_mdl("metric m { bogus_attr 3; base is counter {} }")
+        with pytest.raises(MdlSyntaxError):
+            parse_mdl("constraint c /X is walltimer {}")
+
+    def test_code_statement_errors(self):
+        with pytest.raises(MdlSyntaxError):
+            parse_code("5 = x;")
+        with pytest.raises(MdlSyntaxError):
+            parse_code("x ** 2;")
+        with pytest.raises(MdlSyntaxError):
+            parse_code("y = $bogus;")
+
+    def test_expression_precedence(self):
+        (stmt,) = parse_code("x = 1 + 2 * 3;")
+        assert isinstance(stmt.value, mdl_ast.BinaryExpr)
+        assert stmt.value.op == "+"
+        assert stmt.value.right.op == "*"
+
+
+class TestCompiler:
+    def _library(self):
+        from repro.core.metrics import build_library
+
+        return build_library()
+
+    def test_funcset_resolution_skips_missing_and_dedupes_weak(self):
+        from repro.dyninst.image import Image
+
+        library = self._library()
+        image = Image()
+
+        def gen(proc, *a):
+            if False:
+                yield
+
+        image.add_function("PMPI_Put", gen, module="libmpich.so", tags={"mpi"})
+        image.add_weak_alias("MPI_Put", "PMPI_Put")
+        fns = library.resolve_funcset("mpi_put", image)
+        # MPI_Put and PMPI_Put resolve to one function: instrumented once
+        assert len(fns) == 1
+        assert fns[0].name == "PMPI_Put"
+
+    def test_unknown_names_raise(self):
+        library = self._library()
+        with pytest.raises(MdlCompileError):
+            library.metric("no_such_metric")
+        with pytest.raises(MdlCompileError):
+            library.funcset("no_such_set")
+        with pytest.raises(MdlCompileError):
+            library.constraint("no_such_constraint")
+
+    def test_all_table1_metrics_are_defined(self):
+        from repro.core.metrics import RMA_METRIC_NAMES
+
+        library = self._library()
+        for name in RMA_METRIC_NAMES:
+            assert library.metric(name) is not None

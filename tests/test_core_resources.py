@@ -1,0 +1,140 @@
+"""Resource hierarchy, window uniquification, retirement, naming, foci."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.resources import CATEGORIES, Focus, ResourceError, ResourceHierarchy
+
+
+class FakeWin:
+    def __init__(self, win_id, name="", user_named=False):
+        self.win_id = win_id
+        self.name = name
+        self.user_named = user_named
+
+
+class FakeComm:
+    def __init__(self, cid, name="", user_named=False):
+        self.cid = cid
+        self.name = name
+        self.user_named = user_named
+
+
+class TestHierarchy:
+    def test_top_level_structure(self):
+        h = ResourceHierarchy()
+        assert set(h.root.children) == set(CATEGORIES)
+        assert set(h.sync_objects.children) == {"Message", "Barrier", "Window"}
+
+    def test_paths_roundtrip(self):
+        h = ResourceHierarchy()
+        node = h.add_function("app.c", "foo")
+        assert node.path == "/Code/app.c/foo"
+        assert h.find("/Code/app.c/foo") is node
+        assert h.exists("/Code/app.c/foo")
+        assert not h.exists("/Code/app.c/bar")
+
+    def test_find_rejects_relative_paths(self):
+        with pytest.raises(ResourceError):
+            ResourceHierarchy().find("Code/x")
+
+    def test_duplicate_child_rejected_but_ensure_is_idempotent(self):
+        h = ResourceHierarchy()
+        h.add_function("m.c", "f")
+        h.add_function("m.c", "f")  # ensure_child path: no error
+        module = h.find("/Code/m.c")
+        with pytest.raises(ResourceError):
+            module.add_child("f")
+
+    def test_process_registration(self):
+        h = ResourceHierarchy()
+        node = h.add_process("node7", 4242)
+        assert node.path == "/Machine/node7/pid4242"
+        assert ("new", node.path) in h.updates
+
+    def test_window_uniquification_n_dash_m(self):
+        """Reused implementation ids get distinct N-M resources (4.2.1)."""
+        h = ResourceHierarchy()
+        w1, w2 = FakeWin(3), FakeWin(3)
+        r1 = h.add_window(w1)
+        h.retire(r1)
+        r2 = h.add_window(w2)
+        assert r1.name == "3-0"
+        assert r2.name == "3-1"
+        assert h.window_resource_for(w2) is r2
+        assert h.window_resource_for(w1) is None  # retired
+
+    def test_retirement_grays_out(self):
+        h = ResourceHierarchy()
+        node = h.add_window(FakeWin(0))
+        h.retire(node)
+        assert node.retired
+        assert node not in h.sync_objects.child("Window").active_children()
+        assert "(retired)" in h.render()
+
+    def test_user_names_displayed(self):
+        h = ResourceHierarchy()
+        node = h.add_window(FakeWin(0))
+        h.set_display_name(node, "ParentChildWin")
+        assert node.label == "ParentChildWin"
+        assert "[ParentChildWin]" in h.render()
+        assert ("named", f"{node.path}=ParentChildWin") in h.updates
+
+    def test_communicator_and_tags(self):
+        h = ResourceHierarchy()
+        comm_node = h.add_communicator(FakeComm(5))
+        assert comm_node.path == "/SyncObject/Message/comm_5"
+        tag = h.add_message_tag(comm_node, 9)
+        assert tag.path == "/SyncObject/Message/comm_5/tag_9"
+
+    def test_walk_counts_everything(self):
+        h = ResourceHierarchy()
+        baseline = sum(1 for _ in h.root.walk())
+        h.add_function("m.c", "f")
+        assert sum(1 for _ in h.root.walk()) == baseline + 2  # module + fn
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(alphabet="abcdefg_", min_size=1, max_size=6),
+                st.text(alphabet="hijklmn_", min_size=1, max_size=6),
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_property_ensure_then_find(self, pairs):
+        h = ResourceHierarchy()
+        for module, fn in pairs:
+            h.add_function(module, fn)
+        for module, fn in pairs:
+            assert h.find(f"/Code/{module}/{fn}").name == fn
+
+
+class TestFocus:
+    def test_whole_program_default(self):
+        focus = Focus.whole_program()
+        assert focus.is_whole_program
+        assert focus.describe() == "Whole Program"
+        assert focus.constrained_components() == []
+
+    def test_with_components(self):
+        focus = (
+            Focus.whole_program()
+            .with_code("/Code/app.c/foo")
+            .with_sync_object("/SyncObject/Window/0-0")
+        )
+        assert focus.constrained_components() == [
+            "/Code/app.c/foo",
+            "/SyncObject/Window/0-0",
+        ]
+        assert "app.c/foo" in str(focus)
+
+    def test_focus_is_hashable_value_object(self):
+        a = Focus.whole_program().with_machine("/Machine/n0")
+        b = Focus.whole_program().with_machine("/Machine/n0")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1

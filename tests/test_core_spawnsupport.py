@@ -1,0 +1,97 @@
+"""The two dynamic-process-creation support methods (Section 4.2.2)."""
+
+import pytest
+
+from repro.core import Paradyn
+from repro.mpi import MpiProgram, SpawnError
+
+from conftest import ScriptProgram, make_universe
+
+
+class SleepChild(MpiProgram):
+    name = "sleep_child"
+    module = "sleep_child.c"
+
+    def main(self, mpi):
+        yield from mpi.init()
+        yield from mpi.compute(0.3)
+        yield from mpi.finalize()
+
+
+def spawn_script(mpi):
+    yield from mpi.init()
+    universe = mpi.ep.world.universe
+    if "sleep_child" not in universe.program_registry:
+        universe.register_program(SleepChild())
+    t0 = mpi.proc.kernel.now
+    yield from mpi.comm_spawn("sleep_child", [], 3)
+    spawn_script.spawn_time = mpi.proc.kernel.now - t0
+    yield from mpi.finalize()
+
+
+def run_with_method(method, impl="lam"):
+    universe = make_universe(impl)
+    tool = Paradyn(universe, spawn_method=method)
+    universe.launch(ScriptProgram(spawn_script, name="spawner"), 1)
+    universe.run()
+    return tool, universe
+
+
+def test_intercept_detects_and_attaches_children():
+    tool, universe = run_with_method("intercept")
+    assert len(tool.spawn_support.detected) == 3
+    attached = {p.pid for d in tool.daemons for p in d.procs}
+    child_pids = {ep.proc.pid for ep in universe.worlds[1].endpoints}
+    assert child_pids <= attached
+
+
+def test_intercept_wrapper_interposed_over_spawn():
+    universe = make_universe()
+    tool = Paradyn(universe, spawn_method="intercept")
+    universe.register_program(SleepChild())
+    world = universe.launch(ScriptProgram(spawn_script, name="spawner"), 1)
+    image = world.endpoints[0].proc.image
+    fn = image.resolve("MPI_Comm_spawn")
+    assert fn.module.name == "libparadyn_wrap.so"
+    universe.run()
+
+
+def test_intercept_inflates_spawn_cost_vs_attach():
+    """The paper's stated drawback of the intercept method."""
+    run_with_method("intercept")
+    intercept_time = spawn_script.spawn_time
+    run_with_method("attach", impl="refmpi")
+    attach_time = spawn_script.spawn_time
+    assert intercept_time > attach_time
+
+
+def test_attach_requires_mpir_interface():
+    """Neither LAM nor MPICH2 exposes the MPIR spawn table (the paper's
+    reason the attach method stayed future work)."""
+    universe = make_universe("lam")
+    with pytest.raises(SpawnError, match="MPIR"):
+        Paradyn(universe, spawn_method="attach")
+
+
+def test_attach_on_refmpi_attaches_after_latency():
+    tool, universe = run_with_method("attach", impl="refmpi")
+    assert len(tool.spawn_support.detected) == 3
+    attached = {p.pid for d in tool.daemons for p in d.procs}
+    child_pids = {ep.proc.pid for ep in universe.worlds[1].endpoints}
+    assert child_pids <= attached
+
+
+def test_unknown_method_rejected():
+    universe = make_universe()
+    with pytest.raises(ValueError, match="spawn method"):
+        Paradyn(universe, spawn_method="teleport")
+
+
+def test_unmonitored_spawn_leaves_children_untracked():
+    universe = make_universe()
+    tool = Paradyn(universe, monitor_spawned=False)
+    universe.launch(ScriptProgram(spawn_script, name="spawner"), 1)
+    universe.run()
+    attached = {p.pid for d in tool.daemons for p in d.procs}
+    child_pids = {ep.proc.pid for ep in universe.worlds[1].endpoints}
+    assert not (child_pids & attached)

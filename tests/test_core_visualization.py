@@ -1,0 +1,76 @@
+"""ASCII histogram chart rendering."""
+
+import pytest
+
+from repro.core.histogram import FoldingHistogram
+from repro.core.visualization import CURVE_CHARS, render_histogram_chart
+
+
+def _hist(values, bin_width=1.0):
+    h = FoldingHistogram(num_bins=64, bin_width=bin_width)
+    for i, v in enumerate(values):
+        if v:
+            h.add(i * bin_width + bin_width / 2, v)
+    return h
+
+
+def test_empty_and_validation():
+    assert render_histogram_chart({}) == "(no data)"
+    with pytest.raises(ValueError):
+        render_histogram_chart({"x": _hist([1])}, height=1)
+
+
+def test_single_curve_shape():
+    chart = render_histogram_chart({"rate": _hist([0, 5, 10, 5, 0])},
+                                   title="T", width=20, height=6)
+    lines = chart.splitlines()
+    assert lines[0] == "T"
+    assert any("*" in line for line in lines)
+    assert "* = rate" in lines[-1]
+    # the peak row carries the max rate label
+    assert "10" in lines[1]
+
+
+def test_two_curves_use_distinct_chars():
+    chart = render_histogram_chart(
+        {"a": _hist([4, 4, 4]), "b": _hist([1, 2, 3])}, width=24, height=8
+    )
+    assert CURVE_CHARS[0] in chart and CURVE_CHARS[1] in chart
+    assert "a" in chart and "b" in chart
+
+
+def test_time_axis_reflects_coverage():
+    chart = render_histogram_chart({"x": _hist([1] * 10, bin_width=0.5)},
+                                   width=30, height=4)
+    assert "0.0s" in chart
+    assert "5.0s" in chart
+
+
+def test_live_data_renders():
+    import sys
+    sys.path.insert(0, "tests")
+    from conftest import ScriptProgram, make_universe
+
+    from repro.core import Paradyn
+
+    def script(mpi):
+        yield from mpi.init()
+        for _ in range(60):
+            if mpi.rank == 0:
+                yield from mpi.send(1, nbytes=100, tag=1)
+                yield from mpi.compute(0.05)
+            else:
+                yield from mpi.recv(source=0, tag=1)
+        yield from mpi.finalize()
+
+    universe = make_universe()
+    tool = Paradyn(universe)
+    tool.enable("msg_bytes_sent")
+    universe.launch(ScriptProgram(script), 2)
+    universe.run()
+    chart = render_histogram_chart(
+        {"bytes sent/sec": tool.histogram("msg_bytes_sent")},
+        title="Figure-4-style view",
+    )
+    assert "bytes sent/sec" in chart
+    assert "*" in chart

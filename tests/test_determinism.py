@@ -1,0 +1,35 @@
+"""Determinism guarantees: same seed, same everything."""
+
+from repro.analysis import run_program
+from repro.pperfmark import IntensiveServer, PrestaRma, RandomBarrier
+
+
+def _signature(result):
+    pc = result.consultant
+    return (
+        round(result.elapsed, 9),
+        pc.render_condensed(),
+        tuple(sorted(pc.summary().items())),
+    )
+
+
+def test_same_seed_reproduces_pc_output_exactly():
+    a = _signature(run_program(RandomBarrier(iterations=30), seed=7))
+    b = _signature(run_program(RandomBarrier(iterations=30), seed=7))
+    assert a == b
+
+
+def test_different_seeds_differ_where_randomness_exists():
+    presta_a = PrestaRma(ops_per_epoch=50, epochs=4, patterns=("uni_put",))
+    presta_b = PrestaRma(ops_per_epoch=50, epochs=4, patterns=("uni_put",))
+    run_program(presta_a, impl="mpich2", with_tool=False, seed=1)
+    run_program(presta_b, impl="mpich2", with_tool=False, seed=2)
+    assert presta_a.results["uni_put"].elapsed != presta_b.results["uni_put"].elapsed
+
+
+def test_exited_processes_retire_from_hierarchy():
+    result = run_program(IntensiveServer(iterations=40))
+    hierarchy = result.tool.hierarchy
+    for ep in result.world.endpoints:
+        node = hierarchy.find(f"/Machine/{ep.proc.node.name}/pid{ep.proc.pid}")
+        assert node.retired

@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example runs end to end."""
+
+import runpy
+import subprocess
+import sys
+import pathlib
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *argv):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *argv],
+        capture_output=True, text=True, timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Performance Consultant" in out
+    assert "ExcessiveSyncWaitingTime" in out
+
+
+def test_rma_tuning():
+    out = run_example("rma_tuning.py")
+    assert "fence" in out and "scpw" in out
+    assert "wins" in out
+
+
+def test_spawn_monitoring():
+    out = run_example("spawn_monitoring.py")
+    assert "children detected" in out
+    assert "intercept" in out and "attach" in out
+
+
+def test_pperfmark_suite_single_program():
+    out = run_example("pperfmark_suite.py", "hot_procedure", "lam")
+    assert "Pass" in out and "match" in out
+
+
+def test_compare_tools():
+    out = run_example("compare_tools.py")
+    assert "Paradyn view" in out
+    assert "Jumpshot" in out
+    assert "mpiP view" in out

@@ -1,0 +1,93 @@
+"""Extensions: MPI-IO metrics and the PC search-history export."""
+
+import pytest
+
+from repro.core import Focus, Paradyn
+
+from conftest import ScriptProgram, make_universe
+
+
+class TestMpiIoMetrics:
+    def test_mpi_io_bytes_and_wait_measured(self):
+        """The remaining MPI-2 feature the paper leaves as future work:
+        MPI-IO metrics in the same Table-1 style."""
+
+        def script(mpi):
+            yield from mpi.init()
+            fh = yield from mpi.file_open("/scratch/out.dat")
+            for i in range(10):
+                yield from mpi.file_write_at(fh, i * 4096, 4096)
+            yield from mpi.file_read_at(fh, 0, 8192)
+            yield from mpi.file_close(fh)
+            yield from mpi.finalize()
+
+        universe = make_universe("lam")
+        tool = Paradyn(universe)
+        whole = Focus.whole_program()
+        tool.enable("mpi_io_bytes_written", whole)
+        tool.enable("mpi_io_bytes_read", whole)
+        tool.enable("mpi_io_wait", whole)
+        universe.launch(ScriptProgram(script), 2)
+        universe.run()
+        assert tool.data("mpi_io_bytes_written").total() == 2 * 10 * 4096
+        assert tool.data("mpi_io_bytes_read").total() == 2 * 8192
+        assert tool.data("mpi_io_wait").total() > 0
+
+    def test_mpi_io_wait_separate_from_posix_io_wait(self):
+        """MPI-IO time is not attributed to the read/write syscall metric."""
+
+        def script(mpi):
+            yield from mpi.init()
+            fh = yield from mpi.file_open("/scratch/out.dat")
+            yield from mpi.file_write_at(fh, 0, 1 << 20)
+            yield from mpi.file_close(fh)
+            yield from mpi.finalize()
+
+        universe = make_universe("lam")
+        tool = Paradyn(universe)
+        whole = Focus.whole_program()
+        tool.enable("mpi_io_wait", whole)
+        tool.enable("io_wait", whole)
+        universe.launch(ScriptProgram(script), 1)
+        universe.run()
+        assert tool.data("mpi_io_wait").total() > 0.01
+        assert tool.data("io_wait").total() == 0.0
+
+
+class TestSearchHistory:
+    def _consultant(self):
+        def script(mpi):
+            yield from mpi.init()
+            for _ in range(40):
+                yield from mpi.call("spin", 0.1)
+            yield from mpi.finalize()
+
+        def spin(mpi, proc, seconds):
+            yield from mpi.compute(seconds)
+
+        universe = make_universe()
+        tool = Paradyn(universe, pc_experiment_window=0.5)
+        tool.run_consultant()
+        universe.launch(ScriptProgram(script, functions={"spin": spin}), 2)
+        universe.run()
+        return tool.consultant
+
+    def test_history_includes_false_nodes(self):
+        pc = self._consultant()
+        history = pc.search_history()
+        states = {node.state.value for node in history}
+        assert "true" in states and "false" in states
+        assert len(history) >= 5
+
+    def test_summary_counts_match_history(self):
+        pc = self._consultant()
+        summary = pc.summary()
+        assert summary["total"] == len(pc.search_history())
+        assert summary["true"] + summary["false"] + summary["unknown"] + \
+            summary["pending"] + summary["testing"] == summary["total"]
+
+    def test_render_search_history_marks_outcomes(self):
+        pc = self._consultant()
+        text = pc.render_search_history()
+        assert "+ CPUBound" in text
+        assert "- Excessive" in text or "? Excessive" in text

@@ -1,0 +1,155 @@
+"""Integration tests: the paper's headline results at reduced scale.
+
+These run whole tool-attached experiments (seconds each).  The full-scale
+versions live in benchmarks/; here the scales are trimmed so the suite
+stays fast while still exercising every paper claim end to end.
+"""
+
+import pytest
+
+from repro.analysis import run_program, verify_program
+from repro.core import Focus
+from repro.pperfmark import (
+    BigMessage,
+    IntensiveServer,
+    Oned,
+    SmallMessages,
+    SpawnWinSync,
+    WinScpwSync,
+)
+
+WHOLE = Focus.whole_program()
+
+
+class TestFigure3SmallMessages:
+    """LAM: sync only.  MPICH: sync + I/O blocking (socket transport)."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            impl: run_program(SmallMessages(iterations=14000), impl=impl,
+                              metrics=[("msg_bytes_recv", WHOLE)])
+            for impl in ("lam", "mpich")
+        }
+
+    def test_both_impls_find_sync_in_gsend(self, results):
+        for impl in ("lam", "mpich"):
+            pc = results[impl].consultant
+            assert pc.found("ExcessiveSyncWaitingTime")
+            assert pc.found("ExcessiveSyncWaitingTime", "Gsend_message")
+
+    def test_io_blocking_only_for_mpich(self, results):
+        assert results["mpich"].consultant.found("ExcessiveIOBlockingTime")
+        assert not results["lam"].consultant.found("ExcessiveIOBlockingTime")
+
+    def test_figure4_server_byte_count(self, results):
+        """Integrating the server's byte histogram recovers the ground
+        truth (the paper: 199.3 MB computed vs 200 MB actual, ~0.4% off)."""
+        result = results["lam"]
+        program = result.program
+        server_pid = result.proc(0).pid
+        hist = result.data("msg_bytes_recv").histogram_for(server_pid)
+        expected = program.expected_bytes_at_server(result.world.size)
+        measured = hist.total()
+        assert measured == pytest.approx(expected, rel=0.02)
+        # the paper's method: mean rate x runtime, end bins dropped
+        est = hist.interior_mean_rate() * hist.active_duration()
+        assert est == pytest.approx(expected, rel=0.15)
+
+
+class TestFigure5and6BigMessage:
+    def test_sync_found_in_both_directions_and_bytes_counted(self):
+        result = run_program(
+            BigMessage(iterations=60),
+            impl="lam",
+            metrics=[("msg_bytes_sent", WHOLE), ("msg_bytes_recv", WHOLE)],
+        )
+        pc = result.consultant
+        assert pc.found("ExcessiveSyncWaitingTime", "Gsend_message")
+        assert pc.found("ExcessiveSyncWaitingTime", "Grecv_message")
+        expected = result.program.expected_bytes_per_process()
+        assert result.data("msg_bytes_sent").total() == pytest.approx(2 * expected, rel=0.01)
+        assert result.data("msg_bytes_recv").total() == pytest.approx(2 * expected, rel=0.01)
+
+
+class TestFigure10IntensiveServer:
+    def test_clients_wait_in_recv_server_cpu_bound(self):
+        result = run_program(IntensiveServer())
+        pc = result.consultant
+        assert pc.found("ExcessiveSyncWaitingTime", "Grecv_message")
+        assert pc.found("CPUBound")
+        # communicator discovered, as in the paper's figure
+        assert pc.found("ExcessiveSyncWaitingTime", "comm_")
+
+
+class TestFigure21WinScpwSync:
+    @pytest.mark.parametrize("impl", ["lam", "mpich2"])
+    def test_active_target_sync_on_window_plus_waster(self, impl):
+        result = run_program(WinScpwSync(iterations=400), impl=impl)
+        pc = result.consultant
+        assert pc.found("ExcessiveSyncWaitingTime")
+        assert pc.found("ExcessiveSyncWaitingTime", "Window")
+        assert pc.found("CPUBound", "waste_time")
+
+    def test_blocking_call_differs_between_impls(self):
+        """LAM blocks in MPI_Win_start; MPICH2 in MPI_Win_complete."""
+        lam = run_program(WinScpwSync(iterations=400), impl="lam",
+                          metrics=[("at_rma_sync_wait", WHOLE)])
+        mpich2 = run_program(WinScpwSync(iterations=400), impl="mpich2",
+                             metrics=[("at_rma_sync_wait", WHOLE)])
+        # both spend heavily in active-target sync
+        for result in (lam, mpich2):
+            origin = result.proc(1)
+            data = result.data("at_rma_sync_wait")
+            frac = data.histogram_for(origin.pid).total() / origin.wall_time()
+            assert frac > 0.5
+
+
+class TestFigure22Oned:
+    def test_lam_fence_bottleneck_shows_barrier_syncobject(self):
+        result = run_program(Oned(), impl="lam")
+        pc = result.consultant
+        assert pc.found("ExcessiveSyncWaitingTime")
+        assert pc.found("ExcessiveSyncWaitingTime", "Barrier")
+
+    def test_mpich2_fence_has_no_barrier_syncobject(self):
+        result = run_program(Oned(iterations=2500), impl="mpich2")
+        pc = result.consultant
+        assert pc.found("ExcessiveSyncWaitingTime")
+        assert not pc.found("ExcessiveSyncWaitingTime", "Barrier")
+
+
+class TestFigure23SpawnHierarchy:
+    def test_window_name_and_processes_visible(self):
+        result = run_program(SpawnWinSync(iterations=300))
+        hierarchy = result.tool.hierarchy
+        rendered = hierarchy.render()
+        assert "ParentChildWin" in rendered
+        procs = [
+            node
+            for machine in hierarchy.machine.children.values()
+            for node in machine.children.values()
+        ]
+        assert len(procs) == 1 + 3  # parent + children
+        # LAM keeps the window name in a hidden communicator too
+        message_names = [
+            node.display_name
+            for node in hierarchy.sync_objects.child("Message").children.values()
+        ]
+        assert "ParentChildWin" in message_names
+
+
+class TestWeakSymbolAblation:
+    def test_legacy_definitions_fail_on_mpich_only(self):
+        """Section 4.1.1: Paradyn 4.0's metric definitions miss default
+        MPICH builds; LAM (strong MPI_* symbols) still works."""
+        legacy_mpich = run_program(
+            SmallMessages(iterations=3000), impl="mpich",
+            metrics=[("msgs_sent", WHOLE)], legacy_metrics=True, consultant=False,
+        )
+        assert legacy_mpich.data("msgs_sent").total() == 0
+        legacy_lam = run_program(
+            SmallMessages(iterations=3000), impl="lam",
+            metrics=[("msgs_sent", WHOLE)], legacy_metrics=True, consultant=False,
+        )
+        assert legacy_lam.data("msgs_sent").total() > 0

@@ -1,0 +1,223 @@
+"""Launch subsystem: machine files, LAM notation (Section 4.1.2), mpirun."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.launch import (
+    AppSchema,
+    AppSchemaError,
+    LamSession,
+    MachineFile,
+    MachineFileError,
+    MpirunError,
+    NotationError,
+    mpirun,
+    parse_lam_args,
+    parse_mpich_args,
+    parse_range_list,
+)
+from repro.mpi import MpiUniverse
+from repro.sim import Cluster
+
+from conftest import ScriptProgram
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(num_nodes=5, cpus_per_node=2)
+
+
+@pytest.fixture
+def session(cluster):
+    return LamSession.boot(cluster)
+
+
+class TestMachineFile:
+    def test_parse_forms(self):
+        mf = MachineFile.parse(
+            """
+            # comment
+            hostA
+            hostB:4
+            hostC cpu=2  # trailing comment
+            """
+        )
+        assert [(e.hostname, e.cpus) for e in mf.entries] == [
+            ("hostA", 1), ("hostB", 4), ("hostC", 2),
+        ]
+        assert mf.num_hosts == 3
+        assert mf.num_cpus == 7
+
+    def test_bad_forms_rejected(self):
+        with pytest.raises(MachineFileError):
+            MachineFile.parse("host:x")
+        with pytest.raises(MachineFileError):
+            MachineFile.parse("host cpu=z")
+        with pytest.raises(MachineFileError):
+            MachineFile.parse("host weird")
+        with pytest.raises(MachineFileError):
+            MachineFile.parse("   \n  # nothing\n")
+
+    def test_resolve_against_cluster(self, cluster):
+        mf = MachineFile.for_cluster(cluster)
+        nodes = mf.nodes(cluster)
+        assert [n.name for n in nodes] == [n.name for n in cluster.nodes]
+        with pytest.raises(MachineFileError):
+            MachineFile.parse("unknown-host").nodes(cluster)
+
+    def test_overclaimed_cpus_rejected(self, cluster):
+        mf = MachineFile.parse(f"{cluster.nodes[0].name}:9")
+        with pytest.raises(MachineFileError, match="claims 9"):
+            mf.nodes(cluster)
+
+    def test_render_roundtrip(self, cluster):
+        mf = MachineFile.for_cluster(cluster)
+        again = MachineFile.parse(mf.render())
+        assert [(e.hostname, e.cpus) for e in again.entries] == [
+            (e.hostname, e.cpus) for e in mf.entries
+        ]
+
+
+class TestLamNotation:
+    """The paper's three ways to place processes (Section 4.1.2)."""
+
+    def test_direct_cpu_count(self, session):
+        placement = session.placement_np(3)
+        assert [c.name for c in placement] == [c.name for c in session.cpus[:3]]
+
+    def test_node_spec_example_from_paper(self, session):
+        """'n0-2,4' starts an MPI process on nodes 0, 1, 2, and 4."""
+        placement = session.placement_nodes("0-2,4")
+        assert [c.node.index for c in placement] == [0, 1, 2, 4]
+
+    def test_capital_n_one_per_node(self, session):
+        placement = session.placement_all_nodes()
+        assert [c.node.index for c in placement] == [0, 1, 2, 3, 4]
+
+    def test_capital_c_one_per_cpu(self, session):
+        placement = session.placement_all_cpus()
+        assert len(placement) == session.num_cpus
+
+    def test_cpu_spec(self, session):
+        placement = session.placement_cpus("0,3-5")
+        assert [session.cpus.index(c) for c in placement] == [0, 3, 4, 5]
+
+    def test_mixed_tokens(self, session):
+        placement = session.placement_from_tokens(["n0-1", "c8"])
+        assert [c.node.index for c in placement[:2]] == [0, 1]
+        assert placement[2] is session.cpus[8]
+
+    def test_out_of_range_rejected(self, session):
+        with pytest.raises(NotationError, match="out of range"):
+            session.placement_nodes("7")
+        with pytest.raises(NotationError, match="out of range"):
+            session.placement_cpus("99")
+
+    def test_malformed_specs_rejected(self, session):
+        for bad in ("", "1-", "a", "3-1", "1,,2"):
+            with pytest.raises(NotationError):
+                parse_range_list(bad, 10, "node")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)).map(
+                lambda pair: (min(pair), max(pair))
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_property_ranges_expand_inclusively(self, ranges):
+        spec = ",".join(f"{lo}-{hi}" for lo, hi in ranges)
+        expected = [i for lo, hi in ranges for i in range(lo, hi + 1)]
+        assert parse_range_list(spec, 10, "node") == expected
+
+
+class TestMpirunParsing:
+    def test_lam_np(self, session):
+        program, args, placement = parse_lam_args(["-np", "4", "prog", "x"], session)
+        assert program == "prog"
+        assert args == ["x"]
+        assert len(placement) == 4
+
+    def test_lam_location_tokens(self, session):
+        program, _, placement = parse_lam_args(["n0-2,4", "prog"], session)
+        assert [c.node.index for c in placement] == [0, 1, 2, 4]
+
+    def test_lam_np_with_locations_limits_count(self, session):
+        _, _, placement = parse_lam_args(["-np", "2", "N", "prog"], session)
+        assert len(placement) == 2
+
+    def test_lam_errors(self, session):
+        with pytest.raises(MpirunError):
+            parse_lam_args(["-np", "x", "prog"], session)
+        with pytest.raises(MpirunError):
+            parse_lam_args(["prog"], session)  # no count/location
+        with pytest.raises(MpirunError):
+            parse_lam_args(["-np", "2"], session)  # no program
+
+    def test_mpich_args_with_machinefile_and_wdir(self, cluster):
+        universe = MpiUniverse(cluster=cluster)
+        mf_text = f"{cluster.nodes[1].name}:2\n{cluster.nodes[2].name}:2\n"
+        program, args, placement, wdir = parse_mpich_args(
+            ["-np", "3", "-m", mf_text, "-wdir", "/scratch/run", "prog"], universe
+        )
+        assert program == "prog"
+        assert wdir == "/scratch/run"
+        assert [c.node.index for c in placement] == [1, 1, 2]
+
+    def test_mpich_requires_np(self, cluster):
+        universe = MpiUniverse(cluster=cluster)
+        with pytest.raises(MpirunError, match="-np"):
+            parse_mpich_args(["prog"], universe)
+
+
+class TestMpirunEndToEnd:
+    def _program(self, out):
+        def script(mpi):
+            yield from mpi.init()
+            out.append((mpi.rank, mpi.proc.node.name, mpi.proc.working_dir))
+            yield from mpi.finalize()
+
+        return ScriptProgram(script, name="prog")
+
+    def test_lam_launch(self, cluster):
+        universe = MpiUniverse(impl="lam", cluster=cluster)
+        out = []
+        world = mpirun(universe, ["-np", "4", "prog"], program=self._program(out))
+        universe.run()
+        assert world.size == 4
+        assert sorted(r for r, _, _ in out) == [0, 1, 2, 3]
+
+    def test_mpich_launch_sets_working_dir(self, cluster):
+        universe = MpiUniverse(impl="mpich", cluster=cluster)
+        out = []
+        mpirun(
+            universe,
+            ["-np", "2", "-wdir", "/scratch", "prog"],
+            program=self._program(out),
+        )
+        universe.run()
+        assert all(wdir == "/scratch" for _, _, wdir in out)
+
+
+class TestAppSchema:
+    def test_parse_and_placement(self, cluster):
+        schema = AppSchema.parse("child -np 4 n1-2\n")
+        placement = schema.placement(cluster, 4)
+        assert [c.node.index for c in placement] == [1, 2, 1, 2]
+
+    def test_parse_errors(self):
+        with pytest.raises(AppSchemaError):
+            AppSchema.parse("")
+        with pytest.raises(AppSchemaError):
+            AppSchema.parse("prog -np")
+        with pytest.raises(AppSchemaError):
+            AppSchema.parse("prog -np x")
+
+    def test_placement_shortfall_rejected(self, cluster):
+        schema = AppSchema.parse("child -np 1 n0")
+        with pytest.raises(AppSchemaError, match="slots"):
+            schema.placement(cluster, 5)

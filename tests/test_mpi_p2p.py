@@ -1,0 +1,242 @@
+"""Point-to-point semantics: matching, ordering, wildcards, protocols."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, Status
+from repro.sim.kernel import DeadlockError
+
+from conftest import make_universe, run_script
+
+
+def test_basic_send_recv_payload_and_status():
+    received = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.send(1, nbytes=16, tag=9, payload={"k": "v"})
+        else:
+            status = Status()
+            msg = yield from mpi.recv(source=0, tag=9, status=status)
+            received["msg"] = msg
+            received["status"] = (status.source, status.tag, status.count_bytes)
+        yield from mpi.finalize()
+
+    run_script(script, 2)
+    assert received["msg"] == {"k": "v"}
+    assert received["status"] == (0, 9, 16)
+
+
+def test_wildcard_source_and_tag():
+    got = []
+
+    def script(mpi):
+        yield from mpi.init()
+        if mpi.rank != 0:
+            yield from mpi.send(0, tag=mpi.rank * 10, payload=mpi.rank)
+        else:
+            for _ in range(2):
+                status = Status()
+                msg = yield from mpi.recv(source=ANY_SOURCE, tag=ANY_TAG, status=status)
+                got.append((msg, status.source, status.tag))
+        yield from mpi.finalize()
+
+    run_script(script, 3)
+    assert sorted(got) == [(1, 1, 10), (2, 2, 20)]
+
+
+def test_non_overtaking_same_source_same_tag():
+    order = []
+
+    def script(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            for i in range(10):
+                yield from mpi.send(1, tag=5, payload=i)
+        else:
+            for _ in range(10):
+                order.append((yield from mpi.recv(source=0, tag=5)))
+        yield from mpi.finalize()
+
+    run_script(script, 2)
+    assert order == list(range(10))
+
+
+def test_out_of_order_tags_match_from_unexpected_queue():
+    """The wrong-way pattern: receiver drains tags in the opposite order."""
+    got = []
+
+    def script(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            for tag in (3, 2, 1):
+                yield from mpi.send(1, tag=tag, payload=f"t{tag}")
+        else:
+            for tag in (1, 2, 3):
+                got.append((yield from mpi.recv(source=0, tag=tag)))
+        yield from mpi.finalize()
+
+    run_script(script, 2)
+    assert got == ["t1", "t2", "t3"]
+
+
+def test_unmatched_recv_deadlocks():
+    def script(mpi):
+        yield from mpi.init()
+        if mpi.rank == 1:
+            yield from mpi.recv(source=0, tag=999)
+        yield from mpi.finalize()
+
+    with pytest.raises(DeadlockError):
+        run_script(script, 2)
+
+
+@pytest.mark.parametrize("impl", ["lam", "mpich"])
+@pytest.mark.parametrize("nbytes", [64, 500_000])
+def test_large_and_small_messages_deliver_payload(impl, nbytes):
+    """Eager and rendezvous protocols both deliver the payload intact."""
+    out = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.send(1, nbytes=nbytes, tag=1, payload=b"x" * 100)
+        else:
+            out["msg"] = yield from mpi.recv(source=0, tag=1)
+        yield from mpi.finalize()
+
+    uni, _ = run_script(script, 2, impl=impl)
+    assert out["msg"] == b"x" * 100
+    assert uni.kernel.now > 0
+
+
+def test_rendezvous_sender_waits_for_receiver():
+    """A big send cannot complete before the matching receive is posted."""
+    times = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.send(1, nbytes=1_000_000, tag=1)
+            times["send_done"] = mpi.proc.kernel.now
+        else:
+            yield from mpi.compute(5.0)  # receiver is late
+            yield from mpi.recv(source=0, tag=1, nbytes=1_000_000)
+        yield from mpi.finalize()
+
+    run_script(script, 2)
+    assert times["send_done"] > 5.0
+
+
+def test_eager_send_completes_without_receiver():
+    times = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.send(1, nbytes=8, tag=1)
+            times["send_done"] = mpi.proc.kernel.now
+        else:
+            yield from mpi.compute(5.0)
+            yield from mpi.recv(source=0, tag=1)
+        yield from mpi.finalize()
+
+    run_script(script, 2)
+    assert times["send_done"] < 1.0
+
+
+def test_flow_control_throttles_flooding_sender():
+    """With a slow consumer, a flood of eager sends must block the sender
+    (socket-buffer backpressure), not buffer unboundedly."""
+    times = {}
+    count = 3000  # far above the per-channel credit window
+
+    def script(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            for _ in range(count):
+                yield from mpi.send(1, nbytes=4, tag=1)
+            times["sender_done"] = mpi.proc.kernel.now
+        else:
+            for _ in range(count):
+                yield from mpi.compute(1e-3)  # slow consumer
+                yield from mpi.recv(source=0, tag=1)
+            times["receiver_done"] = mpi.proc.kernel.now
+        yield from mpi.finalize()
+
+    uni, world = run_script(script, 2)
+    # the sender cannot finish long before the receiver drains the channel
+    assert times["sender_done"] > 0.5 * times["receiver_done"]
+    ep = world.endpoints[1]
+    assert ep.mailbox.unexpected_count == 0
+
+
+def test_isend_wait_and_waitall():
+    out = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            reqs = []
+            for i in range(4):
+                req = yield from mpi.isend(1, tag=i, payload=i)
+                reqs.append(req)
+            yield from mpi.waitall(reqs)
+        else:
+            req = yield from mpi.irecv(source=0, tag=2)
+            msgs = []
+            for tag in (0, 1, 3):
+                msgs.append((yield from mpi.recv(source=0, tag=tag)))
+            value = yield from mpi.wait(req)
+            out["msgs"] = msgs + [value]
+        yield from mpi.finalize()
+
+    run_script(script, 2)
+    assert out["msgs"] == [0, 1, 3, 2]
+
+
+def test_sendrecv_exchanges_between_pair():
+    out = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        peer = 1 - mpi.rank
+        value = yield from mpi.sendrecv(
+            peer, peer, send_nbytes=8, sendtag=4, recvtag=4, payload=f"from{mpi.rank}"
+        )
+        out[mpi.rank] = value
+        yield from mpi.finalize()
+
+    run_script(script, 2)
+    assert out == {0: "from1", 1: "from0"}
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    tags=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=25),
+)
+def test_property_every_send_matched_exactly_once(tags):
+    """Random tag sequences: receiving the multiset of sent tags (each tag
+    in FIFO order) always drains the unexpected queue completely."""
+    got = []
+
+    def script(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            for i, tag in enumerate(tags):
+                yield from mpi.send(1, tag=tag, payload=(tag, i))
+        else:
+            for tag in sorted(tags):
+                got.append((yield from mpi.recv(source=0, tag=tag)))
+        yield from mpi.finalize()
+
+    uni, world = run_script(script, 2)
+    assert len(got) == len(tags)
+    # FIFO per tag: sequence numbers for equal tags are increasing
+    by_tag = {}
+    for tag, seq in got:
+        assert by_tag.get(tag, -1) < seq
+        by_tag[tag] = seq
+    assert world.endpoints[1].mailbox.unexpected_count == 0

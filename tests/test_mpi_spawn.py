@@ -1,0 +1,202 @@
+"""Dynamic process creation: spawn, intercommunicators, merge, placement."""
+
+import pytest
+
+from repro.mpi import MpiProgram, SpawnError, UnsupportedFeature
+
+from conftest import ScriptProgram, make_universe, run_script
+
+
+class EchoChild(MpiProgram):
+    name = "echo_child"
+    module = "echo_child.c"
+
+    def main(self, mpi):
+        yield from mpi.init()
+        parent = yield from mpi.comm_get_parent()
+        msg = yield from mpi.recv(source=0, tag=1, comm=parent)
+        yield from mpi.send(0, tag=2, comm=parent, payload=(mpi.rank, msg))
+        yield from mpi.finalize()
+
+
+def test_spawn_creates_children_and_intercomm_routes_messages():
+    got = []
+
+    def script(mpi):
+        yield from mpi.init()
+        if "echo_child" not in mpi.ep.world.universe.program_registry:
+            mpi.ep.world.universe.register_program(EchoChild())
+        inter, codes = yield from mpi.comm_spawn("echo_child", [], 3)
+        assert codes == [0, 0, 0]
+        assert inter.is_intercomm
+        if mpi.rank == 0:
+            for child in range(3):
+                yield from mpi.send(child, tag=1, comm=inter, payload=f"hi{child}")
+            for _ in range(3):
+                got.append((yield from mpi.recv(tag=2, comm=inter)))
+        yield from mpi.finalize()
+
+    uni, world = run_script(script, 2)
+    assert sorted(got) == [(0, "hi0"), (1, "hi1"), (2, "hi2")]
+    assert len(uni.worlds) == 2
+    child_world = uni.worlds[1]
+    assert child_world.size == 3
+    assert all(ep.proc.exited for ep in child_world.endpoints)
+
+
+def test_children_have_own_comm_world():
+    sizes = {}
+
+    class SizeChild(MpiProgram):
+        name = "size_child"
+
+        def main(self, mpi):
+            yield from mpi.init()
+            sizes["child"] = mpi.size
+            parent = yield from mpi.comm_get_parent()
+            assert parent is not None
+            yield from mpi.finalize()
+
+    def script(mpi):
+        yield from mpi.init()
+        mpi.ep.world.universe.register_program(SizeChild())
+        sizes["parent"] = mpi.size
+        yield from mpi.comm_spawn("size_child", [], 4)
+        yield from mpi.finalize()
+
+    run_script(script, 2)
+    assert sizes == {"parent": 2, "child": 4}
+
+
+def test_get_parent_is_none_for_initial_world():
+    out = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        out["parent"] = yield from mpi.comm_get_parent()
+        yield from mpi.finalize()
+
+    run_script(script, 1)
+    assert out["parent"] is None
+
+
+def test_unknown_spawn_command_raises():
+    def script(mpi):
+        yield from mpi.init()
+        yield from mpi.comm_spawn("no_such_program", [], 1)
+        yield from mpi.finalize()
+
+    with pytest.raises(SpawnError, match="no_such_program"):
+        run_script(script, 1)
+
+
+def test_mpich2_spawn_unsupported():
+    """The paper: MPICH2 0.96p2 beta does not support dynamic process
+    creation -- our personality refuses too."""
+
+    def script(mpi):
+        yield from mpi.init()
+        yield from mpi.comm_spawn("anything", [], 1)
+        yield from mpi.finalize()
+
+    with pytest.raises(UnsupportedFeature, match="spawn"):
+        run_script(script, 1, impl="mpich2")
+
+
+def test_intercomm_merge_gives_working_intracomm():
+    out = {}
+
+    class MergeChild(MpiProgram):
+        name = "merge_child"
+
+        def main(self, mpi):
+            yield from mpi.init()
+            parent = yield from mpi.comm_get_parent()
+            merged = yield from mpi.intercomm_merge(parent, high=True)
+            total = yield from mpi.allreduce(1, comm=merged)
+            out.setdefault("totals", []).append(total)
+            yield from mpi.finalize()
+
+    def script(mpi):
+        yield from mpi.init()
+        mpi.ep.world.universe.register_program(MergeChild())
+        inter, _ = yield from mpi.comm_spawn("merge_child", [], 3)
+        merged = yield from mpi.intercomm_merge(inter, high=False)
+        assert not merged.is_intercomm
+        assert merged.size == 5
+        total = yield from mpi.allreduce(1, comm=merged)
+        out.setdefault("totals", []).append(total)
+        yield from mpi.finalize()
+
+    run_script(script, 2)
+    assert out["totals"] == [5] * 5
+
+
+def test_lam_spawn_placement_round_robin():
+    nodes = {}
+
+    class WhereChild(MpiProgram):
+        name = "where_child"
+
+        def main(self, mpi):
+            yield from mpi.init()
+            nodes.setdefault("children", []).append(mpi.proc.node.name)
+            yield from mpi.finalize()
+
+    def script(mpi):
+        yield from mpi.init()
+        mpi.ep.world.universe.register_program(WhereChild())
+        yield from mpi.comm_spawn("where_child", [], 4)
+        yield from mpi.finalize()
+
+    uni, _ = run_script(script, 2)
+    children = nodes["children"]
+    assert len(children) == 4
+    assert len(set(children)) >= 2  # spread over the cluster
+
+
+def test_lam_spawn_file_info_key_controls_placement():
+    """LAM's implementation-defined lam_spawn_file schema (Section 4.2.2)."""
+    nodes = []
+
+    class PinnedChild(MpiProgram):
+        name = "pinned_child"
+
+        def main(self, mpi):
+            yield from mpi.init()
+            nodes.append(mpi.proc.node.name)
+            yield from mpi.finalize()
+
+    def script(mpi):
+        yield from mpi.init()
+        mpi.ep.world.universe.register_program(PinnedChild())
+        info = {"lam_spawn_file": "pinned_child -np 3 n1"}
+        yield from mpi.comm_spawn("pinned_child", [], 3, info=info)
+        yield from mpi.finalize()
+
+    uni, _ = run_script(script, 1)
+    # the schema pins everything to node index 1
+    assert nodes == [uni.cluster.nodes[1].name] * 3
+
+
+def test_mpir_proctable_only_on_refmpi():
+    class TinyChild(MpiProgram):
+        name = "tiny_child"
+
+        def main(self, mpi):
+            yield from mpi.init()
+            yield from mpi.finalize()
+
+    def script(mpi):
+        yield from mpi.init()
+        mpi.ep.world.universe.register_program(TinyChild())
+        yield from mpi.comm_spawn("tiny_child", [], 2)
+        yield from mpi.finalize()
+
+    uni, _ = run_script(script, 1, impl="lam")
+    assert uni.mpir_proctable == []  # paper: LAM lacks the debug interface
+
+    uni2, _ = run_script(script, 1, impl="refmpi")
+    spawned = [d for d in uni2.mpir_proctable if d.spawned]
+    assert len(spawned) == 2
+    assert all(d.executable_name == "tiny_child" for d in spawned)

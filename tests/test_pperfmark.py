@@ -1,0 +1,174 @@
+"""PPerfMark program behaviour at small scale (ground-truth properties)."""
+
+import numpy as np
+import pytest
+
+from repro.pperfmark import (
+    REGISTRY,
+    AllCount,
+    BigMessage,
+    DiffuseProcedure,
+    HotProcedure,
+    IntensiveServer,
+    PrestaRma,
+    RandomBarrier,
+    SmallMessages,
+    SpawnCount,
+    SpawnSync,
+    SystemTime,
+    WinCreateBlast,
+    WinLockSync,
+    WrongWay,
+    create,
+    program_names,
+)
+from repro.analysis.runner import run_program
+
+
+class TestRegistry:
+    def test_all_paper_programs_registered(self):
+        mpi1 = program_names("mpi1")
+        for name in ("small_messages", "big_message", "wrong_way", "intensive_server",
+                     "random_barrier", "diffuse_procedure", "system_time",
+                     "hot_procedure", "sstwod"):
+            assert name in mpi1
+        mpi2 = program_names("mpi2")
+        for name in ("allcount", "wincreateblast", "winfencesync", "winscpwsync",
+                     "spawncount", "spawnsync", "spawnwinsync", "oned"):
+            assert name in mpi2
+
+    def test_create_by_name_with_params(self):
+        program = create("small_messages", iterations=7)
+        assert isinstance(program, SmallMessages)
+        assert program.iterations == 7
+        with pytest.raises(KeyError):
+            create("nonexistent")
+
+    def test_descriptions_present(self):
+        for name, cls in REGISTRY.items():
+            assert cls.description, f"{name} lacks a description"
+
+    def test_deterministic_choice_is_stable(self):
+        program = RandomBarrier()
+        a = [program.deterministic_choice("waster", i, 6) for i in range(20)]
+        b = [program.deterministic_choice("waster", i, 6) for i in range(20)]
+        assert a == b
+        assert all(0 <= x < 6 for x in a)
+        assert len(set(a)) > 1
+
+
+class TestMpi1Behaviour:
+    def test_small_messages_cpu_time_low_everywhere(self):
+        result = run_program(SmallMessages(iterations=500), with_tool=False)
+        for ep in result.world.endpoints:
+            frac = ep.proc.cpu_user_time() / ep.proc.wall_time()
+            assert frac < 0.5  # communication-bound
+
+    def test_big_message_uses_rendezvous_timescales(self):
+        small = run_program(BigMessage(iterations=10, msg_bytes=1000), with_tool=False)
+        big = run_program(BigMessage(iterations=10, msg_bytes=400_000), with_tool=False)
+        assert big.elapsed > 10 * small.elapsed
+
+    def test_wrong_way_stalls_receiver(self):
+        """Reversed tags force batch-long waits; same total with in-order
+        tags is much faster."""
+        slow = run_program(WrongWay(iterations=10, batch=100), with_tool=False)
+        # in-order control: same message count, tags matching send order
+        fast = run_program(SmallMessages(iterations=1000), nprocs=2, with_tool=False)
+        assert slow.world.endpoints[0].proc.cpu_user_time() < 0.5 * slow.elapsed
+
+    def test_intensive_server_server_is_busy_clients_wait(self):
+        result = run_program(IntensiveServer(iterations=100), with_tool=False)
+        server = result.proc(0)
+        client = result.proc(1)
+        assert server.cpu_user_time() / server.wall_time() > 0.5
+        assert client.cpu_user_time() / client.wall_time() < 0.3
+
+    def test_random_barrier_sync_fraction_near_61_percent(self):
+        """The calibration behind Figure 18 (61%/62% measured)."""
+        program = RandomBarrier(iterations=40)
+        expected = program.expected_sync_fraction(6)
+        assert expected == pytest.approx(0.61, abs=0.01)
+        result = run_program(program, with_tool=False)
+        fracs = [
+            1.0 - ep.proc.cpu_user_time() / ep.proc.wall_time()
+            for ep in result.world.endpoints
+        ]
+        assert np.mean(fracs) == pytest.approx(expected, abs=0.08)
+
+    def test_diffuse_procedure_quarter_share(self):
+        program = DiffuseProcedure(iterations=80)
+        result = run_program(program, with_tool=False)
+        for ep in result.world.endpoints:
+            frac = ep.proc.cpu_user_time() / ep.proc.wall_time()
+            assert frac == pytest.approx(0.25, abs=0.07)
+
+    def test_system_time_is_system_not_user(self):
+        result = run_program(SystemTime(iterations=100), with_tool=False)
+        proc = result.proc(0)
+        assert proc.cpu_system_time() > 10 * proc.cpu_user_time()
+
+    def test_hot_procedure_fully_cpu_bound(self):
+        result = run_program(HotProcedure(iterations=100), with_tool=False)
+        proc = result.proc(0)
+        assert proc.cpu_user_time() / proc.wall_time() > 0.95
+
+
+class TestMpi2Behaviour:
+    def test_allcount_ground_truth_math(self):
+        program = AllCount(epochs=10, puts_per_epoch=3, gets_per_epoch=2,
+                           accs_per_epoch=1, count=8)
+        assert program.expected_put_ops() == 30
+        assert program.expected_get_ops() == 20
+        assert program.expected_acc_ops() == 10
+        assert program.expected_put_bytes() == 30 * 8 * 4
+        run_program(program, with_tool=False)
+        assert program.verified
+
+    def test_wincreateblast_count_param(self):
+        program = WinCreateBlast(num_windows=12)
+        result = run_program(program, with_tool=False)
+        assert result.world.finished()
+
+    def test_spawncount_children_run_and_exit(self):
+        program = SpawnCount(spawns=2, children_per_spawn=2)
+        result = run_program(program, with_tool=False)
+        assert len(result.universe.worlds) == 3  # parents + 2 child worlds
+        assert program.expected_children() == 4
+
+    def test_spawnsync_message_count(self):
+        program = SpawnSync(children=2, messages=30)
+        assert program.expected_messages() == 60
+        result = run_program(program, with_tool=False)
+        assert all(w.finished() for w in result.universe.worlds)
+
+    def test_winlocksync_needs_passive_target(self):
+        from repro.mpi import UnsupportedFeature
+
+        with pytest.raises(UnsupportedFeature):
+            run_program(WinLockSync(iterations=5), impl="lam", with_tool=False)
+        result = run_program(WinLockSync(iterations=5), impl="refmpi", with_tool=False)
+        assert result.world.finished()
+
+
+class TestPresta:
+    def test_results_recorded_per_pattern(self):
+        program = PrestaRma(ops_per_epoch=40, epochs=4, patterns=("uni_put", "bi_get"))
+        run_program(program, impl="mpich2", with_tool=False)
+        assert set(program.results) == {"uni_put", "bi_get"}
+        uni = program.results["uni_put"]
+        assert uni.operations == 160
+        assert uni.bytes_total == 160 * 1024
+        assert uni.elapsed > 0
+        assert uni.throughput == pytest.approx(uni.bytes_total / uni.elapsed)
+        assert uni.per_op_time == pytest.approx(uni.elapsed / uni.operations)
+
+    def test_expected_ops_unidirectional_vs_bidirectional(self):
+        program = PrestaRma(ops_per_epoch=10, epochs=2)
+        assert program.expected_ops("uni_put", 0) == 20
+        assert program.expected_ops("uni_put", 1) == 0
+        assert program.expected_ops("bi_put", 1) == 20
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            PrestaRma(patterns=("sideways_put",))

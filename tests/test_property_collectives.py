@@ -1,0 +1,117 @@
+"""Property-based tests: collective results over random shapes and values."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import MAX, MIN, SUM
+
+from conftest import run_script
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nprocs=st.integers(min_value=1, max_value=8),
+    impl=st.sampled_from(["lam", "mpich"]),
+    values=st.lists(st.integers(-1000, 1000), min_size=8, max_size=8),
+)
+def test_property_allreduce_sum_matches_python(nprocs, impl, values):
+    values = values[:nprocs]
+    got = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        got[mpi.rank] = yield from mpi.allreduce(values[mpi.rank])
+        yield from mpi.finalize()
+
+    run_script(script, nprocs, impl=impl)
+    assert got == {r: sum(values) for r in range(nprocs)}
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    nprocs=st.integers(min_value=2, max_value=7),
+    root=st.integers(min_value=0, max_value=6),
+    op=st.sampled_from([SUM, MAX, MIN]),
+    values=st.lists(st.integers(-50, 50), min_size=7, max_size=7),
+)
+def test_property_reduce_any_root_any_op(nprocs, root, op, values):
+    root = root % nprocs
+    values = values[:nprocs]
+    got = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        got[mpi.rank] = yield from mpi.reduce(values[mpi.rank], op=op, root=root)
+        yield from mpi.finalize()
+
+    run_script(script, nprocs)
+    expected = op.reduce(values)
+    assert got[root] == expected
+    assert all(got[r] is None for r in range(nprocs) if r != root)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    nprocs=st.integers(min_value=2, max_value=6),
+    root=st.integers(min_value=0, max_value=5),
+    payload=st.text(min_size=0, max_size=20),
+)
+def test_property_bcast_any_root(nprocs, root, payload):
+    root = root % nprocs
+    got = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        value = payload if mpi.rank == root else None
+        got[mpi.rank] = yield from mpi.bcast(value, root=root)
+        yield from mpi.finalize()
+
+    run_script(script, nprocs)
+    assert got == {r: payload for r in range(nprocs)}
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nprocs=st.integers(min_value=2, max_value=6),
+    colors=st.lists(st.integers(0, 2), min_size=6, max_size=6),
+)
+def test_property_comm_split_partitions(nprocs, colors):
+    colors = colors[:nprocs]
+    got = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        sub = yield from mpi.comm_split(color=colors[mpi.rank], key=mpi.rank)
+        got[mpi.rank] = (colors[mpi.rank], sub.size, sub.cid)
+        yield from mpi.finalize()
+
+    run_script(script, nprocs)
+    # every member of a color sees the same communicator with the right size
+    from collections import Counter
+
+    sizes = Counter(colors)
+    for rank, (color, size, cid) in got.items():
+        assert size == sizes[color]
+    cids = {}
+    for rank, (color, _, cid) in got.items():
+        if color in cids:
+            assert cids[color] == cid
+        cids[color] = cid
+    assert len(set(cids.values())) == len(cids)
+
+
+@settings(max_examples=10, deadline=None)
+@given(nprocs=st.integers(min_value=1, max_value=8))
+def test_property_gather_orders_by_rank(nprocs):
+    got = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        result = yield from mpi.gather(("rank", mpi.rank))
+        if mpi.rank == 0:
+            got["g"] = result
+        yield from mpi.finalize()
+
+    run_script(script, nprocs)
+    assert got["g"] == [("rank", r) for r in range(nprocs)]

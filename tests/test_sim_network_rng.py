@@ -1,0 +1,99 @@
+"""Tests for the network cost models, cluster topology, and RNG streams."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.network import ETHERNET, SHARED_MEMORY, LinkModel, NetworkModel
+from repro.sim.node import Cluster, Node
+from repro.sim.rng import RngStreams
+
+
+class TestLinks:
+    def test_wire_time_is_latency_plus_serialization(self):
+        link = LinkModel("l", latency=1e-3, bandwidth=1e6,
+                         send_overhead=0, recv_overhead=0)
+        assert link.wire_time(0) == pytest.approx(1e-3)
+        assert link.wire_time(1_000_000) == pytest.approx(1.001)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ETHERNET.wire_time(-1)
+
+    def test_bad_models_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel("x", latency=0, bandwidth=0, send_overhead=0, recv_overhead=0)
+        with pytest.raises(ValueError):
+            LinkModel("x", latency=0, bandwidth=1, send_overhead=0,
+                      recv_overhead=0, syscall_fraction=1.5)
+
+    def test_same_node_uses_shared_memory_when_allowed(self):
+        net = NetworkModel()
+        cluster = Cluster(num_nodes=2)
+        n0, n1 = cluster.nodes
+        assert net.link(n0, n0) is SHARED_MEMORY
+        assert net.link(n0, n1) is ETHERNET
+        # MPICH ch_p4mpd: sockets even on one node (paper Section 5.1.2)
+        assert net.link(n0, n0, allow_shared_memory=False) is ETHERNET
+
+    def test_ethernet_is_mostly_syscalls_shm_is_not(self):
+        assert ETHERNET.syscall_fraction > 0.5
+        assert SHARED_MEMORY.syscall_fraction < 0.5
+
+
+class TestCluster:
+    def test_shape_and_cpu_ordering(self):
+        cluster = Cluster(num_nodes=3, cpus_per_node=2)
+        assert cluster.num_nodes == 3
+        assert cluster.num_cpus == 6
+        cpus = list(cluster.cpus())
+        assert [c.node.index for c in cpus] == [0, 0, 1, 1, 2, 2]
+
+    def test_node_lookup(self):
+        cluster = Cluster(num_nodes=2, name_prefix="host")
+        assert cluster.node_by_name("host01").index == 1
+        with pytest.raises(KeyError):
+            cluster.node_by_name("nope")
+
+    def test_pids_unique(self):
+        cluster = Cluster()
+        pids = {cluster.allocate_pid() for _ in range(10)}
+        assert len(pids) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cluster(num_nodes=0)
+        with pytest.raises(ValueError):
+            Node("x", num_cpus=0)
+
+
+class TestRng:
+    def test_same_seed_same_sequence(self):
+        a = RngStreams(7)
+        b = RngStreams(7)
+        assert [a.uniform("s") for _ in range(5)] == [b.uniform("s") for _ in range(5)]
+
+    def test_streams_are_independent(self):
+        rng = RngStreams(7)
+        first = [rng.uniform("a") for _ in range(3)]
+        # drawing from another stream must not perturb "a"
+        other = RngStreams(7)
+        other.uniform("b")
+        second = [other.uniform("a") for _ in range(3)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert RngStreams(1).uniform("s") != RngStreams(2).uniform("s")
+
+    def test_jitter_nonnegative_and_zero_sigma_identity(self):
+        rng = RngStreams(0)
+        assert rng.jitter("j", 5.0, 0.0) == 5.0
+        values = [rng.jitter("j", 1e-6, 3.0) for _ in range(200)]
+        assert all(v >= 0.0 for v in values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**30), st.text(min_size=1, max_size=20))
+    def test_property_integers_in_range(self, seed, name):
+        rng = RngStreams(seed)
+        value = rng.integers(name, 0, 10)
+        assert 0 <= value < 10

@@ -1,0 +1,180 @@
+"""Tests for simulated processes: CPU clocks, calls, hooks."""
+
+import pytest
+
+from repro.dyninst.image import Image
+from repro.dyninst.snippets import AddCounter, Const, CounterVar, Snippet
+from repro.sim.kernel import Kernel
+from repro.sim.node import Cluster
+from repro.sim.process import ProcState, SimProcess
+
+
+def make_proc(kernel=None, image=None):
+    kernel = kernel or Kernel()
+    cluster = Cluster(num_nodes=1, cpus_per_node=1)
+    node = cluster.nodes[0]
+    image = image or Image()
+    return kernel, SimProcess(
+        kernel, image, pid=cluster.allocate_pid(), node=node, cpu=node.cpus[0]
+    )
+
+
+def drive(kernel, gen):
+    task = kernel.spawn(gen)
+    kernel.run()
+    return task
+
+
+def test_compute_accrues_user_cpu():
+    kernel, proc = make_proc()
+
+    def body():
+        yield from proc.compute(2.0)
+        yield from proc.syscall(1.0)
+        yield from proc.sleep(3.0)
+
+    drive(kernel, body())
+    assert proc.cpu_user_time() == pytest.approx(2.0)
+    assert proc.cpu_system_time() == pytest.approx(1.0)
+    assert kernel.now == pytest.approx(6.0)
+
+
+def test_cpu_clock_interpolates_mid_compute():
+    kernel, proc = make_proc()
+    samples = []
+
+    def body():
+        yield from proc.compute(4.0)
+
+    kernel.spawn(body())
+    kernel.schedule(1.0, lambda: samples.append(proc.cpu_user_time()))
+    kernel.schedule(3.0, lambda: samples.append(proc.cpu_user_time()))
+    kernel.run()
+    assert samples[0] == pytest.approx(1.0)
+    assert samples[1] == pytest.approx(3.0)
+
+
+def test_negative_times_rejected():
+    kernel, proc = make_proc()
+    for method in (proc.compute, proc.syscall, proc.sleep):
+        with pytest.raises(ValueError):
+            list(method(-1.0))
+
+
+def test_call_resolves_and_tracks_stack():
+    kernel, proc = make_proc()
+    depths = []
+
+    def leaf(p):
+        depths.append(list(p.call_path()))
+        yield from p.compute(0.1)
+
+    def caller(p):
+        yield from p.call("leaf")
+
+    proc.image.add_function("leaf", leaf, module="app.c")
+    proc.image.add_function("caller", caller, module="app.c")
+
+    def body():
+        yield from proc.call("caller")
+
+    drive(kernel, body())
+    assert depths == [["caller", "leaf"]]
+    assert proc.call_path() == []
+
+
+def test_entry_and_exit_snippets_execute():
+    kernel, proc = make_proc()
+    counter_in = CounterVar("in")
+    counter_out = CounterVar("out")
+
+    def fn(p):
+        yield from p.compute(0.1)
+
+    fdef = proc.image.add_function("fn", fn, module="app.c")
+    fdef.insert(Snippet([AddCounter(counter_in, Const(1))]), where="entry")
+    fdef.insert(Snippet([AddCounter(counter_out, Const(1))]), where="return")
+
+    def body():
+        for _ in range(3):
+            yield from proc.call("fn")
+
+    drive(kernel, body())
+    assert counter_in.value == 3
+    assert counter_out.value == 3
+
+
+def test_snippet_cost_perturbs_cpu():
+    kernel, proc = make_proc()
+    proc.snippet_cost = 0.01
+    counter = CounterVar("c")
+
+    def fn(p):
+        yield from p.compute(0.0)
+
+    fdef = proc.image.add_function("fn", fn, module="app.c")
+    fdef.insert(Snippet([AddCounter(counter, Const(1))]), where="entry")
+
+    def body():
+        for _ in range(5):
+            yield from proc.call("fn")
+
+    drive(kernel, body())
+    assert proc.snippets_executed == 5
+    assert proc.cpu_user_time() == pytest.approx(0.05)
+
+
+def test_exit_snippets_run_even_when_body_raises():
+    kernel, proc = make_proc()
+    counter = CounterVar("c")
+
+    def fn(p):
+        raise RuntimeError("body failed")
+        yield  # pragma: no cover
+
+    fdef = proc.image.add_function("fn", fn, module="app.c")
+    fdef.insert(Snippet([AddCounter(counter, Const(1))]), where="return")
+
+    def body():
+        yield from proc.call("fn")
+
+    kernel.spawn(body())
+    with pytest.raises(RuntimeError, match="body failed"):
+        kernel.run()
+    assert counter.value == 1
+
+
+def test_trace_hooks_fire_entry_and_exit():
+    kernel, proc = make_proc()
+    events = []
+    proc.trace_hooks.append(lambda p, frame, kind: events.append((frame.name, kind)))
+
+    def fn(p):
+        yield from p.compute(0.1)
+
+    proc.image.add_function("fn", fn, module="app.c")
+
+    def body():
+        yield from proc.call("fn")
+
+    drive(kernel, body())
+    assert events == [("fn", "entry"), ("fn", "exit")]
+
+
+def test_run_main_sets_exit_state_and_fires_hooks():
+    kernel, proc = make_proc()
+    exited = []
+    proc.exit_hooks.append(lambda p: exited.append(p.pid))
+
+    def main():
+        yield from proc.compute(1.0)
+        return "ok"
+
+    task = kernel.spawn(proc.run_main(main()))
+    kernel.run()
+    assert task.result == "ok"
+    assert proc.exited
+    assert proc.state is ProcState.EXITED
+    assert proc.exit_time == pytest.approx(1.0)
+    assert exited == [proc.pid]
+    assert proc.wall_time() == pytest.approx(1.0)

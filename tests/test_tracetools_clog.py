@@ -1,0 +1,70 @@
+"""CLOG trace-file serialization round-trips."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tracetools import MpeEvent, MpeLog, merge_logs, read_clog, write_clog
+
+
+def make_log(events):
+    log = MpeLog()
+    log.events.extend(events)
+    return log
+
+
+def test_roundtrip_simple():
+    log = make_log([
+        MpeEvent(0.1, 0, "MPI_Send", "entry"),
+        MpeEvent(0.2, 0, "MPI_Send", "exit"),
+        MpeEvent(0.15, 1, "MPI_Recv", "entry"),
+    ])
+    buffer = io.BytesIO()
+    written = write_clog(log, buffer)
+    assert written == buffer.tell()
+    buffer.seek(0)
+    back = read_clog(buffer)
+    assert back.events == log.events
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ValueError, match="magic"):
+        read_clog(io.BytesIO(b"XXXX" + b"\0" * 16))
+
+
+def test_merge_orders_by_time():
+    a = make_log([MpeEvent(0.3, 0, "f", "entry"), MpeEvent(0.5, 0, "f", "exit")])
+    b = make_log([MpeEvent(0.1, 1, "g", "entry"), MpeEvent(0.4, 1, "g", "exit")])
+    merged = merge_logs([a, b])
+    assert [e.time for e in merged.events] == [0.1, 0.3, 0.4, 0.5]
+
+
+def test_size_grows_linearly_with_events():
+    small = make_log([MpeEvent(float(i), 0, "f", "entry") for i in range(10)])
+    big = make_log([MpeEvent(float(i), 0, "f", "entry") for i in range(1000)])
+    buf_small, buf_big = io.BytesIO(), io.BytesIO()
+    write_clog(small, buf_small)
+    write_clog(big, buf_big)
+    assert buf_big.tell() > 50 * buf_small.tell() / 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            st.integers(0, 63),
+            st.sampled_from(["MPI_Send", "MPI_Recv", "PMPI_Barrier", "f_1"]),
+            st.sampled_from(["entry", "exit"]),
+        ),
+        max_size=50,
+    )
+)
+def test_property_roundtrip_arbitrary_logs(rows):
+    log = make_log([MpeEvent(t, r, f, k) for t, r, f, k in rows])
+    buffer = io.BytesIO()
+    write_clog(log, buffer)
+    buffer.seek(0)
+    assert read_clog(buffer).events == log.events

@@ -1,0 +1,95 @@
+"""The mpiP-style aggregated profiler."""
+
+import pytest
+
+from repro.tracetools import MpipProfiler
+
+from conftest import ScriptProgram, make_universe
+
+
+def profiled_run(script, nprocs=2, impl="lam", functions=None):
+    universe = make_universe(impl)
+    profiler = MpipProfiler()
+    world = universe.launch(ScriptProgram(script, functions=functions), nprocs)
+    profiler.attach_world(world)
+    universe.run()
+    return profiler
+
+
+def test_aggregates_by_callsite():
+    def gsend(mpi, proc):
+        yield from mpi.send(1, nbytes=64, tag=1)
+
+    def script(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            for _ in range(20):
+                yield from mpi.call("gsend")
+        else:
+            for _ in range(20):
+                yield from mpi.recv(source=0, tag=1)
+        yield from mpi.finalize()
+
+    profiler = profiled_run(script, functions={"gsend": gsend})
+    sites = {(s.mpi_function, s.callsite): s for s in profiler.sites.values()}
+    send_site = sites[("MPI_Send", "gsend")]
+    assert send_site.calls == 20
+    assert send_site.bytes_sent == 20 * 64
+    recv_site = sites[("MPI_Recv", "main")]
+    assert recv_site.calls == 20
+    assert recv_site.time > 0
+
+
+def test_internal_mpi_calls_not_double_counted():
+    """MPICH's PMPI_Sendrecv inside PMPI_Barrier is implementation detail:
+    only the outermost MPI frame is a callsite."""
+
+    def script(mpi):
+        yield from mpi.init()
+        for _ in range(5):
+            yield from mpi.barrier()
+        yield from mpi.finalize()
+
+    profiler = profiled_run(script, nprocs=3, impl="mpich")
+    functions = {s.mpi_function for s in profiler.sites.values()}
+    assert "PMPI_Barrier" in functions
+    assert "PMPI_Sendrecv" not in functions
+    barrier = [s for s in profiler.sites.values() if s.mpi_function == "PMPI_Barrier"]
+    assert sum(s.calls for s in barrier) == 3 * 5
+
+
+def test_mpi_fraction_and_render():
+    def script(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.compute(1.0)
+            yield from mpi.send(1, tag=1)
+        else:
+            yield from mpi.recv(source=0, tag=1)  # waits ~1s in MPI
+        yield from mpi.finalize()
+
+    profiler = profiled_run(script)
+    # rank 1 spends nearly everything in MPI; rank 0 nearly nothing
+    assert profiler.mpi_time[1] > 0.9
+    assert profiler.mpi_time.get(0, 0.0) < 0.3
+    assert 0.0 < profiler.total_mpi_fraction() < 1.0
+    text = profiler.render()
+    assert "@--- MPI Time" in text
+    assert "MPI_Recv" in text
+    assert "apptime" in text
+
+
+def test_top_sites_sorted_by_time():
+    def script(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.compute(0.5)
+            yield from mpi.send(1, tag=1)   # cheap
+        else:
+            yield from mpi.recv(source=0, tag=1)  # expensive wait
+        yield from mpi.finalize()
+
+    profiler = profiled_run(script)
+    top = profiler.top_sites(2)
+    assert top[0].mpi_function in ("MPI_Recv", "MPI_Finalize")
+    assert top[0].time >= top[-1].time
