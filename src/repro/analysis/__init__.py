@@ -4,6 +4,8 @@ from .report import (
     PaperComparison,
     format_table,
     render_comparisons,
+    render_sanitizer_report,
+    render_sanitizer_summary,
     render_table1,
     render_table2,
     render_table3,
@@ -36,6 +38,8 @@ __all__ = [
     "render_table1",
     "render_table2",
     "render_table3",
+    "render_sanitizer_report",
+    "render_sanitizer_summary",
     "PaperComparison",
     "render_comparisons",
 ]

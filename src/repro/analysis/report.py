@@ -18,6 +18,8 @@ __all__ = [
     "render_table1",
     "render_table2",
     "render_table3",
+    "render_sanitizer_report",
+    "render_sanitizer_summary",
     "PaperComparison",
     "render_comparisons",
 ]
@@ -64,6 +66,34 @@ def render_table2(verdicts: Sequence[Verdict]) -> str:
 def render_table3(verdicts: Sequence[Verdict]) -> str:
     """Table 3: PPerfMark MPI-2 results."""
     return render_table2(verdicts)
+
+
+def render_sanitizer_report(report) -> str:
+    """One sanitized run: header line plus one line per finding."""
+    header = (
+        f"{report.program} / {report.impl} (np={report.nprocs}, "
+        f"seed={report.seed}): {report.status.upper()}"
+    )
+    lines = [header]
+    if report.status == "unsupported" and report.crash:
+        lines.append(f"    {report.crash}")
+    for finding in report.findings:
+        where = f"rank {finding.rank}" if finding.rank >= 0 else "global"
+        lines.append(f"    {finding.kind.value:<22} {where:<8} {finding.detail}")
+    if report.crash and report.status == "findings":
+        lines.append(f"    run aborted: {report.crash}")
+    return "\n".join(lines)
+
+
+def render_sanitizer_summary(reports: Sequence[Any]) -> str:
+    """A table over many sanitized runs (the CLI sweep footer)."""
+    rows = []
+    for r in reports:
+        kinds = ", ".join(sorted({f.kind.value for f in r.findings})) or "-"
+        rows.append((r.program, r.impl, r.nprocs, r.status, len(r.findings), kinds))
+    return format_table(
+        ("Program", "Impl", "Np", "Status", "Findings", "Kinds"), rows
+    )
 
 
 @dataclass(frozen=True)

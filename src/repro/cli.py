@@ -6,6 +6,9 @@ Usage (after installation)::
     python -m repro run small_messages --impl mpich
     python -m repro run oned --impl lam --metric rma_sync_wait
     python -m repro verify hot_procedure --impl lam
+    python -m repro sanitize winfencesync --impl mpich2
+    python -m repro sanitize all --impl lam --quick
+    python -m repro sanitize defects
     python -m repro table2
     python -m repro table3
     python -m repro table1
@@ -62,6 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
     verify_p.add_argument("program", choices=sorted(REGISTRY))
     verify_p.add_argument("--impl", default="lam",
                           choices=["lam", "mpich", "mpich2", "refmpi"])
+
+    san_p = sub.add_parser(
+        "sanitize", help="run the MPI correctness sanitizer over a program"
+    )
+    san_p.add_argument(
+        "program",
+        help="a PPerfMark or defect program name, 'all' (the 16 clean "
+        "PPerfMark programs) or 'defects' (the seeded-defect library)",
+    )
+    san_p.add_argument("--impl", default="lam",
+                       choices=["lam", "mpich", "mpich2", "refmpi"])
+    san_p.add_argument("--nprocs", type=int, default=None)
+    san_p.add_argument("--seed", type=int, default=0)
+    san_p.add_argument("--quick", action="store_true",
+                       help="scaled-down program parameters (CI sweeps)")
 
     mpirun_p = sub.add_parser(
         "mpirun", help="launch a PPerfMark program through the simulated mpirun"
@@ -140,6 +158,38 @@ def _cmd_mpirun(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from .analysis.report import render_sanitizer_report, render_sanitizer_summary
+    from .pperfmark.defects import defect_names
+    from .sanitizer import CLEAN_PROGRAMS, sanitize_program
+
+    if args.program == "all":
+        names = list(CLEAN_PROGRAMS)
+    elif args.program == "defects":
+        names = defect_names()
+    else:
+        names = [args.program]
+    reports = []
+    for name in names:
+        try:
+            report = sanitize_program(
+                name,
+                impl=args.impl,
+                nprocs=args.nprocs,
+                seed=args.seed,
+                quick=args.quick,
+            )
+        except KeyError as exc:
+            print(f"sanitize: {exc.args[0]}", file=sys.stderr)
+            return 2
+        reports.append(report)
+        print(render_sanitizer_report(report))
+    if len(reports) > 1:
+        print()
+        print(render_sanitizer_summary(reports))
+    return 0 if all(r.status in ("clean", "unsupported") for r in reports) else 1
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     verdict = verify_program(args.program, args.impl)
     print(f"{verdict.program} / {verdict.impl}: {verdict.result_text} "
@@ -160,6 +210,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "sanitize":
+        return _cmd_sanitize(args)
     if args.command == "mpirun":
         return _cmd_mpirun(args)
     if args.command == "table1":

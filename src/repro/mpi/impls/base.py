@@ -370,6 +370,7 @@ class BaseImpl:
         dest: int,
         tag: int,
         comm: Communicator,
+        datatype: Any = None,
     ) -> Generator:
         """Blocking send (the body of MPI_Send; also used internally)."""
         target = comm.peer_for(ep, dest)
@@ -386,6 +387,7 @@ class BaseImpl:
                 cid=comm.cid,
                 nbytes=nbytes,
                 payload=payload,
+                datatype=datatype,
             )
             env.credit = credit  # type: ignore[attr-defined]
             env.channel = channel  # type: ignore[attr-defined]
@@ -402,6 +404,7 @@ class BaseImpl:
                 cid=comm.cid,
                 nbytes=nbytes,
                 payload=payload,
+                datatype=datatype,
                 cts_event=kernel.event(name="rdv.cts"),
                 data_event=kernel.event(name="rdv.data"),
             )
@@ -422,11 +425,15 @@ class BaseImpl:
         tag: int,
         comm: Communicator,
         status: Optional[Status],
+        *,
+        count: int = 0,
+        datatype: Any = None,
     ) -> Generator:
         """Blocking receive (the body of MPI_Recv)."""
         env, posted = ep.mailbox.match_or_post(source, tag, comm.cid)
         if env is None:
             env = yield from self._recv_wait(proc, posted.event)
+        self.universe.emit("recv_matched", ep=ep, env=env, count=count, datatype=datatype)
         link = getattr(env, "link", self.universe.network.inter_node)
         if env.protocol is Protocol.RENDEZVOUS:
             kernel = self.universe.kernel
@@ -543,10 +550,14 @@ class BaseImpl:
 
     def _body_send(self, ep, proc, buf, count, dtype, dest, tag, comm) -> Generator:
         nbytes = dtype.extent(count) if count else 0
-        yield from self._send_inline(ep, proc, buf, nbytes, dest, tag, comm)
+        yield from self._send_inline(ep, proc, buf, nbytes, dest, tag, comm, datatype=dtype)
 
     def _body_recv(self, ep, proc, buf, count, dtype, source, tag, comm, status=None) -> Generator:
-        return (yield from self._recv_inline(ep, proc, source, tag, comm, status))
+        return (
+            yield from self._recv_inline(
+                ep, proc, source, tag, comm, status, count=count, datatype=dtype
+            )
+        )
 
     def _body_isend(self, ep, proc, buf, count, dtype, dest, tag, comm) -> Generator:
         nbytes = dtype.extent(count) if count else 0
@@ -594,6 +605,7 @@ class BaseImpl:
             cid=comm.cid,
             nbytes=nbytes,
             payload=buf,
+            datatype=dtype,
             cts_event=kernel.event(name="ssend.cts"),
             data_event=kernel.event(name="ssend.data"),
         )
@@ -970,6 +982,7 @@ class BaseImpl:
                 internal_comm.user_named = False
             for r in range(comm.size):
                 win.open_fence_epoch(r)
+            self.universe.notify_window(win)
             ctxt.complete(win)
             return win
         win = yield from proc.block(ctxt.event)

@@ -38,6 +38,7 @@ class Envelope:
     nbytes: int
     payload: Any = None
     arrival_seq: int = 0
+    datatype: Any = None  # sender-side Datatype when known (typed sends)
     # Rendezvous coordination: the receiver triggers cts_event to tell the
     # sender to push data; the sender triggers data_event when data lands.
     cts_event: Optional[SimEvent] = None
@@ -160,3 +161,6 @@ class Mailbox:
 
     def unexpected_bytes(self) -> int:
         return sum(env.nbytes for env in self._unexpected)
+
+    def unexpected_envelopes(self) -> tuple[Envelope, ...]:
+        return tuple(self._unexpected)

@@ -119,6 +119,9 @@ class Window:
         #: window's name there (observed in Figure 23 of the paper).
         self.internal_comm = internal_comm
         self.freed = False
+        #: callables (window, origin_ep, comm_rank, op) run for every
+        #: recorded RMA operation (after legality checks pass).
+        self.observers: list[Any] = []
 
         self._rank_state: dict[int, _RankState] = {
             rank: _RankState() for rank in range(comm.size)
@@ -251,6 +254,12 @@ class Window:
         if not 0 <= op.target_rank < self.comm.size:
             raise RmaEpochError(f"RMA target rank {op.target_rank} out of range")
         st.pending_ops.append(op)
+        for observer in list(self.observers):
+            observer(self, origin, rank, op)
+
+    def lock_holder(self, target_rank: int) -> Optional[int]:
+        """Comm rank currently holding ``target_rank``'s window lock, if any."""
+        return self._lock_holder.get(target_rank)
 
     def apply_op(self, op: RmaOp) -> None:
         """Move the data.  Runs at epoch close / flush time."""

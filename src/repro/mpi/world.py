@@ -143,11 +143,28 @@ class MpiUniverse:
         self.process_hooks: list[Callable[[SimProcess, Endpoint, MpiWorld], None]] = []
         #: callables (comm) run at every communicator creation.
         self.comm_hooks: list[Callable[[Communicator], None]] = []
+        #: callables (kind, data) for engine-internal events (message
+        #: matching, etc.) that neither the trace hooks nor the window
+        #: observers can see; used by the sanitizer.
+        self.event_hooks: list[Callable[[str, dict], None]] = []
+        #: callables (window) run at every window creation.
+        self.win_hooks: list[Callable[[Any], None]] = []
         self.mpir_proctable: list[MPIR_ProcDesc] = []
         self._next_cid = 1
         self._next_world_id = 0
         self._rr_cpu = 0
         self.impl = self._make_impl(impl)
+
+    def emit(self, kind: str, **data: Any) -> None:
+        """Broadcast an engine-internal event to any registered listeners."""
+        if not self.event_hooks:
+            return
+        for hook in list(self.event_hooks):
+            hook(kind, data)
+
+    def notify_window(self, window: Any) -> None:
+        for hook in list(self.win_hooks):
+            hook(window)
 
     def _make_impl(self, impl: "str | BaseImpl") -> "BaseImpl":
         if not isinstance(impl, str):

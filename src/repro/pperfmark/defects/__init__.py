@@ -1,0 +1,202 @@
+"""Seeded-defect programs: the sanitizer's regression fixtures.
+
+Each program here is a deliberately broken MPI application that triggers
+exactly one detector class in :mod:`repro.sanitizer` -- the dynamic-checker
+equivalent of PPerfMark's "known bottleneck" contract.  They live in their
+own registry (``DEFECT_REGISTRY``) so the clean PPerfMark suite, the
+verification tables, and the benchmarks never see them.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Type
+
+import numpy as np
+
+from ...mpi.datatypes import DOUBLE, INT
+from ...sanitizer.findings import FindingKind
+from ..base import PPerfProgram
+
+__all__ = ["DefectProgram", "DEFECT_REGISTRY", "register_defect", "defect_names"]
+
+
+class DefectProgram(PPerfProgram):
+    """Base class: a broken program plus the finding it must trigger."""
+
+    suite = "defect"
+    default_nprocs = 2
+    #: the single FindingKind a sanitized run must report
+    expected_finding: FindingKind = FindingKind.MPI_ERROR
+
+
+DEFECT_REGISTRY: dict[str, Type[DefectProgram]] = {}
+
+
+def register_defect(cls: Type[DefectProgram]) -> Type[DefectProgram]:
+    if cls.name in DEFECT_REGISTRY:
+        raise ValueError(f"duplicate defect program {cls.name!r}")
+    DEFECT_REGISTRY[cls.name] = cls
+    return cls
+
+
+def defect_names() -> list[str]:
+    return sorted(DEFECT_REGISTRY)
+
+
+@register_defect
+class DefectEpochPut(DefectProgram):
+    """Put issued before the first fence ever opens an access epoch."""
+
+    name = "defect_epoch_put"
+    module = "defect_epoch_put.c"
+    expected_finding = FindingKind.RMA_EPOCH_VIOLATION
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        win = yield from mpi.win_create(16, datatype=INT)
+        if mpi.rank == 0:
+            # no MPI_Win_fence has run: strictly, no access epoch is open
+            yield from mpi.put(win, 1, np.arange(4, dtype="i4"))
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()
+
+
+@register_defect
+class DefectRmaRace(DefectProgram):
+    """Two origins put to the same window range in one fence epoch."""
+
+    name = "defect_rma_race"
+    module = "defect_rma_race.c"
+    expected_finding = FindingKind.RMA_RACE
+    default_nprocs = 3
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        win = yield from mpi.win_create(16, datatype=INT)
+        yield from mpi.win_fence(win)
+        if mpi.rank in (1, 2):
+            yield from mpi.put(win, 0, np.full(8, mpi.rank, dtype="i4"))
+        yield from mpi.win_fence(win)
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()
+
+
+@register_defect
+class DefectDeadlockRecv(DefectProgram):
+    """Head-to-head blocking receives: the classic send/recv order bug."""
+
+    name = "defect_deadlock_recv"
+    module = "defect_deadlock_recv.c"
+    expected_finding = FindingKind.DEADLOCK
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        other = 1 - mpi.rank
+        yield from mpi.recv(other, tag=7, nbytes=4)
+        yield from mpi.send(other, tag=7, nbytes=4)
+        yield from mpi.finalize()
+
+
+@register_defect
+class DefectUnmatchedSend(DefectProgram):
+    """An eager send whose receive was never posted."""
+
+    name = "defect_unmatched_send"
+    module = "defect_unmatched_send.c"
+    expected_finding = FindingKind.UNMATCHED_SEND
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.send(1, tag=11, nbytes=4)
+        yield from mpi.finalize()
+
+
+@register_defect
+class DefectWindowLeak(DefectProgram):
+    """A window still allocated at finalize (missing MPI_Win_free)."""
+
+    name = "defect_window_leak"
+    module = "defect_window_leak.c"
+    expected_finding = FindingKind.WINDOW_LEAK
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        yield from mpi.win_create(16, datatype=INT)
+        yield from mpi.finalize()
+
+
+@register_defect
+class DefectRequestLeak(DefectProgram):
+    """An isend whose request is never waited on or tested."""
+
+    name = "defect_request_leak"
+    module = "defect_request_leak.c"
+    expected_finding = FindingKind.REQUEST_LEAK
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.isend(1, tag=3, nbytes=4)  # request dropped
+        else:
+            yield from mpi.recv(0, tag=3, nbytes=4)
+        yield from mpi.finalize()
+
+
+@register_defect
+class DefectRecvTruncation(DefectProgram):
+    """A receive buffer smaller than the matched message."""
+
+    name = "defect_recv_truncation"
+    module = "defect_recv_truncation.c"
+    expected_finding = FindingKind.RECV_TRUNCATION
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.send(1, tag=5, nbytes=64)
+        else:
+            yield from mpi.recv(0, tag=5, nbytes=16)
+        yield from mpi.finalize()
+
+
+@register_defect
+class DefectDatatypeMismatch(DefectProgram):
+    """Sender and receiver disagree on the type signature (same bytes)."""
+
+    name = "defect_datatype_mismatch"
+    module = "defect_datatype_mismatch.c"
+    expected_finding = FindingKind.DATATYPE_MISMATCH
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.send(1, tag=9, nbytes=8, datatype=INT)
+        else:
+            yield from mpi.recv(0, tag=9, nbytes=8, datatype=DOUBLE)
+        yield from mpi.finalize()
+
+
+@register_defect
+class DefectUseAfterFree(DefectProgram):
+    """Synchronizing on a freed window whose id has been reused.
+
+    Under LAM (which recycles window ids, Section 4.2.1 of the paper) the
+    second ``win_create`` takes over the freed window's id, so a stale
+    handle is the exact hazard the tool's composite ``N-M`` window
+    identifiers exist to disambiguate.
+    """
+
+    name = "defect_use_after_free"
+    module = "defect_use_after_free.c"
+    expected_finding = FindingKind.WINDOW_USE_AFTER_FREE
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        win_a = yield from mpi.win_create(8, datatype=INT)
+        yield from mpi.win_fence(win_a)
+        yield from mpi.win_free(win_a)
+        yield from mpi.win_create(8, datatype=INT)  # may reuse win_a's id
+        if mpi.rank == 0:
+            yield from mpi.win_fence(win_a)  # stale handle
+        yield from mpi.finalize()

@@ -176,7 +176,9 @@ class SpawnWinSyncChild(MpiProgram):
         return {"childfunction": self._childfunction}
 
     def _childfunction(self, mpi, proc, win, data) -> Generator:
-        yield from mpi.put(win, 0, data, target_disp=0)
+        # each child owns a disjoint slice of the parent's window: siblings
+        # putting to the same range within one fence epoch would be a race
+        yield from mpi.put(win, 0, data, target_disp=self.count * mpi.rank)
         yield from mpi.win_fence(win)
 
     def main(self, mpi) -> Generator:

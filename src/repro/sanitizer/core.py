@@ -1,0 +1,633 @@
+"""The sanitizer proper: event collection and the four detector families.
+
+The :class:`Sanitizer` attaches to an :class:`~repro.mpi.world.MpiUniverse`
+*before* launch and observes the run through four hook families:
+
+* per-process **trace hooks** (entry/exit around every simulated call) --
+  MPI synchronization tracking, vector clocks, request bookkeeping, message
+  counters, and the determinism digest;
+* the universe's **window hooks** plus per-window **observers** -- strict
+  epoch checking and happens-before race detection for every recorded
+  put/get/accumulate;
+* the universe's **event hooks** (``recv_matched``) -- truncation and
+  datatype-mismatch checks at match time;
+* the kernel's **deadlock hooks** -- wait-for-graph analysis while the
+  blocked stacks are still frozen.
+
+The engine itself is deliberately permissive about access epochs (windows
+open a fence epoch at creation, matching the real implementations' laziness)
+so the sanitizer keeps its own *strict* MPI-standard epoch state machine:
+NONE until the first ``MPI_Win_fence``, START restricted to the start group,
+LOCK restricted to the locked target, FREED after ``MPI_Win_free``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Optional
+
+from ..mpi.impls.base import COLL_TAG_BASE
+from ..mpi.rma import RmaOpKind
+from ..mpi.status import Request
+from .deadlock import analyze_deadlock
+from .findings import Finding, FindingKind
+from .vclock import vc_concurrent, vc_join, vc_leq
+
+__all__ = ["Sanitizer", "normalize_mpi_name"]
+
+
+def normalize_mpi_name(name: str) -> str:
+    """Fold profiling-interface names (``PMPI_Send``) onto ``MPI_Send``."""
+    if name.startswith("PMPI_"):
+        return "MPI_" + name[5:]
+    return name
+
+
+# access-epoch states of the strict tracker
+_NONE, _FENCE, _START, _LOCK, _FREED = "none", "fence", "start", "lock", "freed"
+
+# RMA op kinds that conflict when overlapping and concurrent: everything
+# except GET/GET (both read) and ACC/ACC (the standard makes same-op
+# accumulates to the same location well-defined).
+def _kinds_conflict(a: str, b: str) -> bool:
+    return not ((a == "G" and b == "G") or (a == "A" and b == "A"))
+
+
+_KIND_CHAR = {RmaOpKind.PUT: "P", RmaOpKind.GET: "G", RmaOpKind.ACCUMULATE: "A"}
+
+
+class _EpCounters:
+    __slots__ = ("sent_msgs", "sent_bytes", "recv_msgs", "recv_bytes",
+                 "puts", "gets", "accs", "rma_bytes")
+
+    def __init__(self) -> None:
+        self.sent_msgs = 0
+        self.sent_bytes = 0
+        self.recv_msgs = 0
+        self.recv_bytes = 0
+        self.puts = 0
+        self.gets = 0
+        self.accs = 0
+        self.rma_bytes = 0
+
+
+class Sanitizer:
+    """One universe's correctness monitor.  Attach before ``launch``."""
+
+    def __init__(self, universe) -> None:
+        self.universe = universe
+        self.findings: list[Finding] = []
+        self.deadlock_reported = False
+
+        self._eps: list[Any] = []
+        self._ep_index: dict[int, int] = {}  # id(ep) -> stable index
+        self._clocks: list[dict[int, int]] = []
+        self._counters: list[_EpCounters] = []
+        self._requests: list[dict[int, tuple[str, int]]] = []
+
+        self._windows: list[Any] = []
+        # strict epoch state, keyed by window *object* (ids may be reused)
+        self._wstate: dict[int, dict[int, str]] = {}
+        self._fence_open: dict[int, set[int]] = {}
+        self._start_group: dict[int, dict[int, tuple[int, ...]]] = {}
+        self._lock_target: dict[int, dict[int, int]] = {}
+        # race-candidate buffer: (origin_idx, origin_rank, target, lo, hi,
+        # kind_char, clock) per window
+        self._ops: dict[int, list[tuple]] = {}
+        self._race_seen: set[tuple] = set()
+        self._uaf_seen: set[tuple] = set()
+
+        # fence / barrier vector-clock rounds
+        self._fence_round: dict[int, dict[int, int]] = {}
+        self._fence_entry: dict[tuple[int, int], dict[int, dict]] = {}
+        self._fence_exits: dict[tuple[int, int], int] = {}
+        self._barrier_round: dict[tuple[int, int], int] = {}
+        self._barrier_entry: dict[tuple[int, int], dict[int, dict]] = {}
+        self._barrier_exits: dict[tuple[int, int], int] = {}
+        self._last_unlock: dict[tuple[int, int], dict] = {}
+        self._wait_rec: dict[int, Any] = {}  # id(frame) -> PostEpochRecord
+
+        self._digest = hashlib.sha256()
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach(self) -> "Sanitizer":
+        self.universe.process_hooks.append(self._on_process)
+        self.universe.win_hooks.append(self._on_window)
+        self.universe.event_hooks.append(self._on_event)
+        self.universe.kernel.deadlock_hooks.append(self.on_deadlock)
+        return self
+
+    def _on_process(self, proc, ep, world) -> None:
+        self._ep_index[id(ep)] = len(self._eps)
+        self._eps.append(ep)
+        self._clocks.append({})
+        self._counters.append(_EpCounters())
+        self._requests.append({})
+        proc.trace_hooks.append(
+            lambda p, frame, event, _ep=ep: self._on_trace(_ep, frame, event)
+        )
+
+    def _on_window(self, win) -> None:
+        self._windows.append(win)
+        w = id(win)
+        self._wstate[w] = {r: _NONE for r in range(win.comm.size)}
+        self._fence_open[w] = set()
+        self._start_group[w] = {}
+        self._lock_target[w] = {}
+        self._ops[w] = []
+        self._fence_round[w] = {}
+        win.observers.append(self._on_rma_op)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _report(self, kind: FindingKind, rank: int, obj: str, detail: str) -> None:
+        self.findings.append(Finding(kind=kind, rank=rank, obj=obj, detail=detail))
+
+    def _tick(self, idx: int) -> dict[int, int]:
+        clock = self._clocks[idx]
+        clock[idx] = clock.get(idx, 0) + 1
+        return clock
+
+    def _check_freed(self, win, ep, call: str) -> bool:
+        """Flag (once per window+rank) any MPI call on a freed window."""
+        state = self._wstate.get(id(win))
+        rank = ep.world_rank
+        if state is None or state.get(self._comm_rank(win, ep)) != _FREED:
+            return False
+        key = (id(win), rank)
+        if key not in self._uaf_seen:
+            self._uaf_seen.add(key)
+            reused = any(
+                w is not win and w.win_id == win.win_id and not w.freed
+                for w in self._windows
+            )
+            note = (
+                f" (window id {win.win_id} has since been reused by a new window -- "
+                "the id-reuse hazard the paper's tool works around)"
+                if reused
+                else ""
+            )
+            self._report(
+                FindingKind.WINDOW_USE_AFTER_FREE,
+                rank,
+                win.name,
+                f"{call} on window {win.name!r} after MPI_Win_free{note}",
+            )
+        return True
+
+    def _comm_rank(self, win, ep) -> int:
+        try:
+            return win.comm.rank_of(ep)
+        except Exception:  # pragma: no cover - defensive
+            return -1
+
+    # -- RMA op observer (strict epochs + races) -----------------------------
+
+    def _on_rma_op(self, win, ep, rank: int, op) -> None:
+        w = id(win)
+        idx = self._ep_index.get(id(ep))
+        if idx is None or w not in self._wstate:  # pragma: no cover - defensive
+            return
+        counters = self._counters[idx]
+        kind_char = _KIND_CHAR[op.kind]
+        if kind_char == "P":
+            counters.puts += 1
+        elif kind_char == "G":
+            counters.gets += 1
+        else:
+            counters.accs += 1
+        counters.rma_bytes += op.nbytes
+
+        state = self._wstate[w].get(rank, _NONE)
+        call = f"MPI_{op.kind.value.capitalize()}"
+        if state == _NONE:
+            self._report(
+                FindingKind.RMA_EPOCH_VIOLATION,
+                ep.world_rank,
+                win.name,
+                f"{call} to rank {op.target_rank} outside any access epoch "
+                "(no MPI_Win_fence / MPI_Win_start / MPI_Win_lock opened one)",
+            )
+            return
+        if state == _START and op.target_rank not in self._start_group[w].get(rank, ()):
+            self._report(
+                FindingKind.RMA_EPOCH_VIOLATION,
+                ep.world_rank,
+                win.name,
+                f"{call} to rank {op.target_rank}, which is not in the "
+                "MPI_Win_start access group",
+            )
+            return
+        if state == _LOCK and op.target_rank != self._lock_target[w].get(rank):
+            self._report(
+                FindingKind.RMA_EPOCH_VIOLATION,
+                ep.world_rank,
+                win.name,
+                f"{call} to rank {op.target_rank} while holding the lock on "
+                f"rank {self._lock_target[w].get(rank)}",
+            )
+            return
+
+        stamp = dict(self._clocks[idx])
+        if state == _START:
+            record = ep.start_records.get(win.win_id, {}).get(op.target_rank)
+            if record is not None:
+                stamp = vc_join(stamp, getattr(record, "_san_post", {}))
+        lo, hi = op.target_disp, op.target_disp + op.count
+        buffer = self._ops[w]
+        for oidx, orank, otarget, olo, ohi, okind, oclock in buffer:
+            if (
+                oidx != idx
+                and otarget == op.target_rank
+                and olo < hi
+                and lo < ohi
+                and _kinds_conflict(okind, kind_char)
+                and vc_concurrent(oclock, stamp)
+            ):
+                key = (w, op.target_rank, min(oidx, idx), max(oidx, idx))
+                if key not in self._race_seen:
+                    self._race_seen.add(key)
+                    self._report(
+                        FindingKind.RMA_RACE,
+                        ep.world_rank,
+                        win.name,
+                        f"concurrent conflicting access to rank "
+                        f"{op.target_rank} elements [{max(lo, olo)}, "
+                        f"{min(hi, ohi)}) of window {win.name!r}: "
+                        f"{call} by rank {ep.world_rank} races with a "
+                        f"{'put' if okind == 'P' else 'get' if okind == 'G' else 'accumulate'} "
+                        f"by rank {self._eps[oidx].world_rank} in the same "
+                        "synchronization epoch",
+                    )
+        buffer.append((idx, rank, op.target_rank, lo, hi, kind_char, stamp))
+
+    # -- recv-side checks ----------------------------------------------------
+
+    def _on_event(self, kind: str, data: dict) -> None:
+        if kind != "recv_matched":
+            return
+        ep, env = data["ep"], data["env"]
+        if env.tag >= COLL_TAG_BASE or getattr(env, "rma_sink", False):
+            return
+        idx = self._ep_index.get(id(ep))
+        if idx is None:  # pragma: no cover - defensive
+            return
+        counters = self._counters[idx]
+        counters.recv_msgs += 1
+        counters.recv_bytes += env.nbytes
+        count, datatype = data.get("count") or 0, data.get("datatype")
+        if count and datatype is not None:
+            capacity = datatype.extent(count)
+            if env.nbytes > capacity:
+                self._report(
+                    FindingKind.RECV_TRUNCATION,
+                    ep.world_rank,
+                    f"tag {env.tag}",
+                    f"receive buffer holds {capacity} bytes "
+                    f"({count} x {datatype.name}) but the matched message "
+                    f"from rank {env.src_rank} carries {env.nbytes} bytes: "
+                    "data would be truncated",
+                )
+            elif env.datatype is not None and env.datatype.name != datatype.name:
+                self._report(
+                    FindingKind.DATATYPE_MISMATCH,
+                    ep.world_rank,
+                    f"tag {env.tag}",
+                    f"receive posted as {count} x {datatype.name} but rank "
+                    f"{env.src_rank} sent {env.datatype.name}: type signatures "
+                    "do not match",
+                )
+
+    # -- trace hooks ---------------------------------------------------------
+
+    def _on_trace(self, ep, frame, event: str) -> None:
+        idx = self._ep_index[id(ep)]
+        name = normalize_mpi_name(frame.name)
+        self._digest.update(
+            f"{self.universe.kernel.now!r}|{idx}|{name}|{event}\n".encode()
+        )
+        if not name.startswith("MPI_"):
+            return
+        call = name[4:]
+        args = frame.args
+        if event == "entry":
+            clock = self._tick(idx)
+            handler = _ENTRY.get(call)
+        else:
+            clock = self._clocks[idx]
+            handler = _EXIT.get(call)
+        if handler is not None:
+            handler(self, ep, idx, clock, frame, call, args)
+
+    # entry/exit handlers (bound through the _ENTRY/_EXIT tables below)
+
+    def _h_send_entry(self, ep, idx, clock, frame, call, args) -> None:
+        tag = args[4]
+        if tag >= COLL_TAG_BASE:
+            return
+        counters = self._counters[idx]
+        counters.sent_msgs += 1
+        count, dtype = args[1], args[2]
+        try:
+            counters.sent_bytes += dtype.extent(count) if count else 0
+        except AttributeError:  # sendrecv passes raw byte counts
+            counters.sent_bytes += int(count)
+
+    def _h_isend_exit(self, ep, idx, clock, frame, call, args) -> None:
+        self._h_send_entry(ep, idx, clock, frame, call, args)
+        request = frame.return_value
+        if isinstance(request, Request) and args[4] < COLL_TAG_BASE:
+            self._requests[idx][id(request)] = ("MPI_Isend", args[4])
+
+    def _h_irecv_exit(self, ep, idx, clock, frame, call, args) -> None:
+        request = frame.return_value
+        if isinstance(request, Request) and args[4] < COLL_TAG_BASE:
+            self._requests[idx][id(request)] = ("MPI_Irecv", args[4])
+
+    def _h_wait_entry(self, ep, idx, clock, frame, call, args) -> None:
+        self._requests[idx].pop(id(args[0]), None)
+
+    def _h_waitall_entry(self, ep, idx, clock, frame, call, args) -> None:
+        for request in args[1]:
+            self._requests[idx].pop(id(request), None)
+
+    def _h_test_exit(self, ep, idx, clock, frame, call, args) -> None:
+        if frame.return_value:
+            self._requests[idx].pop(id(args[0]), None)
+
+    def _h_barrier_entry(self, ep, idx, clock, frame, call, args) -> None:
+        comm = args[0]
+        if comm.remote_group is not None:
+            return
+        key = (comm.cid, idx)
+        rnd = self._barrier_round.get(key, 0)
+        self._barrier_round[key] = rnd + 1
+        self._barrier_entry.setdefault((comm.cid, rnd), {})[idx] = dict(clock)
+
+    def _h_barrier_exit(self, ep, idx, clock, frame, call, args) -> None:
+        comm = args[0]
+        if comm.remote_group is not None:
+            return
+        rnd = self._barrier_round.get((comm.cid, idx), 1) - 1
+        entries = self._barrier_entry.get((comm.cid, rnd), {})
+        merged = clock
+        for other in entries.values():
+            merged = vc_join(merged, other)
+        self._clocks[idx] = merged
+        exits = self._barrier_exits.get((comm.cid, rnd), 0) + 1
+        self._barrier_exits[(comm.cid, rnd)] = exits
+        if exits >= comm.size:
+            self._barrier_entry.pop((comm.cid, rnd), None)
+            self._barrier_exits.pop((comm.cid, rnd), None)
+
+    # .. RMA synchronization ..
+
+    def _h_fence_entry(self, ep, idx, clock, frame, call, args) -> None:
+        win = args[1]
+        if self._check_freed(win, ep, "MPI_Win_fence"):
+            return
+        w = id(win)
+        if w not in self._wstate:  # pragma: no cover - defensive
+            return
+        rnd = self._fence_round[w].get(idx, 0)
+        self._fence_round[w][idx] = rnd + 1
+        self._fence_entry.setdefault((w, rnd), {})[idx] = dict(clock)
+
+    def _h_fence_exit(self, ep, idx, clock, frame, call, args) -> None:
+        win = args[1]
+        w = id(win)
+        if w not in self._wstate or self._wstate[w].get(self._comm_rank(win, ep)) == _FREED:
+            return
+        rank = self._comm_rank(win, ep)
+        self._wstate[w][rank] = _FENCE
+        self._fence_open[w].add(rank)
+        rnd = self._fence_round[w].get(idx, 1) - 1
+        entries = self._fence_entry.get((w, rnd), {})
+        merged = clock
+        for other in entries.values():
+            merged = vc_join(merged, other)
+        self._clocks[idx] = merged
+        exits = self._fence_exits.get((w, rnd), 0) + 1
+        self._fence_exits[(w, rnd)] = exits
+        if exits >= win.comm.size:
+            joined = merged
+            self._ops[w] = [
+                entry for entry in self._ops[w] if not vc_leq(entry[6], joined)
+            ]
+            self._fence_entry.pop((w, rnd), None)
+            self._fence_exits.pop((w, rnd), None)
+
+    def _h_start_exit(self, ep, idx, clock, frame, call, args) -> None:
+        win = args[2]
+        w = id(win)
+        if w not in self._wstate:
+            return
+        rank = self._comm_rank(win, ep)
+        self._wstate[w][rank] = _START
+        self._start_group[w][rank] = tuple(args[0])
+
+    def _h_complete_entry(self, ep, idx, clock, frame, call, args) -> None:
+        win = args[0]
+        if self._check_freed(win, ep, "MPI_Win_complete"):
+            return
+        for record in ep.start_records.get(win.win_id, {}).values():
+            record._san_complete = vc_join(
+                getattr(record, "_san_complete", {}), dict(clock)
+            )
+
+    def _h_complete_exit(self, ep, idx, clock, frame, call, args) -> None:
+        win = args[0]
+        w = id(win)
+        if w not in self._wstate:
+            return
+        rank = self._comm_rank(win, ep)
+        if self._wstate[w].get(rank) == _FREED:
+            return
+        self._wstate[w][rank] = _FENCE if rank in self._fence_open[w] else _NONE
+        self._start_group[w].pop(rank, None)
+
+    def _h_post_entry(self, ep, idx, clock, frame, call, args) -> None:
+        self._check_freed(args[2], ep, "MPI_Win_post")
+
+    def _h_post_exit(self, ep, idx, clock, frame, call, args) -> None:
+        win = args[2]
+        record = ep.post_record.get(win.win_id)
+        if record is not None:
+            record._san_post = dict(clock)
+
+    def _h_wait_entry_win(self, ep, idx, clock, frame, call, args) -> None:
+        win = args[0]
+        if self._check_freed(win, ep, "MPI_Win_wait"):
+            return
+        record = ep.post_record.get(win.win_id)
+        if record is not None:
+            self._wait_rec[id(frame)] = record
+
+    def _h_wait_exit_win(self, ep, idx, clock, frame, call, args) -> None:
+        win = args[0]
+        w = id(win)
+        record = self._wait_rec.pop(id(frame), None)
+        if record is None or w not in self._wstate:
+            return
+        merged = vc_join(clock, getattr(record, "_san_complete", {}))
+        self._clocks[idx] = merged
+        rank = self._comm_rank(win, ep)
+        self._ops[w] = [
+            entry
+            for entry in self._ops[w]
+            if not (entry[2] == rank and vc_leq(entry[6], merged))
+        ]
+
+    def _h_lock_entry(self, ep, idx, clock, frame, call, args) -> None:
+        self._check_freed(args[3], ep, "MPI_Win_lock")
+
+    def _h_lock_exit(self, ep, idx, clock, frame, call, args) -> None:
+        win = args[3]
+        w = id(win)
+        if w not in self._wstate:
+            return
+        target = args[1]
+        self._clocks[idx] = vc_join(clock, self._last_unlock.get((w, target), {}))
+        rank = self._comm_rank(win, ep)
+        if self._wstate[w].get(rank) != _FREED:
+            self._wstate[w][rank] = _LOCK
+            self._lock_target[w][rank] = target
+
+    def _h_unlock_entry(self, ep, idx, clock, frame, call, args) -> None:
+        win = args[1]
+        w = id(win)
+        if self._check_freed(win, ep, "MPI_Win_unlock") or w not in self._wstate:
+            return
+        target = args[0]
+        self._last_unlock[(w, target)] = dict(clock)
+        self._ops[w] = [
+            entry
+            for entry in self._ops[w]
+            if not (entry[0] == idx and entry[2] == target and vc_leq(entry[6], clock))
+        ]
+
+    def _h_unlock_exit(self, ep, idx, clock, frame, call, args) -> None:
+        win = args[1]
+        w = id(win)
+        if w not in self._wstate:
+            return
+        rank = self._comm_rank(win, ep)
+        if self._wstate[w].get(rank) == _FREED:
+            return
+        self._wstate[w][rank] = _FENCE if rank in self._fence_open[w] else _NONE
+        self._lock_target[w].pop(rank, None)
+
+    def _h_free_entry(self, ep, idx, clock, frame, call, args) -> None:
+        self._check_freed(args[0], ep, "MPI_Win_free")
+
+    def _h_free_exit(self, ep, idx, clock, frame, call, args) -> None:
+        win = args[0]
+        w = id(win)
+        if w in self._wstate and win.freed:
+            for rank in self._wstate[w]:
+                self._wstate[w][rank] = _FREED
+
+    def _h_start_entry(self, ep, idx, clock, frame, call, args) -> None:
+        self._check_freed(args[2], ep, "MPI_Win_start")
+
+    # -- end-of-run checks ---------------------------------------------------
+
+    def on_deadlock(self) -> None:
+        if self.deadlock_reported:
+            return
+        self.deadlock_reported = True
+        self.findings.extend(analyze_deadlock(self.universe, normalize_mpi_name))
+
+    def finalize_checks(self) -> None:
+        """Leak detection; call only after a run that completed normally."""
+        for idx, ep in enumerate(self._eps):
+            for env in ep.mailbox.unexpected_envelopes():
+                if env.tag >= COLL_TAG_BASE or getattr(env, "rma_sink", False):
+                    continue
+                self._report(
+                    FindingKind.UNMATCHED_SEND,
+                    ep.world_rank,
+                    f"tag {env.tag}",
+                    f"message from rank {env.src_rank} (tag {env.tag}, "
+                    f"{env.nbytes} bytes) was never received: the send has no "
+                    "matching receive",
+                )
+            pending = self._requests[idx]
+            if pending:
+                kinds = ", ".join(sorted(kind for kind, _ in pending.values()))
+                self._report(
+                    FindingKind.REQUEST_LEAK,
+                    ep.world_rank,
+                    "requests",
+                    f"{len(pending)} nonblocking request(s) ({kinds}) never "
+                    "completed with MPI_Wait/MPI_Test before MPI_Finalize",
+                )
+        for win in self._windows:
+            if not win.freed:
+                self._report(
+                    FindingKind.WINDOW_LEAK,
+                    -1,
+                    win.name,
+                    f"window {win.name!r} (id {win.win_id}) was still allocated "
+                    "at MPI_Finalize: missing MPI_Win_free",
+                )
+
+    # -- results -------------------------------------------------------------
+
+    def trace_digest(self) -> str:
+        return self._digest.hexdigest()
+
+    def data_signature(self) -> tuple:
+        rows = []
+        for idx, ep in enumerate(self._eps):
+            c = self._counters[idx]
+            rows.append(
+                (
+                    ep.world.world_id,
+                    ep.world_rank,
+                    c.sent_msgs,
+                    c.sent_bytes,
+                    c.recv_msgs,
+                    c.recv_bytes,
+                    c.puts,
+                    c.gets,
+                    c.accs,
+                    c.rma_bytes,
+                )
+            )
+        return tuple(sorted(rows))
+
+
+_ENTRY = {
+    "Send": Sanitizer._h_send_entry,
+    "Ssend": Sanitizer._h_send_entry,
+    "Sendrecv": Sanitizer._h_send_entry,
+    "Wait": Sanitizer._h_wait_entry,
+    "Waitall": Sanitizer._h_waitall_entry,
+    "Waitany": Sanitizer._h_waitall_entry,
+    "Barrier": Sanitizer._h_barrier_entry,
+    "Win_fence": Sanitizer._h_fence_entry,
+    "Win_start": Sanitizer._h_start_entry,
+    "Win_complete": Sanitizer._h_complete_entry,
+    "Win_post": Sanitizer._h_post_entry,
+    "Win_wait": Sanitizer._h_wait_entry_win,
+    "Win_lock": Sanitizer._h_lock_entry,
+    "Win_unlock": Sanitizer._h_unlock_entry,
+    "Win_free": Sanitizer._h_free_entry,
+}
+
+_EXIT = {
+    "Isend": Sanitizer._h_isend_exit,
+    "Irecv": Sanitizer._h_irecv_exit,
+    "Test": Sanitizer._h_test_exit,
+    "Barrier": Sanitizer._h_barrier_exit,
+    "Win_fence": Sanitizer._h_fence_exit,
+    "Win_start": Sanitizer._h_start_exit,
+    "Win_complete": Sanitizer._h_complete_exit,
+    "Win_post": Sanitizer._h_post_exit,
+    "Win_wait": Sanitizer._h_wait_exit_win,
+    "Win_lock": Sanitizer._h_lock_exit,
+    "Win_unlock": Sanitizer._h_unlock_exit,
+    "Win_free": Sanitizer._h_free_exit,
+}

@@ -1,0 +1,228 @@
+"""Wait-for-graph deadlock analysis over a stuck simulation.
+
+When the DES kernel detects that live tasks remain but nothing is scheduled,
+the sanitizer's deadlock hook runs while every blocked process's call stack
+is still frozen mid-call.  This module turns those stacks into a wait-for
+graph (who is blocked inside which MPI call, waiting on whom) and looks for
+a cycle -- the classic MUST/Marmot-style diagnosis.  Graph edges are
+conservative: a cycle is definitive, but the absence of one still gets a
+generic deadlock finding listing the blocked calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..mpi.comm import Communicator
+from ..mpi.datatypes import ANY_SOURCE
+from ..mpi.rma import Window
+from .findings import Finding, FindingKind
+
+__all__ = ["analyze_deadlock"]
+
+# Calls that synchronize with every member of a communicator (or the
+# window's communicator): each blocked caller waits on the members that have
+# not yet arrived at the same call.
+_COLLECTIVE_CALLS = {
+    "Barrier",
+    "Bcast",
+    "Reduce",
+    "Allreduce",
+    "Gather",
+    "Gatherv",
+    "Allgather",
+    "Scatter",
+    "Scatterv",
+    "Alltoall",
+    "Init",
+    "Finalize",
+    "Comm_dup",
+    "Comm_split",
+    "Comm_create",
+    "Comm_spawn",
+    "Intercomm_merge",
+    "File_open",
+    "File_close",
+    "Win_create",
+    "Win_free",
+    "Win_fence",
+}
+
+_GAT_CALLS = {"Win_start", "Win_complete", "Win_wait", "Win_test"}
+
+
+def _find_instance(args: tuple, cls: type) -> Optional[Any]:
+    for arg in args:
+        if isinstance(arg, cls):
+            return arg
+    return None
+
+
+def _blocked_frame(ep, norm: Callable[[str], str]):
+    """The innermost frame of a blocked process whose name looks like MPI."""
+    for frame in reversed(ep.proc.stack):
+        name = norm(frame.name)
+        if name.startswith("MPI_"):
+            return frame, name[len("MPI_") :]
+    return None, ""
+
+
+def _peers_of(ep, comm: Communicator) -> list:
+    group = comm.local_group_for(ep) if comm.remote_group is not None else comm.group
+    peers = [m for m in group if m is not ep]
+    if comm.remote_group is not None:
+        other = comm.remote_group if group is comm.group else comm.group
+        peers.extend(other)
+    return peers
+
+
+def analyze_deadlock(universe, norm: Callable[[str], str]) -> list[Finding]:
+    """Build the wait-for graph of blocked endpoints and diagnose it."""
+    blocked: list[tuple[Any, Any, str]] = []  # (ep, frame, call)
+    for world in universe.worlds:
+        for ep in world.endpoints:
+            if ep.proc.exited:
+                continue
+            frame, call = _blocked_frame(ep, norm)
+            if frame is not None:
+                blocked.append((ep, frame, call))
+    if not blocked:
+        return []
+
+    index = {id(ep): i for i, (ep, _, _) in enumerate(blocked)}
+    in_call: dict[int, tuple[str, int]] = {}  # ep id -> (call, comm cid)
+    for ep, frame, call in blocked:
+        comm = _find_instance(frame.args, Communicator)
+        if comm is None:
+            win = _find_instance(frame.args, Window)
+            comm = win.comm if win is not None else None
+        in_call[id(ep)] = (call, comm.cid if comm is not None else -1)
+
+    def edge_targets(ep, frame, call) -> list:
+        args = frame.args
+        comm = _find_instance(args, Communicator)
+        win = _find_instance(args, Window)
+        if win is not None and comm is None:
+            comm = win.comm
+        if call in ("Recv", "Probe", "Iprobe"):
+            source = args[3] if call == "Recv" else args[0]
+            if comm is None:
+                return []
+            if source == ANY_SOURCE:
+                return _peers_of(ep, comm)
+            try:
+                return [comm.peer_for(ep, source)]
+            except Exception:
+                return []
+        if call in ("Send", "Ssend", "Isend"):
+            if comm is None:
+                return []
+            try:
+                return [comm.peer_for(ep, args[3])]
+            except Exception:
+                return []
+        if call == "Sendrecv":
+            if comm is None:
+                return []
+            targets = []
+            for rank in (args[3], args[8]):
+                if rank == ANY_SOURCE:
+                    targets.extend(_peers_of(ep, comm))
+                else:
+                    try:
+                        targets.append(comm.peer_for(ep, rank))
+                    except Exception:
+                        pass
+            return targets
+        if call in ("Wait", "Waitall", "Waitany", "Test"):
+            # a pending request completes only if some other live process
+            # acts; wait on all of them (conservative)
+            return [other for other, _, _ in blocked if other is not ep]
+        if call == "Win_lock" and win is not None:
+            holder = win.lock_holder(args[1])
+            if holder is not None:
+                try:
+                    return [win.comm.group[holder]]
+                except Exception:
+                    return []
+            return []
+        if call in _GAT_CALLS and win is not None:
+            return [
+                m
+                for m in win.comm.group
+                if m is not ep and in_call.get(id(m), ("", -2))[0] not in _GAT_CALLS
+            ]
+        if call in _COLLECTIVE_CALLS and comm is not None:
+            # wait on members that have not reached the same collective
+            return [
+                m
+                for m in _peers_of(ep, comm)
+                if in_call.get(id(m), ("", -2)) != (call, comm.cid)
+            ]
+        return []
+
+    graph: dict[int, list[int]] = {}
+    for ep, frame, call in blocked:
+        targets = edge_targets(ep, frame, call)
+        graph[index[id(ep)]] = sorted(
+            {index[id(t)] for t in targets if id(t) in index}
+        )
+
+    cycle = _find_cycle(graph)
+    def describe(i: int) -> str:
+        ep, _, call = blocked[i]
+        return f"rank {ep.world_rank} (world {ep.world.world_id}) in MPI_{call}"
+
+    if cycle:
+        chain = " -> ".join(describe(i) for i in cycle) + f" -> {describe(cycle[0])}"
+        return [
+            Finding(
+                kind=FindingKind.DEADLOCK,
+                rank=blocked[cycle[0]][0].world_rank,
+                obj="wait-for cycle",
+                detail=f"circular wait: {chain}",
+            )
+        ]
+    summary = "; ".join(describe(i) for i in range(len(blocked)))
+    return [
+        Finding(
+            kind=FindingKind.DEADLOCK,
+            rank=-1,
+            obj="blocked processes",
+            detail=f"no progress possible: {summary}",
+        )
+    ]
+
+
+def _find_cycle(graph: dict[int, list[int]]) -> Optional[list[int]]:
+    """Iterative DFS; returns one cycle as a node list, or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in graph}
+    parent: dict[int, int] = {}
+    for root in graph:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[int, int]] = [(root, 0)]
+        color[root] = GRAY
+        while stack:
+            node, i = stack[-1]
+            succs = graph.get(node, ())
+            if i < len(succs):
+                stack[-1] = (node, i + 1)
+                nxt = succs[i]
+                if color.get(nxt, BLACK) == WHITE:
+                    color[nxt] = GRAY
+                    parent[nxt] = node
+                    stack.append((nxt, 0))
+                elif color.get(nxt) == GRAY:
+                    cycle = [node]
+                    cur = node
+                    while cur != nxt:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    return cycle
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return None

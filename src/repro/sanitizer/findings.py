@@ -1,0 +1,83 @@
+"""Finding and report types for the MPI correctness sanitizer.
+
+A *finding* is one detected violation of MPI semantics, classified into a
+small closed set of kinds (mirroring the MUST / Marmot tool taxonomy).  A
+*report* is the result of sanitizing one program run: its status, every
+finding, and the run's determinism/differential signatures, which the test
+suite reuses for golden-trace and cross-implementation checks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["FindingKind", "Finding", "SanitizerReport"]
+
+
+class FindingKind(enum.Enum):
+    """What class of defect a finding reports."""
+
+    RMA_EPOCH_VIOLATION = "rma-epoch-violation"
+    RMA_RACE = "rma-race"
+    DEADLOCK = "deadlock"
+    UNMATCHED_SEND = "unmatched-send"
+    REQUEST_LEAK = "request-leak"
+    WINDOW_LEAK = "window-leak"
+    WINDOW_USE_AFTER_FREE = "window-use-after-free"
+    RECV_TRUNCATION = "recv-truncation"
+    DATATYPE_MISMATCH = "datatype-mismatch"
+    MPI_ERROR = "mpi-error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected violation.
+
+    ``rank`` is the world rank the finding is attributed to (or -1 when it
+    spans processes, e.g. a deadlock cycle); ``obj`` names the MPI object
+    involved (window, communicator, tag...) and ``detail`` is the full
+    human-readable diagnosis.
+    """
+
+    kind: FindingKind
+    rank: int
+    obj: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        where = f"rank {self.rank}" if self.rank >= 0 else "global"
+        return f"[{self.kind.value}] {where} {self.obj}: {self.detail}"
+
+
+@dataclass
+class SanitizerReport:
+    """Everything produced by sanitizing one run."""
+
+    program: str
+    impl: str
+    nprocs: int
+    seed: int
+    #: "clean" | "findings" | "unsupported"
+    status: str = "clean"
+    findings: list[Finding] = field(default_factory=list)
+    #: exception message when the run died (deadlock / MPI error), if any
+    crash: Optional[str] = None
+    #: sha256 over the ordered (time, rank, function, entry/exit) event
+    #: stream -- equal digests mean identical schedules (determinism tests)
+    trace_digest: str = ""
+    #: implementation-independent application-data signature (message and
+    #: RMA counts/bytes per rank) -- equal across impls for the same program
+    data_signature: Any = None
+    elapsed: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return self.status == "clean" and not self.findings
+
+    def kinds(self) -> set[FindingKind]:
+        return {f.kind for f in self.findings}
+
+    def by_kind(self, kind: FindingKind) -> list[Finding]:
+        return [f for f in self.findings if f.kind is kind]

@@ -1,0 +1,165 @@
+"""Sanitized program runs: build a universe, attach the monitor, classify.
+
+This mirrors :func:`repro.analysis.runner.run_program`'s cluster shape and
+placement but installs the :class:`~repro.sanitizer.core.Sanitizer` *before*
+``launch`` (trace hooks must be in place when processes are created) and
+maps run outcomes onto a :class:`~repro.sanitizer.findings.SanitizerReport`:
+
+* normal completion -> finalize leak checks run, status from the findings;
+* :class:`DeadlockError` -> the kernel deadlock hook already recorded the
+  wait-for-graph diagnosis;
+* :class:`RmaEpochError` -> folded into an existing epoch/use-after-free
+  finding when the sanitizer saw it first, reported standalone otherwise;
+* :class:`UnsupportedFeature` -> status "unsupported" (the program simply
+  does not run under this personality -- e.g. RMA under MPICH-1);
+* any other :class:`MpiError` -> an ``mpi-error`` finding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from ..analysis.runner import cluster_for
+from ..dyninst.image import ImageError
+from ..mpi.errors import MpiError, RmaEpochError, UnsupportedFeature
+from ..mpi.world import MpiProgram, MpiUniverse
+from ..sim.kernel import DeadlockError, SimulationError
+from .core import Sanitizer
+from .findings import Finding, FindingKind, SanitizerReport
+
+__all__ = ["sanitize_program", "CLEAN_PROGRAMS", "SMALL_PARAMS", "resolve_program"]
+
+#: the paper's 16 clean PPerfMark programs (8 MPI-1 + 7 MPI-2 + oned)
+CLEAN_PROGRAMS = (
+    "small_messages",
+    "big_message",
+    "wrong_way",
+    "intensive_server",
+    "random_barrier",
+    "diffuse_procedure",
+    "system_time",
+    "hot_procedure",
+    "allcount",
+    "wincreateblast",
+    "winfencesync",
+    "winscpwsync",
+    "spawncount",
+    "spawnsync",
+    "spawnwinsync",
+    "oned",
+)
+
+#: scaled-down constructor parameters for quick sweeps (CI, tests): same
+#: code paths and communication structure, far fewer iterations.
+SMALL_PARAMS: dict[str, dict[str, Any]] = {
+    "small_messages": {"iterations": 300},
+    "big_message": {"iterations": 8},
+    "wrong_way": {"iterations": 30, "batch": 10},
+    "intensive_server": {"iterations": 40, "time_to_waste": 0.05},
+    "random_barrier": {"iterations": 12, "time_to_waste": 0.2},
+    "diffuse_procedure": {"iterations": 40},
+    "system_time": {"iterations": 60, "barrier_every": 20},
+    "hot_procedure": {"iterations": 60},
+    "allcount": {"epochs": 10},
+    "wincreateblast": {"num_windows": 10},
+    "winfencesync": {"iterations": 30, "waste_seconds": 1e-3},
+    "winscpwsync": {"iterations": 30, "waste_seconds": 1e-3},
+    "spawncount": {"spawns": 2, "children_per_spawn": 2},
+    "spawnsync": {"children": 2, "messages": 30, "waste_seconds": 1e-3},
+    "spawnwinsync": {"children": 2, "iterations": 30, "waste_seconds": 1e-3},
+    "oned": {"iterations": 12, "local_rows": 8, "row_width": 64},
+}
+
+
+def resolve_program(name: str, *, quick: bool = False) -> MpiProgram:
+    """A program instance from the PPerfMark or defect registries."""
+    from ..pperfmark.base import REGISTRY, create
+    from ..pperfmark.defects import DEFECT_REGISTRY
+
+    if name in REGISTRY:
+        params = SMALL_PARAMS.get(name, {}) if quick else {}
+        return create(name, **params)
+    if name in DEFECT_REGISTRY:
+        return DEFECT_REGISTRY[name]()
+    known = sorted(set(REGISTRY) | set(DEFECT_REGISTRY))
+    raise KeyError(f"unknown program {name!r}; known: {known}")
+
+
+def sanitize_program(
+    program: Union[MpiProgram, str],
+    *,
+    impl: str = "lam",
+    nprocs: Optional[int] = None,
+    seed: int = 0,
+    until: Optional[float] = None,
+    quick: bool = False,
+) -> SanitizerReport:
+    """Run ``program`` under the sanitizer and classify the outcome."""
+    if isinstance(program, str):
+        program = resolve_program(program, quick=quick)
+    nprocs = nprocs or getattr(program, "default_nprocs", 4)
+    procs_per_node = getattr(program, "procs_per_node", 2)
+    cluster = cluster_for(nprocs, procs_per_node)
+    universe = MpiUniverse(impl=impl, cluster=cluster, seed=seed)
+    san = Sanitizer(universe).attach()
+
+    placement = []
+    per_node = max(1, min(procs_per_node, cluster.nodes[0].num_cpus))
+    for rank in range(nprocs):
+        node = cluster.nodes[(rank // per_node) % cluster.num_nodes]
+        placement.append(node.cpus[rank % per_node])
+
+    report = SanitizerReport(
+        program=program.name, impl=impl, nprocs=nprocs, seed=seed
+    )
+    try:
+        universe.launch(program, nprocs, placement=placement)
+        universe.run(until=until)
+    except UnsupportedFeature as exc:
+        report.status = "unsupported"
+        report.crash = str(exc)
+        san.findings.clear()
+    except ImageError as exc:
+        # personalities omit unsupported MPI symbols from the image entirely
+        # (MPICH-1 has no MPI-2 entry points), so a failed resolve of an
+        # MPI_* name is the same "does not run here" outcome
+        if "'MPI_" not in str(exc):
+            raise
+        report.status = "unsupported"
+        report.crash = str(exc)
+        san.findings.clear()
+    except DeadlockError as exc:
+        report.crash = str(exc)
+        if not san.deadlock_reported:  # pragma: no cover - hook always fires
+            san.on_deadlock()
+    except RmaEpochError as exc:
+        report.crash = str(exc)
+        kinds = {f.kind for f in san.findings}
+        if (
+            FindingKind.WINDOW_USE_AFTER_FREE not in kinds
+            and FindingKind.RMA_EPOCH_VIOLATION not in kinds
+        ):
+            san.findings.append(
+                Finding(
+                    kind=FindingKind.RMA_EPOCH_VIOLATION,
+                    rank=-1,
+                    obj="rma",
+                    detail=str(exc),
+                )
+            )
+    except (MpiError, SimulationError) as exc:
+        report.crash = str(exc)
+        san.findings.append(
+            Finding(kind=FindingKind.MPI_ERROR, rank=-1, obj="mpi", detail=str(exc))
+        )
+    else:
+        if all(ep.proc.exited for w in universe.worlds for ep in w.endpoints):
+            san.finalize_checks()
+
+    report.findings = list(san.findings)
+    if report.findings:
+        report.status = "findings"
+    report.trace_digest = san.trace_digest()
+    report.data_signature = san.data_signature()
+    report.elapsed = universe.kernel.now
+    return report

@@ -1,0 +1,29 @@
+"""Vector clocks over sparse dicts, for RMA happens-before tracking.
+
+Clocks are ``dict[int, int]`` keyed by a stable per-endpoint index (assigned
+by the sanitizer at process creation, so spawned worlds -- where world ranks
+repeat -- still get distinct components).  Missing keys are zero.
+"""
+
+from __future__ import annotations
+
+__all__ = ["vc_join", "vc_leq", "vc_concurrent"]
+
+
+def vc_join(a: dict[int, int], b: dict[int, int]) -> dict[int, int]:
+    """Component-wise maximum (the least upper bound of two clocks)."""
+    out = dict(a)
+    for k, v in b.items():
+        if v > out.get(k, 0):
+            out[k] = v
+    return out
+
+
+def vc_leq(a: dict[int, int], b: dict[int, int]) -> bool:
+    """True when ``a`` happened-before-or-equals ``b`` (a <= b pointwise)."""
+    return all(v <= b.get(k, 0) for k, v in a.items())
+
+
+def vc_concurrent(a: dict[int, int], b: dict[int, int]) -> bool:
+    """Neither clock ordered before the other: a genuine race candidate."""
+    return not vc_leq(a, b) and not vc_leq(b, a)

@@ -197,6 +197,10 @@ class Kernel:
         self._seq = 0
         self._live_tasks = 0
         self._failed_task: Optional[Task] = None
+        #: callables run (once each) just before :class:`DeadlockError` is
+        #: raised, while the blocked tasks' state is still intact -- this is
+        #: how correctness tools snapshot the wait-for graph.
+        self.deadlock_hooks: list[Callable[[], None]] = []
 
     # -- scheduling ---------------------------------------------------------
 
@@ -250,6 +254,8 @@ class Kernel:
                 raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
         if self._live_tasks > 0:
             blocked = self._live_tasks
+            for hook in list(self.deadlock_hooks):
+                hook()
             raise DeadlockError(
                 f"simulation deadlock at t={self.now:.6f}: {blocked} task(s) "
                 "blocked with an empty event queue"

@@ -140,6 +140,7 @@ def test_callgraph_observed():
     assert "outer" in pc.callgraph.get("main", set())
 
 
+@pytest.mark.slow
 def test_io_hypothesis_fires_for_socket_flooding():
     """MPICH small-message flooding blocks in write -> IO blocking true."""
 

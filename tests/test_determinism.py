@@ -1,7 +1,10 @@
 """Determinism guarantees: same seed, same everything."""
 
+import pytest
+
 from repro.analysis import run_program
 from repro.pperfmark import IntensiveServer, PrestaRma, RandomBarrier
+from repro.sanitizer import sanitize_program
 
 
 def _signature(result):
@@ -33,3 +36,33 @@ def test_exited_processes_retire_from_hierarchy():
     for ep in result.world.endpoints:
         node = hierarchy.find(f"/Machine/{ep.proc.node.name}/pid{ep.proc.pid}")
         assert node.retired
+
+
+# Golden-trace regression: the sanitizer hashes every (time, rank, function,
+# entry/exit) event, so two runs with the same seed must produce the same
+# digest -- any scheduling nondeterminism anywhere in the kernel, the MPI
+# engine, or a personality shows up here immediately.
+
+@pytest.mark.parametrize("impl", ["lam", "mpich", "mpich2"])
+@pytest.mark.parametrize("seed", [0, 7])
+def test_same_seed_same_event_trace_digest(impl, seed):
+    a = sanitize_program("random_barrier", impl=impl, seed=seed, quick=True)
+    b = sanitize_program("random_barrier", impl=impl, seed=seed, quick=True)
+    assert a.status == b.status == "clean"
+    assert a.trace_digest == b.trace_digest
+    assert a.data_signature == b.data_signature
+    assert a.elapsed == b.elapsed
+
+
+@pytest.mark.parametrize("impl", ["lam", "mpich2"])
+def test_same_seed_same_rma_trace_digest(impl):
+    a = sanitize_program("winfencesync", impl=impl, seed=3, quick=True)
+    b = sanitize_program("winfencesync", impl=impl, seed=3, quick=True)
+    assert a.trace_digest == b.trace_digest
+
+
+def test_different_impls_yield_different_traces():
+    """The digest is personality-sensitive (fence algorithms differ)."""
+    lam = sanitize_program("winfencesync", impl="lam", seed=0, quick=True)
+    mpich2 = sanitize_program("winfencesync", impl="mpich2", seed=0, quick=True)
+    assert lam.trace_digest != mpich2.trace_digest

@@ -25,6 +25,7 @@ def test_quickstart():
     assert "ExcessiveSyncWaitingTime" in out
 
 
+@pytest.mark.slow
 def test_rma_tuning():
     out = run_example("rma_tuning.py")
     assert "fence" in out and "scpw" in out
@@ -37,6 +38,7 @@ def test_spawn_monitoring():
     assert "intercept" in out and "attach" in out
 
 
+@pytest.mark.slow
 def test_pperfmark_suite_single_program():
     out = run_example("pperfmark_suite.py", "hot_procedure", "lam")
     assert "Pass" in out and "match" in out

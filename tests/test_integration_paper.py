@@ -21,6 +21,7 @@ from repro.pperfmark import (
 WHOLE = Focus.whole_program()
 
 
+@pytest.mark.slow
 class TestFigure3SmallMessages:
     """LAM: sync only.  MPICH: sync + I/O blocking (socket transport)."""
 
@@ -105,6 +106,7 @@ class TestFigure21WinScpwSync:
             assert frac > 0.5
 
 
+@pytest.mark.slow
 class TestFigure22Oned:
     def test_lam_fence_bottleneck_shows_barrier_syncobject(self):
         result = run_program(Oned(), impl="lam")
@@ -139,6 +141,7 @@ class TestFigure23SpawnHierarchy:
         assert "ParentChildWin" in message_names
 
 
+@pytest.mark.slow
 class TestWeakSymbolAblation:
     def test_legacy_definitions_fail_on_mpich_only(self):
         """Section 4.1.1: Paradyn 4.0's metric definitions miss default

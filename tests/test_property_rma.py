@@ -1,0 +1,182 @@
+"""Property-based tests: RMA put/get/accumulate round-trips in valid epochs.
+
+Random operation mixes inside *legal* fence and start/post epochs must move
+numpy buffers faithfully on every personality that implements RMA -- and the
+sanitizer, attached to the same runs, must stay silent (valid programs are
+never flagged).  MPICH-1 is the odd one out: its process image has no MPI-2
+entry points at all, which the last test pins down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dyninst.image import ImageError
+from repro.mpi import INT
+from repro.sanitizer import Sanitizer, sanitize_program
+
+from conftest import make_universe, run_script
+
+RMA_IMPLS = ["lam", "mpich2", "refmpi"]
+COUNT = 8
+
+
+def _run_sanitized(script, nprocs, impl):
+    """run_script with the sanitizer attached; assert it saw nothing."""
+    uni = make_universe(impl)
+    san = Sanitizer(uni).attach()
+    run_script(script, nprocs, universe=uni)
+    assert san.findings == [], [
+        (f.kind.value, f.detail) for f in san.findings
+    ]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nprocs=st.integers(min_value=2, max_value=5),
+    impl=st.sampled_from(RMA_IMPLS),
+    values=st.lists(st.integers(-1000, 1000), min_size=COUNT, max_size=COUNT),
+)
+def test_property_fence_put_then_get_roundtrip(nprocs, impl, values):
+    """Ring of puts in one fence epoch; gets in the next read them back."""
+    got = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        win = yield from mpi.win_create(COUNT, datatype=INT)
+        yield from mpi.win_fence(win)
+        target = (mpi.rank + 1) % mpi.size
+        payload = np.array([v + mpi.rank for v in values], dtype="i4")
+        yield from mpi.put(win, target, payload)
+        yield from mpi.win_fence(win)
+        dest = np.zeros(COUNT, dtype="i4")
+        yield from mpi.get(win, mpi.rank, dest)  # read own exposed memory
+        yield from mpi.win_fence(win)
+        got[mpi.rank] = dest.copy()
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()
+
+    _run_sanitized(script, nprocs, impl)
+    for rank in range(nprocs):
+        origin = (rank - 1) % nprocs
+        expected = [v + origin for v in values]
+        assert got[rank].tolist() == expected, f"rank {rank} <- {origin}"
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nprocs=st.integers(min_value=2, max_value=5),
+    impl=st.sampled_from(RMA_IMPLS),
+    addends=st.lists(st.integers(-50, 50), min_size=5, max_size=5),
+    rounds=st.integers(min_value=1, max_value=3),
+)
+def test_property_fence_accumulate_sums_all_origins(nprocs, impl, addends, rounds):
+    """Concurrent MPI_Accumulate(SUM) to one target is legal and adds up."""
+    addends = addends[:nprocs]
+    got = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        win = yield from mpi.win_create(COUNT, datatype=INT)
+        yield from mpi.win_fence(win)
+        data = np.full(COUNT, addends[mpi.rank], dtype="i4")
+        for _ in range(rounds):
+            yield from mpi.accumulate(win, 0, data)
+        yield from mpi.win_fence(win)
+        if mpi.rank == 0:
+            got["buf"] = win.buffers[0].copy()
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()
+
+    _run_sanitized(script, nprocs, impl)
+    total = rounds * sum(addends)
+    assert got["buf"].tolist() == [total] * COUNT
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nprocs=st.integers(min_value=2, max_value=5),
+    impl=st.sampled_from(RMA_IMPLS),
+    base=st.integers(-100, 100),
+)
+def test_property_start_post_disjoint_puts(nprocs, impl, base):
+    """Generalized active target: origins put disjoint slices into rank 0."""
+    got = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        win = yield from mpi.win_create(COUNT * mpi.size, datatype=INT)
+        if mpi.rank == 0:
+            yield from mpi.win_post(win, list(range(1, mpi.size)))
+            yield from mpi.win_wait(win)
+            got["buf"] = win.buffers[0].copy()
+        else:
+            yield from mpi.win_start(win, [0])
+            payload = np.full(COUNT, base + mpi.rank, dtype="i4")
+            yield from mpi.put(win, 0, payload, target_disp=COUNT * mpi.rank)
+            yield from mpi.win_complete(win)
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()
+
+    _run_sanitized(script, nprocs, impl)
+    expected = [0] * COUNT
+    for rank in range(1, nprocs):
+        expected.extend([base + rank] * COUNT)
+    assert got["buf"].tolist() == expected
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    nprocs=st.integers(min_value=2, max_value=4),
+    impl=st.sampled_from(RMA_IMPLS),
+    ops=st.lists(st.sampled_from(["put", "acc"]), min_size=1, max_size=6),
+)
+def test_property_mixed_ops_own_slice_roundtrip(nprocs, impl, ops):
+    """Random put/accumulate sequences on per-origin slices stay consistent."""
+    got = {}
+
+    def script(mpi):
+        yield from mpi.init()
+        win = yield from mpi.win_create(COUNT * mpi.size, datatype=INT)
+        yield from mpi.win_fence(win)
+        # every rank owns slice [COUNT*rank, COUNT*(rank+1)) of rank 0
+        expected = np.zeros(COUNT, dtype="i4")
+        for step, op in enumerate(ops):
+            data = np.full(COUNT, step + 1 + mpi.rank, dtype="i4")
+            if op == "put":
+                yield from mpi.put(win, 0, data, target_disp=COUNT * mpi.rank)
+                expected = data.copy()
+            else:
+                yield from mpi.accumulate(
+                    win, 0, data, target_disp=COUNT * mpi.rank
+                )
+                expected = expected + data
+            yield from mpi.win_fence(win)
+        dest = np.zeros(COUNT, dtype="i4")
+        yield from mpi.get(win, 0, dest, target_disp=COUNT * mpi.rank)
+        yield from mpi.win_fence(win)
+        got[mpi.rank] = (dest.copy(), expected)
+        yield from mpi.win_free(win)
+        yield from mpi.finalize()
+
+    _run_sanitized(script, nprocs, impl)
+    for rank, (dest, expected) in got.items():
+        assert dest.tolist() == expected.tolist(), f"rank {rank}"
+
+
+def test_rma_is_absent_from_the_mpich1_image():
+    """The fourth personality: MPICH-1 ships no MPI-2 symbols at all."""
+
+    def script(mpi):
+        yield from mpi.init()
+        yield from mpi.win_create(COUNT, datatype=INT)
+
+    with pytest.raises(ImageError, match="MPI_Win_create"):
+        run_script(script, 2, impl="mpich")
+    # ... which the sanitizer harness classifies as "unsupported", not a bug
+    report = sanitize_program("winfencesync", impl="mpich", quick=True)
+    assert report.status == "unsupported"
+    assert not report.findings

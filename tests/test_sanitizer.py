@@ -1,0 +1,217 @@
+"""The MPI correctness sanitizer: detectors, defect library, CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.analysis import render_sanitizer_report, render_sanitizer_summary
+from repro.pperfmark.defects import DEFECT_REGISTRY, defect_names
+from repro.sanitizer import (
+    CLEAN_PROGRAMS,
+    FindingKind,
+    normalize_mpi_name,
+    sanitize_program,
+    vc_concurrent,
+    vc_join,
+    vc_leq,
+)
+from repro.sanitizer.deadlock import _find_cycle
+
+
+# ---------------------------------------------------------------- defects
+
+@pytest.mark.parametrize("name", defect_names())
+def test_defect_triggers_exactly_its_detector(name):
+    """Every seeded-defect program is flagged with precisely its one kind."""
+    expected = DEFECT_REGISTRY[name].expected_finding
+    report = sanitize_program(name)
+    assert report.status == "findings", f"{name}: expected findings, got clean"
+    assert report.kinds() == {expected}, (
+        f"{name}: expected only {expected.value}, got "
+        f"{sorted(k.value for k in report.kinds())}"
+    )
+    assert not report.clean
+
+
+def test_defect_report_carries_rank_and_detail():
+    report = sanitize_program("defect_unmatched_send")
+    (finding,) = report.by_kind(FindingKind.UNMATCHED_SEND)
+    assert finding.rank == 1  # the receiver whose mailbox holds the orphan
+    assert "tag" in finding.detail
+
+
+def test_detector_classes_covered():
+    """The defect library exercises well over the required 4 detector classes."""
+    kinds = {cls.expected_finding for cls in DEFECT_REGISTRY.values()}
+    assert len(kinds) >= 4
+    assert {
+        FindingKind.RMA_EPOCH_VIOLATION,
+        FindingKind.RMA_RACE,
+        FindingKind.DEADLOCK,
+        FindingKind.RECV_TRUNCATION,
+    } <= kinds
+
+
+# ---------------------------------------------------------- clean programs
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", CLEAN_PROGRAMS)
+def test_clean_program_has_zero_findings_under_lam(name):
+    report = sanitize_program(name, impl="lam", quick=True)
+    assert report.status == "clean", (
+        f"{name}/lam false positives: "
+        f"{[(f.kind.value, f.detail) for f in report.findings]}"
+    )
+    assert report.clean and not report.findings
+
+
+@pytest.mark.parametrize(
+    "name", ["allcount", "wincreateblast", "winfencesync", "winscpwsync"]
+)
+def test_clean_rma_program_under_mpich2(name):
+    report = sanitize_program(name, impl="mpich2", quick=True)
+    assert report.status == "clean", (
+        f"{name}/mpich2: {[(f.kind.value, f.detail) for f in report.findings]}"
+    )
+
+
+def test_passive_target_program_clean_under_refmpi():
+    report = sanitize_program("winlocksync", impl="refmpi", quick=True)
+    assert report.status == "clean"
+
+
+def test_mpi2_program_unsupported_under_mpich():
+    """MPICH-1 has no MPI-2 entry points: status 'unsupported', no findings."""
+    report = sanitize_program("allcount", impl="mpich", quick=True)
+    assert report.status == "unsupported"
+    assert not report.findings
+    assert "MPI_" in (report.crash or "")
+
+
+def test_spawn_program_unsupported_under_mpich2():
+    report = sanitize_program("spawncount", impl="mpich2", quick=True)
+    assert report.status == "unsupported"
+    assert not report.findings
+
+
+def test_report_signature_covers_every_rank():
+    report = sanitize_program("small_messages", impl="lam", quick=True)
+    assert report.status == "clean"
+    assert len(report.data_signature) == report.nprocs
+    assert len(report.trace_digest) == 64  # sha256 hex
+    assert report.elapsed > 0
+
+
+def test_unknown_program_raises_keyerror():
+    with pytest.raises(KeyError):
+        sanitize_program("no_such_program")
+
+
+# ------------------------------------------------------------ vector clocks
+
+def test_vc_join_takes_componentwise_max():
+    assert vc_join({0: 1, 1: 5}, {1: 2, 2: 7}) == {0: 1, 1: 5, 2: 7}
+    assert vc_join({}, {3: 4}) == {3: 4}
+
+
+def test_vc_leq_is_a_partial_order():
+    assert vc_leq({}, {0: 1})
+    assert vc_leq({0: 1}, {0: 1})
+    assert vc_leq({0: 1}, {0: 2, 1: 9})
+    assert not vc_leq({0: 2}, {0: 1})
+    assert not vc_leq({0: 1, 1: 1}, {0: 9})
+
+
+def test_vc_concurrent_means_neither_ordered():
+    assert vc_concurrent({0: 2}, {1: 2})
+    assert vc_concurrent({0: 2, 1: 1}, {0: 1, 1: 2})
+    assert not vc_concurrent({0: 1}, {0: 2})
+    assert not vc_concurrent({0: 1}, {0: 1})  # equal stamps are ordered
+
+
+# ------------------------------------------------------------ cycle finder
+
+def test_find_cycle_reports_the_member_nodes():
+    cycle = _find_cycle({0: [1], 1: [2], 2: [0]})
+    assert cycle is not None
+    assert set(cycle) == {0, 1, 2}
+    # consecutive members (wrapping) are connected by wait-for edges
+    for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+        assert b in {0: [1], 1: [2], 2: [0]}[a]
+
+
+def test_find_cycle_none_on_dag():
+    assert _find_cycle({0: [1, 2], 1: [3], 2: [3], 3: []}) is None
+    assert _find_cycle({}) is None
+
+
+def test_find_cycle_self_loop():
+    assert _find_cycle({0: [0]}) == [0]
+
+
+def test_find_cycle_ignores_acyclic_tail():
+    cycle = _find_cycle({0: [1], 1: [2], 2: [1], 3: [0]})
+    assert cycle is not None
+    assert set(cycle) == {1, 2}
+
+
+# -------------------------------------------------------------------- names
+
+def test_normalize_mpi_name_strips_profiling_prefix():
+    assert normalize_mpi_name("PMPI_Send") == "MPI_Send"
+    assert normalize_mpi_name("MPI_Send") == "MPI_Send"
+    assert normalize_mpi_name("childfunction") == "childfunction"
+
+
+# ---------------------------------------------------------------- rendering
+
+def test_render_sanitizer_report_lists_findings():
+    report = sanitize_program("defect_window_leak")
+    text = render_sanitizer_report(report)
+    assert "defect_window_leak / lam" in text
+    assert "FINDINGS" in text
+    assert FindingKind.WINDOW_LEAK.value in text
+
+
+def test_render_sanitizer_summary_tabulates_runs():
+    reports = [
+        sanitize_program("defect_window_leak"),
+        sanitize_program("winfencesync", impl="mpich2", quick=True),
+    ]
+    text = render_sanitizer_summary(reports)
+    assert "Program" in text and "Kinds" in text
+    assert "window-leak" in text
+    assert "clean" in text
+
+
+# ---------------------------------------------------------------------- CLI
+
+def test_cli_sanitize_clean_program_exits_zero(capsys):
+    rc = main(["sanitize", "winfencesync", "--impl", "mpich2", "--quick"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "CLEAN" in out
+
+
+def test_cli_sanitize_defect_exits_one(capsys):
+    rc = main(["sanitize", "defect_recv_truncation"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert FindingKind.RECV_TRUNCATION.value in out
+
+
+def test_cli_sanitize_defects_sweep_prints_summary(capsys):
+    rc = main(["sanitize", "defects"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "Findings" in out  # the summary table footer
+    for name in defect_names():
+        assert name in out
+
+
+def test_cli_sanitize_unknown_program(capsys):
+    rc = main(["sanitize", "no_such_program"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "unknown program" in err
