@@ -6,8 +6,6 @@ communicator; MPICH additionally reports ExcessiveIOBlockingTime (its
 socket transport passes messages through read/write).
 """
 
-from repro.pperfmark import SmallMessages
-
 from common import pc_figure
 
 
@@ -16,7 +14,7 @@ def test_fig03_small_messages_pc(benchmark):
         benchmark,
         "fig03_small_messages_pc",
         "Figure 3 -- small-messages condensed PC output",
-        lambda: SmallMessages(),
+        "small_messages",
         impls={
             "lam": [
                 ("ExcessiveSyncWaitingTime",),

@@ -5,8 +5,6 @@ ExcessiveSyncWaitingTime through Gsend_message/Grecv_message to
 MPI_Send/MPI_Recv, plus the communicator of the bottleneck.
 """
 
-from repro.pperfmark import BigMessage
-
 from common import pc_figure
 
 
@@ -28,7 +26,7 @@ def test_fig05_big_message_pc(benchmark):
         benchmark,
         "fig05_big_message_pc",
         "Figure 5 -- big-message condensed PC output",
-        lambda: BigMessage(),
+        "big_message",
         impls={
             "lam": checks("MPI_Send", "MPI_Recv"),
             "mpich": checks("PMPI_Send", "PMPI_Recv"),

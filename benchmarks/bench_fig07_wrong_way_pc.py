@@ -5,8 +5,6 @@ the bottlenecks for both LAM and MPICH; MPICH's drill reaches
 PMPI_Send/PMPI_Recv.
 """
 
-from repro.pperfmark import WrongWay
-
 from common import pc_figure
 
 
@@ -15,7 +13,7 @@ def test_fig07_wrong_way_pc(benchmark):
         benchmark,
         "fig07_wrong_way_pc",
         "Figure 7 -- wrong-way condensed PC output",
-        lambda: WrongWay(),
+        "wrong_way",
         impls={
             "lam": [
                 ("ExcessiveSyncWaitingTime",),

@@ -6,8 +6,6 @@ implementation's internals: PMPI_Barrier is collective communication over
 PMPI_Sendrecv, and the communicator/tag are identified.
 """
 
-from repro.pperfmark import RandomBarrier
-
 from common import pc_figure
 
 
@@ -16,7 +14,8 @@ def test_fig09_random_barrier_pc(benchmark):
         benchmark,
         "fig09_random_barrier_pc",
         "Figure 9 -- random-barrier condensed PC output",
-        lambda: RandomBarrier(iterations=90),
+        "random_barrier",
+        params={"iterations": 90},
         impls={
             "lam": [
                 ("ExcessiveSyncWaitingTime",),

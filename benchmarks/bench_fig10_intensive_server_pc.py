@@ -7,8 +7,6 @@ to its root; this reproduction usually does find waste_time -- recorded in
 EXPERIMENTS.md.)
 """
 
-from repro.pperfmark import IntensiveServer
-
 from common import pc_figure
 
 
@@ -27,7 +25,7 @@ def test_fig10_intensive_server_pc(benchmark):
         benchmark,
         "fig10_intensive_server_pc",
         "Figure 10 -- intensive-server condensed PC output",
-        lambda: IntensiveServer(),
+        "intensive_server",
         impls={
             "lam": checks("MPI_Recv") + [("ExcessiveSyncWaitingTime", "tag_")],
             "mpich": checks("PMPI_Recv"),

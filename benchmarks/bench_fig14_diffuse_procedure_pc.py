@@ -17,7 +17,7 @@ def test_fig14_diffuse_procedure_pc(benchmark):
         benchmark,
         "fig14_diffuse_procedure_pc",
         "Figure 14 -- diffuse-procedure condensed PC output (threshold 0.2)",
-        lambda: DiffuseProcedure(),
+        "diffuse_procedure",
         impls={
             "lam": [
                 ("ExcessiveSyncWaitingTime",),

@@ -6,8 +6,6 @@ through exchng2 to MPI_Sendrecv, plus a synchronization bottleneck in
 MPI_Allreduce.
 """
 
-from repro.pperfmark import HotProcedure, Sstwod
-
 from common import pc_figure
 
 
@@ -16,7 +14,7 @@ def test_fig20_left_hot_procedure_pc(benchmark):
         benchmark,
         "fig20_hot_procedure_pc",
         "Figure 20 (left) -- hot-procedure condensed PC output",
-        lambda: HotProcedure(),
+        "hot_procedure",
         impls={
             "lam": [
                 ("CPUBound",),
@@ -38,7 +36,7 @@ def test_fig20_right_sstwod_pc(benchmark):
         benchmark,
         "fig20_sstwod_pc",
         "Figure 20 (right) -- sstwod condensed PC output",
-        lambda: Sstwod(),
+        "sstwod",
         impls={
             "lam": [
                 ("ExcessiveSyncWaitingTime",),

@@ -22,7 +22,7 @@ def test_fig21_winscpwsync_pc(benchmark):
         benchmark,
         "fig21_winscpwsync_pc",
         "Figure 21 -- winscpwsync condensed PC output",
-        lambda: WinScpwSync(),
+        "winscpwsync",
         impls={
             "lam": [
                 ("ExcessiveSyncWaitingTime",),

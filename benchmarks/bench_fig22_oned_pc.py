@@ -5,8 +5,6 @@ implementations; under LAM the sync-object refinement additionally shows
 Barrier, because LAM implements MPI_Win_fence with a call to MPI_Barrier.
 """
 
-from repro.pperfmark import Oned
-
 from common import pc_figure
 
 
@@ -15,7 +13,7 @@ def test_fig22_oned_pc(benchmark):
         benchmark,
         "fig22_oned_pc",
         "Figure 22 -- Oned condensed PC output",
-        lambda: Oned(),
+        "oned",
         impls={
             "lam": [
                 ("ExcessiveSyncWaitingTime",),

@@ -8,8 +8,6 @@ parentfunction.  LAM's fence uses MPI_Isend/MPI_Waitall, hence the
 message-passing component.
 """
 
-from repro.pperfmark import SpawnSync, SpawnWinSync
-
 from common import pc_figure
 
 
@@ -18,7 +16,7 @@ def test_fig24_left_spawnsync_pc(benchmark):
         benchmark,
         "fig24_spawnsync_pc",
         "Figure 24 (left) -- spawnsync condensed PC output",
-        lambda: SpawnSync(),
+        "spawnsync",
         impls={
             "lam": [
                 ("ExcessiveSyncWaitingTime",),
@@ -39,7 +37,7 @@ def test_fig24_right_spawnwinsync_pc(benchmark):
         benchmark,
         "fig24_spawnwinsync_pc",
         "Figure 24 (right) -- spawnwinsync condensed PC output",
-        lambda: SpawnWinSync(),
+        "spawnwinsync",
         impls={
             "lam": [
                 ("ExcessiveSyncWaitingTime",),
@@ -54,6 +52,5 @@ def test_fig24_right_spawnwinsync_pc(benchmark):
         ),
     )
     # the window's friendly name must be displayed (Section 4.2.3)
-    hierarchy = results["lam"].tool.hierarchy
-    names = [n.display_name for n in hierarchy.sync_objects.walk() if n.display_name]
+    names = results["lam"]["result"]["sync_objects"]
     assert "ParentChildWin" in names

@@ -12,6 +12,9 @@ Usage (after installation)::
     python -m repro table2
     python -m repro table3
     python -m repro table1
+    python -m repro fleet sweep --jobs 4       # parallel, cached regeneration
+    python -m repro fleet status
+    python -m repro fleet clean --gc
 """
 
 from __future__ import annotations
@@ -74,12 +77,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="a PPerfMark or defect program name, 'all' (the 16 clean "
         "PPerfMark programs) or 'defects' (the seeded-defect library)",
     )
-    san_p.add_argument("--impl", default="lam",
-                       choices=["lam", "mpich", "mpich2", "refmpi"])
+    san_p.add_argument("--impl", default=None,
+                       choices=["lam", "mpich", "mpich2", "refmpi"],
+                       help="MPI personality (default lam; defects that "
+                       "need a specific personality pick it themselves)")
     san_p.add_argument("--nprocs", type=int, default=None)
     san_p.add_argument("--seed", type=int, default=0)
     san_p.add_argument("--quick", action="store_true",
                        help="scaled-down program parameters (CI sweeps)")
+    san_p.add_argument("--jobs", type=int, default=1,
+                       help="run multi-program sweeps through the fleet "
+                       "worker pool with this many processes")
+    san_p.add_argument("--no-cache", action="store_true",
+                       help="bypass the fleet result cache")
 
     mpirun_p = sub.add_parser(
         "mpirun", help="launch a PPerfMark program through the simulated mpirun"
@@ -95,6 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
     t2.add_argument("--impls", default="lam,mpich")
     t3 = sub.add_parser("table3", help="regenerate Table 3 (MPI-2 suite)")
     t3.add_argument("--impl", default="lam")
+
+    from .fleet.cli import add_fleet_parser
+
+    add_fleet_parser(sub)
     return parser
 
 
@@ -160,29 +174,63 @@ def _cmd_mpirun(args: argparse.Namespace) -> int:
 
 def _cmd_sanitize(args: argparse.Namespace) -> int:
     from .analysis.report import render_sanitizer_report, render_sanitizer_summary
-    from .pperfmark.defects import defect_names
-    from .sanitizer import CLEAN_PROGRAMS, sanitize_program
+    from .fleet import (
+        FleetScheduler,
+        RunSpec,
+        default_cache,
+        report_from_artifact,
+        run_cached,
+    )
+    from .pperfmark.defects import DEFECT_REGISTRY
+    from .sanitizer import CLEAN_PROGRAMS
 
     if args.program == "all":
         names = list(CLEAN_PROGRAMS)
     elif args.program == "defects":
-        names = defect_names()
+        names = sorted(DEFECT_REGISTRY)
     else:
         names = [args.program]
-    reports = []
-    for name in names:
-        try:
-            report = sanitize_program(
-                name,
-                impl=args.impl,
-                nprocs=args.nprocs,
-                seed=args.seed,
-                quick=args.quick,
-            )
-        except KeyError as exc:
-            print(f"sanitize: {exc.args[0]}", file=sys.stderr)
-            return 2
-        reports.append(report)
+
+    def impl_for(name: str) -> str:
+        cls = DEFECT_REGISTRY.get(name)
+        required = getattr(cls, "required_impl", None) if cls is not None else None
+        return required or args.impl or "lam"
+
+    specs = [
+        RunSpec.make(
+            name,
+            mode="sanitize",
+            impl=impl_for(name),
+            nprocs=args.nprocs,
+            seed=args.seed,
+            quick=args.quick,
+        )
+        for name in names
+    ]
+    cache = None if args.no_cache else default_cache()
+    try:
+        if args.jobs > 1 and len(specs) > 1:
+            scheduler = FleetScheduler(jobs=args.jobs, cache=cache)
+            for spec in specs:
+                scheduler.submit(spec)
+            artifacts = scheduler.run()
+            reports = [report_from_artifact(artifacts[s.digest]) for s in specs]
+        else:
+            reports = []
+            for spec in specs:
+                if cache is not None:
+                    reports.append(report_from_artifact(run_cached(spec, cache)))
+                else:
+                    from .fleet import execute_spec
+
+                    reports.append(report_from_artifact(execute_spec(spec)))
+    except KeyError as exc:
+        print(f"sanitize: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        print(f"sanitize: {exc}", file=sys.stderr)
+        return 2
+    for report in reports:
         print(render_sanitizer_report(report))
     if len(reports) > 1:
         print()
@@ -214,6 +262,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sanitize(args)
     if args.command == "mpirun":
         return _cmd_mpirun(args)
+    if args.command == "fleet":
+        from .fleet.cli import cmd_fleet
+
+        return cmd_fleet(args)
     if args.command == "table1":
         print(render_table1())
         return 0

@@ -1,0 +1,74 @@
+"""``repro.fleet`` -- parallel experiment execution with result caching.
+
+The fleet turns "run one simulation" into "execute a sweep of
+declaratively-specified runs in parallel, cached, with failures contained":
+
+* :class:`RunSpec` (:mod:`~repro.fleet.spec`) -- frozen description of one
+  deterministic run; its canonical digest, salted with the source-tree
+  hash, is the cache key;
+* :class:`ResultCache` (:mod:`~repro.fleet.cache`) -- content-addressed
+  on-disk artifact store with atomic writes and hit/miss accounting;
+* :class:`FleetScheduler` (:mod:`~repro.fleet.scheduler`) -- priority-queued
+  multiprocessing pool with per-job timeouts, bounded retry with backoff,
+  and failure containment;
+* :class:`EventLog` (:mod:`~repro.fleet.events`) -- JSONL lifecycle log;
+* :mod:`~repro.fleet.sweeps` / ``python -m repro fleet`` -- whole-paper
+  regeneration sweeps and the ``sweep`` / ``status`` / ``clean`` CLI.
+
+The separation mirrors the one the paper's ecosystem draws between the
+instrumentation layer and the daemons that ferry its data: the simulation
+and analyses know nothing about scheduling or caching, and the fleet knows
+nothing about MPI.
+"""
+
+from .cache import CacheStats, ResultCache, default_cache_root
+from .events import EventLog, read_events
+from .execute import (
+    artifact_found,
+    default_cache,
+    execute_spec,
+    failure_artifact,
+    from_bytes,
+    report_from_artifact,
+    run_cached,
+    sanitize_cached,
+    to_bytes,
+)
+from .scheduler import FleetScheduler, JobOutcome
+from .spec import RunSpec, canonical_json, code_version
+from .sweeps import (
+    CollectOnly,
+    StubTimer,
+    collect_bench_specs,
+    run_sweep,
+    sanitize_specs,
+    sweep_specs,
+)
+
+__all__ = [
+    "RunSpec",
+    "ResultCache",
+    "CacheStats",
+    "FleetScheduler",
+    "JobOutcome",
+    "EventLog",
+    "read_events",
+    "execute_spec",
+    "run_cached",
+    "sanitize_cached",
+    "artifact_found",
+    "report_from_artifact",
+    "failure_artifact",
+    "to_bytes",
+    "from_bytes",
+    "default_cache",
+    "default_cache_root",
+    "canonical_json",
+    "code_version",
+    "CollectOnly",
+    "StubTimer",
+    "collect_bench_specs",
+    "sanitize_specs",
+    "sweep_specs",
+    "run_sweep",
+]

@@ -1,0 +1,146 @@
+"""Content-addressed on-disk store of serialized run artifacts.
+
+Layout (under ``.repro-cache/`` by default, ``REPRO_CACHE_DIR`` overrides)::
+
+    <root>/objects/<digest[:2]>/<digest>.json   one canonical-JSON artifact
+    <root>/events.jsonl                         fleet lifecycle log (appended)
+
+Artifacts are keyed by :attr:`RunSpec.digest`, which is salted with the
+source-tree hash, so a stale cache can never serve results from old code --
+edits simply orphan the old objects (``gc`` collects them).  Writes are
+atomic (temp file + ``os.replace`` in the same directory), so a crashed or
+killed worker can never leave a half-written artifact behind, and two
+workers racing on the same digest both land a complete, identical object.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+__all__ = ["ResultCache", "CacheStats", "default_cache_root"]
+
+
+def default_cache_root() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evicted: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evicted": self.evicted,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ResultCache:
+    """Digest-addressed artifact store with atomic writes and hit/miss stats."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.stats = CacheStats()
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def events_path(self) -> Path:
+        return self.root / "events.jsonl"
+
+    def _object_path(self, digest: str) -> Path:
+        if len(digest) < 3 or any(c in digest for c in "/\\."):
+            raise ValueError(f"malformed digest {digest!r}")
+        return self.objects_dir / digest[:2] / f"{digest}.json"
+
+    # -- read ----------------------------------------------------------------
+
+    def get(self, digest: str) -> Optional[bytes]:
+        try:
+            data = self._object_path(digest).read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return data
+
+    def has(self, digest: str) -> bool:
+        return self._object_path(digest).exists()
+
+    def digests(self) -> Iterator[str]:
+        if not self.objects_dir.is_dir():
+            return
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.digests())
+
+    def size_bytes(self) -> int:
+        if not self.objects_dir.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in self.objects_dir.glob("*/*.json"))
+
+    # -- write ---------------------------------------------------------------
+
+    def put(self, digest: str, data: bytes) -> Path:
+        """Atomically store ``data`` under ``digest``; returns the object path."""
+        path = self._object_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+        self.stats.puts += 1
+        return path
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clean(self) -> int:
+        """Drop every cached artifact (and the events log); returns count removed."""
+        removed = len(self)
+        shutil.rmtree(self.objects_dir, ignore_errors=True)
+        try:
+            self.events_path.unlink()
+        except FileNotFoundError:
+            pass
+        return removed
+
+    def gc(self, live: Iterable[str]) -> int:
+        """Remove objects whose digest is not in ``live`` (code edits orphan
+        old artifacts; this reclaims them).  Returns count removed."""
+        keep = set(live)
+        removed = 0
+        for path in list(self.objects_dir.glob("*/*.json")) if self.objects_dir.is_dir() else []:
+            if path.stem not in keep:
+                path.unlink(missing_ok=True)
+                removed += 1
+        self.stats.evicted += removed
+        return removed
+
+    def describe(self) -> dict:
+        return {
+            "root": str(self.root),
+            "objects": len(self),
+            "size_bytes": self.size_bytes(),
+            **self.stats.as_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ResultCache {self.root} ({len(self)} objects)>"

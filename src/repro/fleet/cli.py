@@ -1,0 +1,160 @@
+"""``python -m repro fleet`` -- sweep / status / clean.
+
+Wired into the main CLI by :func:`add_fleet_parser`; kept here so the core
+CLI module stays free of fleet imports until a fleet command actually runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .cache import ResultCache
+from .events import read_events
+from .sweeps import (
+    BENCH_OUT,
+    DEFAULT_SANITIZE_IMPLS,
+    SWEEP_SUITES,
+    run_sweep,
+    sweep_specs,
+)
+
+__all__ = ["add_fleet_parser", "cmd_fleet"]
+
+
+def add_fleet_parser(sub: argparse._SubParsersAction) -> None:
+    fleet = sub.add_parser(
+        "fleet",
+        help="parallel cached experiment execution (sweep / status / clean)",
+    )
+    fsub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    sweep = fsub.add_parser(
+        "sweep",
+        help="regenerate the paper's tables/figures and sanitizer sweeps "
+        "in parallel, through the result cache",
+    )
+    sweep.add_argument("--suite", choices=SWEEP_SUITES, default="all")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: all cores)")
+    sweep.add_argument("--timeout", type=float, default=600.0,
+                       help="per-job wall-clock limit in seconds")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="extra attempts after a failure/timeout")
+    sweep.add_argument("--chaos", type=int, default=0,
+                       help="inject N always-crashing jobs (containment drill)")
+    sweep.add_argument("--no-render", action="store_true",
+                       help="warm the cache only; skip report regeneration")
+    sweep.add_argument("--cache", default=None, metavar="DIR",
+                       help="cache directory (default .repro-cache)")
+    sweep.add_argument("--bench-out", default=BENCH_OUT, metavar="PATH",
+                       help="perf-trajectory JSON output (- to skip)")
+    sweep.add_argument("--impls", default=",".join(DEFAULT_SANITIZE_IMPLS),
+                       help="comma-separated impls for the sanitizer sweep")
+
+    status = fsub.add_parser("status", help="cache and last-sweep statistics")
+    status.add_argument("--cache", default=None, metavar="DIR")
+    status.add_argument("--events", type=int, default=8, metavar="N",
+                        help="show the last N logged events")
+
+    clean = fsub.add_parser("clean", help="drop cached artifacts")
+    clean.add_argument("--cache", default=None, metavar="DIR")
+    clean.add_argument("--gc", action="store_true",
+                       help="keep artifacts the current sweep would reuse; "
+                       "drop only orphans from older code versions")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache) if args.cache else None
+    bench_out = None if args.bench_out == "-" else Path(args.bench_out)
+    summary = run_sweep(
+        suite=args.suite,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        chaos=args.chaos,
+        render=not args.no_render,
+        cache=cache,
+        bench_out=bench_out,
+        sanitize_impls=tuple(args.impls.split(",")),
+    )
+    counts = summary["counts"]
+    cache_stats = summary["cache"]
+    print(
+        f"# fleet sweep [{summary['suite']}] on {summary['jobs']} worker(s): "
+        f"{counts['specs']} jobs -> {counts['completed']} completed, "
+        f"{counts['cached']} cache hits, {counts['failed']} failed"
+    )
+    print(
+        f"# wall: warm {summary['wall']['warm']}s + render "
+        f"{summary['wall']['render']}s; cache hit rate "
+        f"{cache_stats['hit_rate']:.0%}"
+        + (
+            f"; speedup vs serial ~{summary['speedup_vs_serial']}x"
+            if summary["speedup_vs_serial"]
+            else ""
+        )
+    )
+    for job in summary["per_job"]:
+        if job["status"] == "failed":
+            print(f"#   FAILED {job['job']} after {job['attempts']} attempt(s): "
+                  f"{job['error']}")
+    for bench, error in summary["render"]["failures"]:
+        print(f"#   RENDER FAILED {bench}: {error}")
+    if bench_out is not None:
+        print(f"# perf trajectory written to {bench_out}")
+    chaos_failures = sum(
+        1 for job in summary["per_job"]
+        if job["status"] == "failed" and job["job"].startswith("chaos:")
+    )
+    real_failures = counts["failed"] - chaos_failures
+    return 1 if (real_failures or summary["render"]["failures"]) else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache) if args.cache else ResultCache()
+    info = cache.describe()
+    print(f"# fleet cache at {info['root']}: {info['objects']} artifact(s), "
+          f"{info['size_bytes'] / 1024:.1f} KiB")
+    bench_out = Path(BENCH_OUT)
+    if bench_out.exists():
+        last = json.loads(bench_out.read_text())
+        counts = last.get("counts", {})
+        print(
+            f"# last sweep [{last.get('suite')}] at {last.get('generated_at')}: "
+            f"{counts.get('specs')} jobs, {counts.get('completed')} completed, "
+            f"{counts.get('cached')} cached, {counts.get('failed')} failed, "
+            f"wall {last.get('wall', {}).get('total')}s"
+        )
+    tail = list(read_events(cache.events_path))[-args.events:]
+    for record in tail:
+        extras = {k: v for k, v in record.items() if k not in ("t", "event")}
+        print(f"  {record['t']:.3f} {record['event']:<12} "
+              + " ".join(f"{k}={v}" for k, v in sorted(extras.items())))
+    return 0
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache) if args.cache else ResultCache()
+    if args.gc:
+        live = {spec.digest for spec in sweep_specs("all")}
+        removed = cache.gc(live)
+        print(f"# gc: removed {removed} orphaned artifact(s), "
+              f"kept {len(cache)} live")
+    else:
+        removed = cache.clean()
+        print(f"# clean: removed {removed} artifact(s) from {cache.root}")
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command == "sweep":
+        return _cmd_sweep(args)
+    if args.fleet_command == "status":
+        return _cmd_status(args)
+    if args.fleet_command == "clean":
+        return _cmd_clean(args)
+    print(f"fleet: unknown command {args.fleet_command!r}", file=sys.stderr)
+    return 2  # pragma: no cover - argparse enforces choices

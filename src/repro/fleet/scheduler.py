@@ -1,0 +1,330 @@
+"""Multiprocessing worker pool with priority queue and failure containment.
+
+One OS process per job (fork-started where available) gives the sweep hard
+isolation: a job that crashes, corrupts its interpreter, or hangs past its
+wall-clock timeout is terminated and *contained* -- the scheduler records a
+failure artifact, optionally retries with exponential backoff, and the rest
+of the sweep continues.  Workers hand results back through atomically
+written spool files rather than pipes, so a SIGKILLed worker can never
+wedge the parent.
+
+The pool is deliberately dependency-free (no concurrent.futures): the run
+loop owns every state transition, which is what makes per-job timeouts,
+bounded retries, priority ordering, and the JSONL lifecycle log exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+from .cache import ResultCache
+from .events import EventLog
+from .execute import execute_spec, failure_artifact, from_bytes, to_bytes
+from .spec import RunSpec
+
+__all__ = ["FleetScheduler", "JobOutcome"]
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+def _worker_main(executor: Callable[[RunSpec], dict], spec_dict: dict, out_path: str) -> None:
+    """Child-process entry: execute the spec, spool the artifact atomically.
+
+    Exceptions are folded into a failure artifact *in the child* so the
+    parent can distinguish "the job raised" (clean failure record) from
+    "the worker died" (no spool file at all).
+    """
+    spec = RunSpec.from_dict(spec_dict)
+    try:
+        data = to_bytes(executor(spec))
+    except BaseException as exc:  # noqa: BLE001 - containment is the point
+        data = to_bytes(failure_artifact(spec, type(exc).__name__, str(exc)))
+    tmp = f"{out_path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, out_path)
+
+
+@dataclass
+class JobOutcome:
+    """Per-job accounting row (feeds BENCH_fleet.json)."""
+
+    digest: str
+    job: str
+    program: str
+    impl: str
+    mode: str
+    status: str = "queued"  # cached | completed | failed
+    cached: bool = False
+    attempts: int = 0
+    wall: float = 0.0  # seconds of worker wall-clock across attempts
+    error: Optional[str] = None
+
+
+@dataclass
+class _Pending:
+    spec: RunSpec
+    priority: int
+    attempts: int = 0
+    ready_at: float = 0.0
+
+
+@dataclass
+class _Active:
+    pending: _Pending
+    proc: multiprocessing.process.BaseProcess
+    out_path: Path
+    started_at: float
+    deadline: Optional[float]
+
+
+class FleetScheduler:
+    """Run a set of :class:`RunSpec` jobs in parallel, cached and contained.
+
+    Parameters
+    ----------
+    jobs: worker-process concurrency (default: ``os.cpu_count()``).
+    timeout: per-job wall-clock limit in seconds (``None`` = unlimited).
+    retries: extra attempts after the first failure/timeout/crash.
+    backoff: base delay before attempt *n*'s retry (``backoff * 2**(n-1)``).
+    cache: a :class:`ResultCache`, or ``None`` to disable caching.
+    events: an :class:`EventLog`; a fresh in-memory log by default.
+    executor: the job body (tests substitute stubs); must be callable in
+        the worker process -- under the default fork start method any
+        callable works, under spawn it must be importable.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        backoff: float = 0.25,
+        cache: Optional[ResultCache] = None,
+        events: Optional[EventLog] = None,
+        executor: Callable[[RunSpec], dict] = execute_spec,
+        poll_interval: float = 0.02,
+    ) -> None:
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self.cache = cache
+        self.events = events if events is not None else EventLog()
+        self.executor = executor
+        self.poll_interval = poll_interval
+
+        self._heap: list[tuple[int, int, _Pending]] = []
+        self._deferred: list[_Pending] = []
+        self._seq = 0
+        self._submitted: dict[str, RunSpec] = {}
+        self.results: dict[str, dict] = {}
+        self.outcomes: dict[str, JobOutcome] = {}
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: RunSpec, *, priority: int = 0) -> str:
+        """Queue one spec (lower ``priority`` runs first); returns its digest.
+        Duplicate digests are coalesced into a single job."""
+        digest = spec.digest
+        if digest in self._submitted:
+            return digest
+        self._submitted[digest] = spec
+        self.outcomes[digest] = JobOutcome(
+            digest=digest,
+            job=spec.label,
+            program=spec.program,
+            impl=spec.impl,
+            mode=spec.mode,
+        )
+        self._push(_Pending(spec=spec, priority=priority))
+        self.events.emit("queued", digest=digest, job=spec.label, priority=priority)
+        return digest
+
+    def _push(self, pending: _Pending) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (pending.priority, self._seq, pending))
+
+    # -- run loop ------------------------------------------------------------
+
+    def run(self) -> dict[str, dict]:
+        """Drain the queue; returns ``{digest: artifact}`` for every job.
+        Never raises for job failures -- those become failure artifacts."""
+        ctx = _mp_context()
+        active: list[_Active] = []
+        with tempfile.TemporaryDirectory(prefix="repro-fleet-") as spool:
+            spool_dir = Path(spool)
+            while self._heap or self._deferred or active:
+                now = time.monotonic()
+                progressed = self._promote_deferred(now)
+                progressed |= self._launch(ctx, spool_dir, now, active)
+                progressed |= self._reap(active)
+                if not progressed:
+                    time.sleep(self.poll_interval)
+        self.events.emit("sweep-summary", **self.summary())
+        return self.results
+
+    def _promote_deferred(self, now: float) -> bool:
+        ready = [p for p in self._deferred if p.ready_at <= now]
+        if not ready:
+            return False
+        for pending in ready:
+            self._deferred.remove(pending)
+            self._push(pending)
+        return True
+
+    def _launch(self, ctx, spool_dir: Path, now: float, active: list[_Active]) -> bool:
+        progressed = False
+        while self._heap and len(active) < self.jobs:
+            _, _, pending = heapq.heappop(self._heap)
+            digest = pending.spec.digest
+            outcome = self.outcomes[digest]
+            if self.cache is not None and pending.attempts == 0:
+                data = self.cache.get(digest)
+                if data is not None:
+                    self.results[digest] = from_bytes(data)
+                    outcome.status = "cached"
+                    outcome.cached = True
+                    self.events.emit("cached-hit", digest=digest, job=outcome.job)
+                    progressed = True
+                    continue
+            pending.attempts += 1
+            outcome.attempts = pending.attempts
+            out_path = spool_dir / f"{digest}.{pending.attempts}.json"
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(self.executor, pending.spec.to_dict(), str(out_path)),
+                daemon=True,
+            )
+            proc.start()
+            deadline = now + self.timeout if self.timeout is not None else None
+            active.append(
+                _Active(
+                    pending=pending,
+                    proc=proc,
+                    out_path=out_path,
+                    started_at=now,
+                    deadline=deadline,
+                )
+            )
+            self.events.emit(
+                "started", digest=digest, job=outcome.job, attempt=pending.attempts
+            )
+            progressed = True
+        return progressed
+
+    def _reap(self, active: list[_Active]) -> bool:
+        progressed = False
+        now = time.monotonic()
+        for entry in list(active):
+            timed_out = entry.deadline is not None and now > entry.deadline
+            if entry.proc.is_alive() and not timed_out:
+                continue
+            active.remove(entry)
+            progressed = True
+            wall = now - entry.started_at
+            outcome = self.outcomes[entry.pending.spec.digest]
+            outcome.wall += wall
+            if timed_out and entry.proc.is_alive():
+                entry.proc.terminate()
+                entry.proc.join(1.0)
+                if entry.proc.is_alive():  # pragma: no cover - stubborn child
+                    entry.proc.kill()
+                    entry.proc.join(1.0)
+                self._job_failed(entry.pending, "timeout",
+                                 f"exceeded {self.timeout}s wall-clock limit")
+                continue
+            entry.proc.join()
+            try:
+                artifact = from_bytes(entry.out_path.read_bytes())
+            except (FileNotFoundError, ValueError):
+                self._job_failed(
+                    entry.pending,
+                    "crashed",
+                    f"worker died with exit code {entry.proc.exitcode} "
+                    "before writing a result",
+                )
+                continue
+            if artifact.get("status") == "ok":
+                self._job_completed(entry.pending, artifact, wall)
+            else:
+                error = artifact.get("error") or {}
+                self._job_failed(
+                    entry.pending,
+                    error.get("type", "error"),
+                    error.get("message", ""),
+                )
+        return progressed
+
+    # -- transitions ---------------------------------------------------------
+
+    def _job_completed(self, pending: _Pending, artifact: dict, wall: float) -> None:
+        digest = pending.spec.digest
+        self.results[digest] = artifact
+        outcome = self.outcomes[digest]
+        outcome.status = "completed"
+        if self.cache is not None:
+            self.cache.put(digest, to_bytes(artifact))
+        self.events.emit(
+            "completed",
+            digest=digest,
+            job=outcome.job,
+            attempt=pending.attempts,
+            wall=round(wall, 6),
+        )
+
+    def _job_failed(self, pending: _Pending, error_type: str, message: str) -> None:
+        digest = pending.spec.digest
+        outcome = self.outcomes[digest]
+        if pending.attempts <= self.retries:
+            delay = self.backoff * (2 ** (pending.attempts - 1))
+            pending.ready_at = time.monotonic() + delay
+            self._deferred.append(pending)
+            self.events.emit(
+                "retry",
+                digest=digest,
+                job=outcome.job,
+                attempt=pending.attempts,
+                error=error_type,
+                backoff=round(delay, 3),
+            )
+            return
+        artifact = failure_artifact(
+            pending.spec, error_type, message, attempts=pending.attempts
+        )
+        self.results[digest] = artifact  # contained: never cached, sweep goes on
+        outcome.status = "failed"
+        outcome.error = f"{error_type}: {message}"
+        self.events.emit(
+            "failed",
+            digest=digest,
+            job=outcome.job,
+            attempt=pending.attempts,
+            error=error_type,
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        rows = list(self.outcomes.values())
+        executed = [r for r in rows if r.status == "completed"]
+        return {
+            "specs": len(rows),
+            "completed": len(executed),
+            "cached": sum(1 for r in rows if r.status == "cached"),
+            "failed": sum(1 for r in rows if r.status == "failed"),
+            "worker_wall": round(sum(r.wall for r in rows), 6),
+        }

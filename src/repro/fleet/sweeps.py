@@ -1,0 +1,251 @@
+"""Sweep definitions and the two-phase sweep driver.
+
+``repro fleet sweep`` regenerates the full paper reproduction in two
+phases:
+
+1. **warm** -- every :class:`RunSpec` the sweep needs (the condensed-PC
+   figure runs collected from the bench suite itself, plus the sanitizer
+   sweep over the clean programs and the seeded-defect library) is executed
+   through the :class:`FleetScheduler`: parallel across cores, content-
+   addressed-cached, failures contained;
+2. **render** -- the bench modules under ``benchmarks/`` run with a stub
+   timer and regenerate every table/figure report; the heavy experiment
+   runs inside them hit the now-warm cache.
+
+Spec collection reuses the bench suite as the single source of truth: in
+collect mode ``benchmarks/common.py`` raises :class:`CollectOnly` from its
+harness entry points after recording the specs it would have run, so the
+figure list can never drift from the benches.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+from .cache import ResultCache
+from .events import EventLog
+from .execute import default_cache
+from .scheduler import FleetScheduler
+from .spec import RunSpec
+
+__all__ = [
+    "CollectOnly",
+    "StubTimer",
+    "SWEEP_SUITES",
+    "collect_bench_specs",
+    "sanitize_specs",
+    "sweep_specs",
+    "run_sweep",
+    "render_benchmarks",
+    "DEFAULT_SANITIZE_IMPLS",
+]
+
+SWEEP_SUITES = ("all", "bench", "sanitize")
+DEFAULT_SANITIZE_IMPLS = ("lam", "mpich", "mpich2")
+BENCH_OUT = "BENCH_fleet.json"
+
+
+class CollectOnly(Exception):
+    """Raised by the bench harness in collect mode instead of executing."""
+
+
+class StubTimer:
+    """Duck-type of the pytest-benchmark fixture as the harness uses it."""
+
+    def pedantic(self, fn, rounds=1, iterations=1):
+        return fn()
+
+    def __call__(self, fn, *args, **kwargs):
+        return fn(*args, **kwargs)
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parents[3]
+
+
+def _bench_dir() -> Optional[Path]:
+    bench = _repo_root() / "benchmarks"
+    return bench if (bench / "common.py").is_file() else None
+
+
+def iter_bench_tests() -> Iterator[tuple[str, str, object]]:
+    """Yield ``(module_name, test_name, fn)`` for every bench entry point."""
+    bench = _bench_dir()
+    if bench is None:
+        return
+    if str(bench) not in sys.path:
+        sys.path.insert(0, str(bench))
+    for path in sorted(bench.glob("bench_*.py")):
+        module = importlib.import_module(path.stem)
+        for name in sorted(dir(module)):
+            if name.startswith("test_"):
+                yield path.stem, name, getattr(module, name)
+
+
+def collect_bench_specs() -> list[RunSpec]:
+    """Every fleet-routed spec the bench suite would run, without running it."""
+    bench = _bench_dir()
+    if bench is None:
+        return []
+    if str(bench) not in sys.path:
+        sys.path.insert(0, str(bench))
+    common = importlib.import_module("common")
+    collected: list[RunSpec] = []
+    common.FLEET_COLLECT = collected
+    try:
+        for _mod, _name, fn in iter_bench_tests():
+            try:
+                fn(StubTimer())
+            except CollectOnly:
+                continue
+            except Exception:  # pragma: no cover - collection is best-effort
+                continue
+    finally:
+        common.FLEET_COLLECT = None
+    unique: dict[str, RunSpec] = {}
+    for spec in collected:
+        unique.setdefault(spec.digest, spec)
+    return list(unique.values())
+
+
+def sanitize_specs(
+    impls: Sequence[str] = DEFAULT_SANITIZE_IMPLS, *, include_defects: bool = True
+) -> list[RunSpec]:
+    """The ``repro sanitize all`` sweep (plus the defect library) as specs."""
+    from ..pperfmark.defects import DEFECT_REGISTRY
+    from ..sanitizer.run import CLEAN_PROGRAMS
+
+    specs = [
+        RunSpec.make(name, mode="sanitize", impl=impl, quick=True)
+        for impl in impls
+        for name in CLEAN_PROGRAMS
+    ]
+    if include_defects:
+        specs.extend(
+            RunSpec.make(
+                name,
+                mode="sanitize",
+                impl=getattr(cls, "required_impl", None) or "lam",
+            )
+            for name, cls in sorted(DEFECT_REGISTRY.items())
+        )
+    return specs
+
+
+def sweep_specs(
+    suite: str = "all",
+    *,
+    sanitize_impls: Sequence[str] = DEFAULT_SANITIZE_IMPLS,
+    chaos: int = 0,
+) -> list[RunSpec]:
+    if suite not in SWEEP_SUITES:
+        raise ValueError(f"unknown suite {suite!r}; have {SWEEP_SUITES}")
+    specs: list[RunSpec] = []
+    if suite in ("all", "bench"):
+        specs.extend(collect_bench_specs())
+    if suite in ("all", "sanitize"):
+        specs.extend(sanitize_specs(sanitize_impls))
+    specs.extend(
+        RunSpec.make(f"chaos-{i}", mode="chaos") for i in range(chaos)
+    )
+    return specs
+
+
+def render_benchmarks() -> tuple[int, list[tuple[str, str]]]:
+    """Run every bench entry point with a stub timer, regenerating the
+    reports under ``benchmarks/reports/``.  Failures are contained and
+    returned as ``(bench, error)`` pairs."""
+    ran = 0
+    failures: list[tuple[str, str]] = []
+    for mod, name, fn in iter_bench_tests():
+        target = f"{mod}::{name}"
+        try:
+            fn(StubTimer())
+            ran += 1
+        except Exception as exc:  # noqa: BLE001 - containment
+            failures.append((target, f"{type(exc).__name__}: {exc}"))
+    return ran, failures
+
+
+def run_sweep(
+    *,
+    suite: str = "all",
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    chaos: int = 0,
+    render: bool = True,
+    cache: Optional[ResultCache] = None,
+    events: Optional[EventLog] = None,
+    bench_out: Optional[Path] = None,
+    sanitize_impls: Sequence[str] = DEFAULT_SANITIZE_IMPLS,
+) -> dict:
+    """Full sweep: warm the cache in parallel, then re-render the suite.
+    Returns the machine-readable summary also written to ``bench_out``."""
+    cache = cache if cache is not None else default_cache()
+    events = events if events is not None else EventLog(cache.events_path)
+    t0 = time.monotonic()
+    specs = sweep_specs(suite, sanitize_impls=sanitize_impls, chaos=chaos)
+    scheduler = FleetScheduler(
+        jobs=jobs, timeout=timeout, retries=retries, cache=cache, events=events
+    )
+    for spec in specs:
+        # defects and chaos jobs are cheap; let the long PC runs go first
+        priority = 1 if spec.mode != "tool" else 0
+        scheduler.submit(spec, priority=priority)
+    scheduler.run()
+    warm_wall = time.monotonic() - t0
+
+    rendered, render_failures = (0, [])
+    render_wall = 0.0
+    if render and suite in ("all", "bench"):
+        t1 = time.monotonic()
+        rendered, render_failures = render_benchmarks()
+        render_wall = time.monotonic() - t1
+
+    outcomes = list(scheduler.outcomes.values())
+    executed_wall = sum(o.wall for o in outcomes if o.status == "completed")
+    speedup = round(executed_wall / warm_wall, 2) if executed_wall else None
+    summary = {
+        "schema": 1,
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "suite": suite,
+        "jobs": scheduler.jobs,
+        "counts": scheduler.summary(),
+        "cache": cache.describe(),
+        "wall": {
+            "warm": round(warm_wall, 3),
+            "render": round(render_wall, 3),
+            "total": round(warm_wall + render_wall, 3),
+        },
+        # sum of per-job worker wall over the parallel phase's wall clock:
+        # ~N on an idle N-core box, ~1 on a warm cache (nothing executed)
+        "speedup_vs_serial": speedup,
+        "render": {
+            "benches": rendered,
+            "failures": [list(f) for f in render_failures],
+        },
+        "per_job": [
+            {
+                "digest": o.digest[:12],
+                "job": o.job,
+                "status": o.status,
+                "cached": o.cached,
+                "attempts": o.attempts,
+                "wall": round(o.wall, 4),
+                "error": o.error,
+            }
+            for o in sorted(outcomes, key=lambda o: (-o.wall, o.job))
+        ],
+    }
+    if bench_out is not None:
+        bench_out = Path(bench_out)
+        bench_out.parent.mkdir(parents=True, exist_ok=True)
+        bench_out.write_text(json.dumps(summary, indent=2, sort_keys=False) + "\n")
+    return summary

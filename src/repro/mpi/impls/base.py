@@ -1081,12 +1081,17 @@ class BaseImpl:
     def _body_win_lock(self, ep, proc, lock_type, target_rank, assertion, win) -> Generator:
         self._require("rma_passive")
         win.check_not_freed()
+        if lock_type not in ("shared", "exclusive"):
+            raise MpiError(
+                f"MPI_Win_lock: lock type must be MPI_LOCK_SHARED or "
+                f"MPI_LOCK_EXCLUSIVE, got {lock_type!r}"
+            )
         yield from proc.compute(self.rma_sync_overhead)
         rank = win.comm.rank_of(ep)
-        wait = win.acquire_lock(rank, target_rank)
+        wait = win.acquire_lock(rank, target_rank, lock_type)
         if wait is not None:
             yield from proc.block(wait)
-            win.lock_granted(rank, target_rank)
+            win.lock_granted(rank, target_rank, lock_type)
 
     def _body_win_unlock(self, ep, proc, target_rank, win) -> Generator:
         self._require("rma_passive")

@@ -130,9 +130,13 @@ class Window:
         # per (origin, target), how many epochs the origin has consumed.
         self._post_epochs: dict[int, list[PostEpochRecord]] = {r: [] for r in range(comm.size)}
         self._consumed: dict[tuple[int, int], int] = {}
-        # passive target: FIFO lock queue per target rank.
-        self._lock_holder: dict[int, Optional[int]] = {r: None for r in range(comm.size)}
-        self._lock_waiters: dict[int, list[SimEvent]] = {r: [] for r in range(comm.size)}
+        # passive target: FIFO lock queue per target rank.  Holders map
+        # origin rank -> lock type; EXCLUSIVE admits one holder, SHARED any
+        # number of concurrent holders (MPI-2 Section 6.4 semantics).
+        self._lock_holders: dict[int, dict[int, str]] = {r: {} for r in range(comm.size)}
+        self._lock_waiters: dict[int, list[tuple[SimEvent, int, str]]] = {
+            r: [] for r in range(comm.size)
+        }
 
     # -- naming ------------------------------------------------------------------
 
@@ -258,8 +262,14 @@ class Window:
             observer(self, origin, rank, op)
 
     def lock_holder(self, target_rank: int) -> Optional[int]:
-        """Comm rank currently holding ``target_rank``'s window lock, if any."""
-        return self._lock_holder.get(target_rank)
+        """Comm rank currently holding ``target_rank``'s window lock, if any
+        (the first of them under a shared lock)."""
+        holders = self._lock_holders.get(target_rank) or {}
+        return next(iter(holders), None)
+
+    def lock_holders(self, target_rank: int) -> tuple[int, ...]:
+        """Every comm rank currently holding ``target_rank``'s window lock."""
+        return tuple(self._lock_holders.get(target_rank) or ())
 
     def apply_op(self, op: RmaOp) -> None:
         """Move the data.  Runs at epoch close / flush time."""
@@ -284,39 +294,64 @@ class Window:
 
     # -- passive target (lock queue) ------------------------------------------------------
 
-    def acquire_lock(self, origin_rank: int, target_rank: int) -> Optional[SimEvent]:
+    def acquire_lock(
+        self, origin_rank: int, target_rank: int, lock_type: str = "exclusive"
+    ) -> Optional[SimEvent]:
         """Try to take the target's window lock.  Returns None on success or
-        an event to wait on (FIFO) when the lock is held."""
-        if self._lock_holder[target_rank] is None:
-            self._lock_holder[target_rank] = origin_rank
-            st = self.state(origin_rank)
-            st.access = AccessEpoch.LOCK
-            st.lock_target = target_rank
+        an event to wait on when the lock cannot be granted yet.  Grants are
+        FIFO: a shared request joins current shared holders only when no
+        exclusive request is already queued ahead of it (no writer starvation)."""
+        holders = self._lock_holders[target_rank]
+        waiters = self._lock_waiters[target_rank]
+        grantable = not holders or (
+            lock_type == "shared"
+            and not waiters
+            and all(mode == "shared" for mode in holders.values())
+        )
+        if grantable:
+            self._grant_lock(origin_rank, target_rank, lock_type)
             return None
         event = self.kernel.event(name=f"{self.name}.lock[{target_rank}]")
-        self._lock_waiters[target_rank].append(event)
+        waiters.append((event, origin_rank, lock_type))
         return event
 
-    def lock_granted(self, origin_rank: int, target_rank: int) -> None:
-        """Finish a queued acquisition after its wait event fired."""
-        self._lock_holder[target_rank] = origin_rank
+    def _grant_lock(self, origin_rank: int, target_rank: int, lock_type: str) -> None:
+        self._lock_holders[target_rank][origin_rank] = lock_type
         st = self.state(origin_rank)
         st.access = AccessEpoch.LOCK
         st.lock_target = target_rank
 
+    def lock_granted(
+        self, origin_rank: int, target_rank: int, lock_type: str = "exclusive"
+    ) -> None:
+        """Finish a queued acquisition after its wait event fired (the grant
+        bookkeeping already ran inside :meth:`release_lock`)."""
+        if origin_rank not in self._lock_holders[target_rank]:  # pragma: no cover
+            self._grant_lock(origin_rank, target_rank, lock_type)
+
     def release_lock(self, origin_rank: int, target_rank: int) -> list[RmaOp]:
-        if self._lock_holder[target_rank] != origin_rank:
+        holders = self._lock_holders[target_rank]
+        if origin_rank not in holders:
             raise RmaEpochError(
                 f"rank {origin_rank} unlocking window {self.name} it does not hold"
             )
+        del holders[origin_rank]
         st = self.state(origin_rank)
         ops, st.pending_ops = st.pending_ops, []
         st.access = AccessEpoch.NONE
         st.lock_target = None
-        self._lock_holder[target_rank] = None
         waiters = self._lock_waiters[target_rank]
-        if waiters:
-            waiters.pop(0).trigger(None)
+        if not holders and waiters:
+            # FIFO head always enters; a shared head admits every
+            # immediately following shared waiter alongside it.
+            event, waiter, mode = waiters.pop(0)
+            self._grant_lock(waiter, target_rank, mode)
+            event.trigger(None)
+            if mode == "shared":
+                while waiters and waiters[0][2] == "shared":
+                    event, waiter, mode = waiters.pop(0)
+                    self._grant_lock(waiter, target_rank, mode)
+                    event.trigger(None)
         return ops
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

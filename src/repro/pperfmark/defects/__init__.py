@@ -27,6 +27,9 @@ class DefectProgram(PPerfProgram):
     default_nprocs = 2
     #: the single FindingKind a sanitized run must report
     expected_finding: FindingKind = FindingKind.MPI_ERROR
+    #: personality the defect needs (None = any; e.g. passive-target RMA
+    #: defects need "refmpi", the only personality with that feature)
+    required_impl: str | None = None
 
 
 DEFECT_REGISTRY: dict[str, Type[DefectProgram]] = {}
@@ -199,4 +202,32 @@ class DefectUseAfterFree(DefectProgram):
         yield from mpi.win_create(8, datatype=INT)  # may reuse win_a's id
         if mpi.rank == 0:
             yield from mpi.win_fence(win_a)  # stale handle
+        yield from mpi.finalize()
+
+
+@register_defect
+class DefectSharedLockRace(DefectProgram):
+    """Conflicting puts under overlapping MPI_LOCK_SHARED epochs.
+
+    A shared lock admits several holders at once, so two origins that both
+    take it and put to the same window range are unordered -- the epochs
+    give no happens-before edge the way consecutive exclusive epochs do.
+    Passive-target locks exist only on the ``refmpi`` personality.
+    """
+
+    name = "defect_shared_lock_race"
+    module = "defect_shared_lock_race.c"
+    expected_finding = FindingKind.RMA_RACE
+    default_nprocs = 3
+    required_impl = "refmpi"
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        win = yield from mpi.win_create(16, datatype=INT)
+        if mpi.rank in (1, 2):
+            yield from mpi.win_lock(win, 0, lock_type="shared")
+            yield from mpi.put(win, 0, np.full(8, mpi.rank, dtype="i4"))
+            yield from mpi.win_unlock(win, 0)
+        yield from mpi.barrier()
+        yield from mpi.win_free(win)
         yield from mpi.finalize()

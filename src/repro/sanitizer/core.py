@@ -104,7 +104,16 @@ class Sanitizer:
         self._barrier_round: dict[tuple[int, int], int] = {}
         self._barrier_entry: dict[tuple[int, int], dict[int, dict]] = {}
         self._barrier_exits: dict[tuple[int, int], int] = {}
-        self._last_unlock: dict[tuple[int, int], dict] = {}
+        # passive-target lock epochs are SHARED or EXCLUSIVE.  An exclusive
+        # grant serializes against every earlier epoch on the target, so an
+        # exclusive locker joins the accumulated clock of *all* prior
+        # unlocks; a shared grant only serializes against exclusive holders,
+        # so a shared locker joins prior *exclusive* unlocks only -- two
+        # overlapping shared epochs stay concurrent and their conflicting
+        # puts surface as RMA races.
+        self._lock_mode: dict[tuple[int, int], str] = {}  # (win, rank) -> mode
+        self._unlock_all: dict[tuple[int, int], dict] = {}  # (win, target)
+        self._unlock_excl: dict[tuple[int, int], dict] = {}  # (win, target)
         self._wait_rec: dict[int, Any] = {}  # id(frame) -> PostEpochRecord
 
         self._digest = hashlib.sha256()
@@ -487,12 +496,17 @@ class Sanitizer:
         w = id(win)
         if w not in self._wstate:
             return
+        mode = "shared" if args[0] == "shared" else "exclusive"
         target = args[1]
-        self._clocks[idx] = vc_join(clock, self._last_unlock.get((w, target), {}))
+        # exclusive serializes with every earlier unlock; shared only with
+        # earlier *exclusive* unlocks (shared holders run concurrently)
+        prior = self._unlock_all if mode == "exclusive" else self._unlock_excl
+        self._clocks[idx] = vc_join(clock, prior.get((w, target), {}))
         rank = self._comm_rank(win, ep)
         if self._wstate[w].get(rank) != _FREED:
             self._wstate[w][rank] = _LOCK
             self._lock_target[w][rank] = target
+            self._lock_mode[(w, rank)] = mode
 
     def _h_unlock_entry(self, ep, idx, clock, frame, call, args) -> None:
         win = args[1]
@@ -500,12 +514,24 @@ class Sanitizer:
         if self._check_freed(win, ep, "MPI_Win_unlock") or w not in self._wstate:
             return
         target = args[0]
-        self._last_unlock[(w, target)] = dict(clock)
-        self._ops[w] = [
-            entry
-            for entry in self._ops[w]
-            if not (entry[0] == idx and entry[2] == target and vc_leq(entry[6], clock))
-        ]
+        rank = self._comm_rank(win, ep)
+        mode = self._lock_mode.get((w, rank), "exclusive")
+        key = (w, target)
+        self._unlock_all[key] = vc_join(self._unlock_all.get(key, {}), dict(clock))
+        if mode == "exclusive":
+            self._unlock_excl[key] = vc_join(
+                self._unlock_excl.get(key, {}), dict(clock)
+            )
+            # only an exclusive epoch's own ops are ordered against every
+            # later epoch; shared-epoch ops must stay in the race buffer so
+            # overlapping shared lockers can still collide
+            self._ops[w] = [
+                entry
+                for entry in self._ops[w]
+                if not (
+                    entry[0] == idx and entry[2] == target and vc_leq(entry[6], clock)
+                )
+            ]
 
     def _h_unlock_exit(self, ep, idx, clock, frame, call, args) -> None:
         win = args[1]
@@ -517,6 +543,7 @@ class Sanitizer:
             return
         self._wstate[w][rank] = _FENCE if rank in self._fence_open[w] else _NONE
         self._lock_target[w].pop(rank, None)
+        self._lock_mode.pop((w, rank), None)
 
     def _h_free_entry(self, ep, idx, clock, frame, call, args) -> None:
         self._check_freed(args[0], ep, "MPI_Win_free")

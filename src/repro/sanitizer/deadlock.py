@@ -139,13 +139,12 @@ def analyze_deadlock(universe, norm: Callable[[str], str]) -> list[Finding]:
             # acts; wait on all of them (conservative)
             return [other for other, _, _ in blocked if other is not ep]
         if call == "Win_lock" and win is not None:
-            holder = win.lock_holder(args[1])
-            if holder is not None:
-                try:
-                    return [win.comm.group[holder]]
-                except Exception:
-                    return []
-            return []
+            # under a shared lock several holders may block the acquisition
+            holders = win.lock_holders(args[1])
+            try:
+                return [win.comm.group[holder] for holder in holders]
+            except Exception:
+                return []
         if call in _GAT_CALLS and win is not None:
             return [
                 m

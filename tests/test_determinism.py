@@ -66,3 +66,67 @@ def test_different_impls_yield_different_traces():
     lam = sanitize_program("winfencesync", impl="lam", seed=0, quick=True)
     mpich2 = sanitize_program("winfencesync", impl="mpich2", seed=0, quick=True)
     assert lam.trace_digest != mpich2.trace_digest
+
+
+# Determinism under parallelism: the same RunSpec executed in-process, in a
+# fleet worker pool, and replayed from a warm cache must produce
+# byte-identical artifacts -- the invariant that makes content-addressed
+# caching sound (and the fleet's whole reason to exist).
+
+def _fleet_specs():
+    from repro.fleet import RunSpec
+
+    return [
+        RunSpec.make("random_barrier", mode="sanitize", impl=impl, seed=5, quick=True)
+        for impl in ("lam", "mpich", "mpich2")
+    ] + [RunSpec.make("winfencesync", mode="sanitize", impl="mpich2", quick=True)]
+
+
+def test_serial_pool_and_warm_cache_artifacts_byte_identical(tmp_path):
+    from repro.fleet import (
+        FleetScheduler,
+        ResultCache,
+        execute_spec,
+        report_from_artifact,
+        to_bytes,
+    )
+
+    specs = _fleet_specs()
+    serial = {s.digest: to_bytes(execute_spec(s)) for s in specs}
+
+    cache = ResultCache(tmp_path / "cache")
+    pool = FleetScheduler(jobs=2, cache=cache, poll_interval=0.01)
+    for spec in specs:
+        pool.submit(spec)
+    pooled = {d: to_bytes(a) for d, a in pool.run().items()}
+    assert pooled == serial
+    assert pool.summary()["completed"] == len(specs)
+
+    warm = FleetScheduler(jobs=2, cache=cache, poll_interval=0.01)
+    for spec in specs:
+        warm.submit(spec)
+    replayed = {d: to_bytes(a) for d, a in warm.run().items()}
+    assert replayed == serial
+    assert warm.summary()["cached"] == len(specs)  # 100% cache hits
+
+    # and the reconstructed reports carry identical trace digests
+    for spec in specs:
+        a = report_from_artifact(pool.results[spec.digest])
+        b = report_from_artifact(warm.results[spec.digest])
+        assert a.trace_digest == b.trace_digest
+        assert a.data_signature == b.data_signature
+
+
+def test_cached_sanitize_report_equals_direct_run(tmp_path):
+    from repro.fleet import ResultCache, sanitize_cached
+
+    cache = ResultCache(tmp_path / "cache")
+    direct = sanitize_program("winfencesync", impl="lam", seed=3, quick=True)
+    cached = sanitize_cached("winfencesync", impl="lam", seed=3, quick=True, cache=cache)
+    replay = sanitize_cached("winfencesync", impl="lam", seed=3, quick=True, cache=cache)
+    for report in (cached, replay):
+        assert report.trace_digest == direct.trace_digest
+        assert report.data_signature == direct.data_signature
+        assert report.status == direct.status
+        assert report.elapsed == direct.elapsed
+    assert cache.stats.hits == 1

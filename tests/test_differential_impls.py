@@ -6,6 +6,10 @@ The paper's premise is that the same PPerfMark program behaves the same
 operation count must match.  Each MPI-1 program is run under all three
 personalities and its per-rank data signature compared; the sanitizer rides
 along, so any cross-impl divergence in matching or cleanup also surfaces.
+
+The runs go through :func:`repro.fleet.sanitize_cached`, so a ``repro fleet
+sweep`` warm cache (or an earlier parametrized case in the same session)
+turns re-runs into cache replays.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import MPI1_PROGRAMS
-from repro.sanitizer import sanitize_program
+from repro.fleet import sanitize_cached as sanitize_program
 
 IMPLS = ("lam", "mpich", "mpich2")
 

@@ -24,8 +24,9 @@ from repro.sanitizer.deadlock import _find_cycle
 @pytest.mark.parametrize("name", defect_names())
 def test_defect_triggers_exactly_its_detector(name):
     """Every seeded-defect program is flagged with precisely its one kind."""
-    expected = DEFECT_REGISTRY[name].expected_finding
-    report = sanitize_program(name)
+    cls = DEFECT_REGISTRY[name]
+    expected = cls.expected_finding
+    report = sanitize_program(name, impl=cls.required_impl or "lam")
     assert report.status == "findings", f"{name}: expected findings, got clean"
     assert report.kinds() == {expected}, (
         f"{name}: expected only {expected.value}, got "
