@@ -155,9 +155,20 @@ class PerformanceConsultant:
     # -- callgraph hook --------------------------------------------------------
 
     def observe_call(self, proc: Any, frame: Any, event: str) -> None:
-        if event != "entry" or frame.caller is None:
+        # Runs on every simulated function entry/exit; avoids setdefault
+        # (which allocates its default set even on hits) and the Frame.name
+        # property (function.name reads the slot directly).
+        if event != "entry":
             return
-        self.callgraph.setdefault(frame.caller.name, set()).add(frame.name)
+        caller = frame.caller
+        if caller is None:
+            return
+        graph = self.callgraph
+        caller_name = caller.function.name
+        callees = graph.get(caller_name)
+        if callees is None:
+            callees = graph[caller_name] = set()
+        callees.add(frame.function.name)
 
     def install_callgraph_hook(self, proc: Any) -> None:
         proc.trace_hooks.append(self.observe_call)

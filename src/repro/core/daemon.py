@@ -56,6 +56,9 @@ class Daemon:
         self.sample_interval = sample_interval or frontend.bin_width
         self.snippet_cost = snippet_cost
         self.procs: list[Any] = []
+        #: identity set mirroring ``procs`` -- membership tests on the
+        #: per-sample hot path must not scan the list
+        self._proc_set: set[int] = set()
         self.mutators: dict[int, Mutator] = {}
         self._sampling = False
         frontend.add_daemon(self)
@@ -70,6 +73,7 @@ class Daemon:
                 f"on {proc.node.name}"
             )
         self.procs.append(proc)
+        self._proc_set.add(id(proc))
         proc.snippet_cost = self.snippet_cost
         mutator = Mutator(proc)
         self.mutators[proc.pid] = mutator
@@ -209,20 +213,34 @@ class Daemon:
             self._sampling = False
 
     def sample_now(self, now: float, record_at: float = None) -> None:
-        """Read all active instrumentation on this daemon's processes."""
+        """Read all active instrumentation on this daemon's processes.
+
+        The whole batch of metric reads happens in one pass with the loop
+        invariants hoisted: constant-time membership via the identity set,
+        one ``when`` computation per pair, no per-instance attribute
+        re-lookup.  Sampling runs once per process per interval for every
+        enabled pair, so this is the tool-overhead hot path the paper's
+        cost model is about."""
         if record_at is None:
             record_at = now
+        observe = self.frontend.cost_tracker.observe
         for proc in self.procs:
             if not proc.exited:
-                self.frontend.cost_tracker.observe(proc, now)
+                observe(proc, now)
+        proc_set = self._proc_set
         for data in self.frontend.enabled.values():
             if not data.active:
                 continue
-            when = max(record_at, data.enabled_at)
-            for instance in data.instances:
+            instances = data.instances
+            if not instances:
+                continue
+            enabled_at = data.enabled_at
+            when = record_at if record_at > enabled_at else enabled_at
+            record = data.record
+            for instance in instances:
                 proc = instance.proc
-                if proc not in self.procs:
+                if id(proc) not in proc_set:
                     continue
                 delta = instance.sample_delta()
                 if delta:
-                    data.record(proc.pid, when, delta)
+                    record(proc.pid, when, delta)

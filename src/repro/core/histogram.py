@@ -53,11 +53,21 @@ class FoldingHistogram:
         self.bin_width = float(bin_width)
         self.initial_bin_width = float(bin_width)
         self.start_time = float(start_time)
-        self.bins = np.zeros(num_bins, dtype=np.float64)
+        # Backing store is a plain Python list: the write path (one add per
+        # metric instance per sample tick) must be allocation-free, and
+        # scalar indexing into a numpy array boxes a np.float64 per access.
+        # Readers get numpy views on demand; both float models are IEEE
+        # doubles, so results are bit-identical to the old array store.
+        self._data: list[float] = [0.0] * num_bins
         self.folds = 0
         self._filled = 0  # index one past the last bin that received data
 
     # -- writing -------------------------------------------------------------
+
+    @property
+    def bins(self) -> np.ndarray:
+        """The bin array (as numpy; the store itself is a plain list)."""
+        return np.asarray(self._data, dtype=np.float64)
 
     @property
     def end_time(self) -> float:
@@ -69,22 +79,33 @@ class FoldingHistogram:
         return self.start_time + self._filled * self.bin_width
 
     def add(self, time: float, delta: float) -> None:
-        """Accumulate ``delta`` into the bin covering ``time``."""
-        if time < self.start_time:
-            raise ValueError(f"sample at t={time} precedes histogram start {self.start_time}")
-        while time >= self.end_time:
+        """Accumulate ``delta`` into the bin covering ``time``.
+
+        Allocation-free on the hot path: pure float arithmetic and one list
+        store (folding, the rare slow branch, stays out of line)."""
+        start = self.start_time
+        if time < start:
+            raise ValueError(f"sample at t={time} precedes histogram start {start}")
+        num_bins = self.num_bins
+        width = self.bin_width
+        while time >= start + num_bins * width:
             self.fold()
-        index = int((time - self.start_time) / self.bin_width)
-        index = min(index, self.num_bins - 1)  # guard float-boundary rounding
-        self.bins[index] += delta
-        self._filled = max(self._filled, index + 1)
+            width = self.bin_width
+        index = int((time - start) / width)
+        if index >= num_bins:  # guard float-boundary rounding
+            index = num_bins - 1
+        self._data[index] += delta
+        if index >= self._filled:
+            self._filled = index + 1
 
     def fold(self) -> None:
         """Combine neighbouring bins; the new bins cover twice the time."""
         half = self.num_bins // 2
-        folded = self.bins[0::2] + self.bins[1::2]
-        self.bins[:half] = folded
-        self.bins[half:] = 0.0
+        data = self._data
+        for i in range(half):
+            data[i] = data[2 * i] + data[2 * i + 1]
+        for i in range(half, self.num_bins):
+            data[i] = 0.0
         self.bin_width *= 2.0
         self.folds += 1
         self._filled = (self._filled + 1) // 2
@@ -92,7 +113,7 @@ class FoldingHistogram:
     # -- reading ----------------------------------------------------------------
 
     def filled_bins(self) -> np.ndarray:
-        return self.bins[: self._filled].copy()
+        return np.asarray(self._data[: self._filled], dtype=np.float64)
 
     def bin_times(self) -> np.ndarray:
         """Start time of every filled bin."""
@@ -100,7 +121,7 @@ class FoldingHistogram:
 
     def total(self) -> float:
         """Sum over all bins (exactly the accumulated deltas, fold-invariant)."""
-        return float(self.bins[: self._filled].sum())
+        return float(self.filled_bins().sum())
 
     def interior_total(self) -> float:
         """Total excluding the first and last filled bins.
@@ -111,7 +132,7 @@ class FoldingHistogram:
         """
         if self._filled <= 2:
             return 0.0
-        return float(self.bins[1 : self._filled - 1].sum())
+        return float(np.asarray(self._data[1 : self._filled - 1], dtype=np.float64).sum())
 
     def interior_duration(self) -> float:
         if self._filled <= 2:
@@ -128,21 +149,21 @@ class FoldingHistogram:
     def active_duration(self) -> float:
         """Time spanned by bins that actually contain data (used for the
         Presta per-operation-time estimates in Section 5.2.1.3)."""
-        nonzero = np.nonzero(self.bins[: self._filled])[0]
+        nonzero = np.nonzero(self.filled_bins())[0]
         if nonzero.size == 0:
             return 0.0
         return float(nonzero.size * self.bin_width)
 
     def interior_active_duration(self) -> float:
         """Active duration excluding the two end-point *active* bins."""
-        nonzero = np.nonzero(self.bins[: self._filled])[0]
+        nonzero = np.nonzero(self.filled_bins())[0]
         if nonzero.size <= 2:
             return 0.0
         return float((nonzero.size - 2) * self.bin_width)
 
     def rates(self) -> np.ndarray:
         """Per-bin rates (delta / bin width) for plotting/export."""
-        return self.bins[: self._filled] / self.bin_width
+        return self.filled_bins() / self.bin_width
 
     def mean_rate(self) -> float:
         duration = self._filled * self.bin_width

@@ -124,6 +124,9 @@ class Image:
         self.modules: dict[str, Module] = {}
         self._symbols: dict[str, FunctionDef] = {}
         self._weak_aliases: dict[str, str] = {}
+        #: bumped on every symbol-table change; processes key their
+        #: name-resolution caches on it (see SimProcess.call)
+        self.version = 0
 
     # construction ------------------------------------------------------------
 
@@ -152,6 +155,7 @@ class Image:
         mod.functions[name] = fn
         self._symbols[name] = fn
         self._weak_aliases.pop(name, None)  # strong definition wins
+        self.version += 1
         return fn
 
     def interpose(
@@ -171,6 +175,7 @@ class Image:
         mod.functions[name] = fn
         self._symbols[name] = fn
         self._weak_aliases.pop(name, None)
+        self.version += 1
         return fn
 
     def add_weak_alias(self, alias: str, target: str) -> None:
@@ -184,6 +189,7 @@ class Image:
         if alias in self._symbols:
             return  # strong symbol already wins
         self._weak_aliases[alias] = target
+        self.version += 1
 
     # lookup --------------------------------------------------------------------
 

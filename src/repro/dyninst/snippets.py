@@ -140,12 +140,29 @@ class _TimerVar(InstrVar):
 
 
 class WallTimerVar(_TimerVar):
-    """Wall-clock timer (Paradyn ``walltimer``)."""
+    """Wall-clock timer (Paradyn ``walltimer``).
+
+    ``start``/``stop`` are overridden with the clock read inlined: timer
+    starts and stops run once per instrumented call for every active timer
+    metric, and the ``_clock`` double dispatch is measurable there.
+    """
 
     __slots__ = ()
 
     def _clock(self, proc: "SimProcess") -> float:
         return proc.kernel.now
+
+    def start(self, proc: "SimProcess") -> None:
+        if self._depth == 0:
+            self._started_at = proc.kernel.now
+        self._depth += 1
+
+    def stop(self, proc: "SimProcess") -> None:
+        if self._depth == 0:
+            return
+        self._depth -= 1
+        if self._depth == 0:
+            self.accumulated += proc.kernel.now - self._started_at
 
 
 class ProcTimerVar(_TimerVar):
@@ -155,6 +172,18 @@ class ProcTimerVar(_TimerVar):
 
     def _clock(self, proc: "SimProcess") -> float:
         return proc.cpu_user_time()
+
+    def start(self, proc: "SimProcess") -> None:
+        if self._depth == 0:
+            self._started_at = proc.cpu_user_time()
+        self._depth += 1
+
+    def stop(self, proc: "SimProcess") -> None:
+        if self._depth == 0:
+            return
+        self._depth -= 1
+        if self._depth == 0:
+            self.accumulated += proc.cpu_user_time() - self._started_at
 
 
 # ---------------------------------------------------------------------------
@@ -354,6 +383,165 @@ class ExecContext:
     builtins: dict[str, Callable]
 
 
+# -- snippet compilation ------------------------------------------------------
+#
+# The IR trees above are the *definition* format; executing them by tree
+# walking costs a dynamic dispatch plus an ExecContext allocation per node
+# visit, and snippets run millions of times per simulated program.  Each
+# Snippet therefore compiles its tree once, at construction, into nested
+# closures with the signature ``op(proc, frame, at_entry)``; variables,
+# constants and operator functions are captured in cell variables, so the
+# hot path is plain closure calls with no allocation and no isinstance
+# checks.  Unknown Stmt/Expr subclasses (the IR is extensible) fall back to
+# the tree-walking ``execute``/``evaluate`` protocol, which remains the
+# semantic definition.
+
+
+def _compile_expr(expr: Expr) -> Callable[["SimProcess", "Frame", bool], Any]:
+    kind = type(expr)
+    if kind is Const:
+        value = expr.value
+        return lambda proc, frame, at_entry: value
+    if kind is Arg:
+        index = expr.index
+        def run_arg(proc: "SimProcess", frame: "Frame", at_entry: bool) -> Any:
+            args = frame.args
+            if index >= len(args):
+                raise InstrumentationError(
+                    f"$arg[{index}] out of range for {frame.name} "
+                    f"(got {len(args)} args)"
+                )
+            return args[index]
+        return run_arg
+    if kind is ReturnValue:
+        def run_return(proc: "SimProcess", frame: "Frame", at_entry: bool) -> Any:
+            if at_entry:
+                raise InstrumentationError("$return read at an entry point")
+            return frame.return_value
+        return run_return
+    if kind is VarValue:
+        var = expr.var
+        if type(var) is CounterVar:
+            return lambda proc, frame, at_entry: var.value
+        sample = var.sample
+        return lambda proc, frame, at_entry: sample(proc)
+    if kind is BuiltinCall:
+        name = expr.name
+        arg_ops = tuple(_compile_expr(a) for a in expr.args)
+        def run_builtin(proc: "SimProcess", frame: "Frame", at_entry: bool) -> Any:
+            fn = getattr(proc, "instr_builtins", _EMPTY_BUILTINS).get(name)
+            if fn is None:
+                raise InstrumentationError(f"unknown instrumentation builtin {name!r}")
+            return fn(proc, frame, *[op(proc, frame, at_entry) for op in arg_ops])
+        return run_builtin
+    if kind is BinOp:
+        fn = _BINOPS[expr.op]
+        left = _compile_expr(expr.left)
+        right = _compile_expr(expr.right)
+        return lambda proc, frame, at_entry: fn(
+            left(proc, frame, at_entry), right(proc, frame, at_entry)
+        )
+    def run_generic(proc: "SimProcess", frame: "Frame", at_entry: bool) -> Any:
+        return expr.evaluate(
+            ExecContext(proc, frame, at_entry, getattr(proc, "instr_builtins", _EMPTY_BUILTINS))
+        )
+    return run_generic
+
+
+def _compile_stmt(stmt: Stmt) -> Callable[["SimProcess", "Frame", bool], Any]:
+    kind = type(stmt)
+    if kind is AddCounter and type(stmt.var) is CounterVar:
+        var = stmt.var
+        if type(stmt.amount) is Const:
+            amount = float(stmt.amount.value)
+            def run_add_const(proc: "SimProcess", frame: "Frame", at_entry: bool) -> None:
+                var.value += amount
+            return run_add_const
+        amount_op = _compile_expr(stmt.amount)
+        def run_add(proc: "SimProcess", frame: "Frame", at_entry: bool) -> None:
+            var.value += float(amount_op(proc, frame, at_entry))
+        return run_add
+    if kind is SetCounter and type(stmt.var) is CounterVar:
+        var = stmt.var
+        value_op = _compile_expr(stmt.value)
+        def run_set(proc: "SimProcess", frame: "Frame", at_entry: bool) -> None:
+            var.value = float(value_op(proc, frame, at_entry))
+        return run_set
+    if kind is StartTimer:
+        start = stmt.var.start
+        def run_start(proc: "SimProcess", frame: "Frame", at_entry: bool) -> None:
+            start(proc)
+        return run_start
+    if kind is StopTimer:
+        stop = stmt.var.stop
+        def run_stop(proc: "SimProcess", frame: "Frame", at_entry: bool) -> None:
+            stop(proc)
+        return run_stop
+    if kind is ExprStmt:
+        expr_op = _compile_expr(stmt.expr)
+        def run_expr(proc: "SimProcess", frame: "Frame", at_entry: bool) -> None:
+            expr_op(proc, frame, at_entry)
+        return run_expr
+    if kind is If:
+        cond_op = _compile_expr(stmt.condition)
+        body_ops = tuple(_compile_stmt(s) for s in stmt.body)
+        if len(body_ops) == 1:
+            body0 = body_ops[0]
+            def run_if1(proc: "SimProcess", frame: "Frame", at_entry: bool) -> None:
+                if cond_op(proc, frame, at_entry):
+                    body0(proc, frame, at_entry)
+            return run_if1
+        def run_if(proc: "SimProcess", frame: "Frame", at_entry: bool) -> None:
+            if cond_op(proc, frame, at_entry):
+                for op in body_ops:
+                    op(proc, frame, at_entry)
+        return run_if
+    if kind is Block:
+        body_ops = tuple(_compile_stmt(s) for s in stmt.body)
+        def run_block(proc: "SimProcess", frame: "Frame", at_entry: bool) -> None:
+            for op in body_ops:
+                op(proc, frame, at_entry)
+        return run_block
+    def run_generic(proc: "SimProcess", frame: "Frame", at_entry: bool) -> None:
+        stmt.execute(
+            ExecContext(proc, frame, at_entry, getattr(proc, "instr_builtins", _EMPTY_BUILTINS))
+        )
+    return run_generic
+
+
+def _compile_snippet(
+    guards: tuple[CounterVar, ...], statements: tuple[Stmt, ...]
+) -> Callable[["SimProcess", "Frame", bool], Any]:
+    ops = tuple(_compile_stmt(s) for s in statements)
+    if not guards:
+        if len(ops) == 1:
+            return ops[0]
+        def run_plain(proc: "SimProcess", frame: "Frame", at_entry: bool) -> None:
+            for op in ops:
+                op(proc, frame, at_entry)
+        return run_plain
+    if len(guards) == 1:
+        guard = guards[0]
+        if len(ops) == 1:
+            op0 = ops[0]
+            def run_guarded1(proc: "SimProcess", frame: "Frame", at_entry: bool) -> None:
+                if guard.value:
+                    op0(proc, frame, at_entry)
+            return run_guarded1
+        def run_guarded(proc: "SimProcess", frame: "Frame", at_entry: bool) -> None:
+            if guard.value:
+                for op in ops:
+                    op(proc, frame, at_entry)
+        return run_guarded
+    def run_multi_guarded(proc: "SimProcess", frame: "Frame", at_entry: bool) -> None:
+        for g in guards:
+            if not g.value:
+                return
+        for op in ops:
+            op(proc, frame, at_entry)
+    return run_multi_guarded
+
+
 class Snippet:
     """A compiled snippet: statements plus optional constraint guards.
 
@@ -361,9 +549,13 @@ class Snippet:
     to execute -- the implementation of MDL's ``constrained`` keyword.  The
     guards themselves are maintained by separately-inserted constraint
     snippets (which prepend, so they run first at a shared point).
+
+    Construction compiles the statement tree into ``_run``, a closure
+    ``(proc, frame, at_entry) -> None`` that the instrumented-call fast path
+    in :meth:`repro.sim.process.SimProcess._run_snippets` invokes directly.
     """
 
-    __slots__ = ("statements", "guards", "label", "owner")
+    __slots__ = ("statements", "guards", "label", "owner", "_run")
 
     def __init__(
         self,
@@ -377,19 +569,10 @@ class Snippet:
         self.guards = tuple(guards)
         self.label = label
         self.owner = owner
+        self._run = _compile_snippet(self.guards, self.statements)
 
     def execute(self, proc: "SimProcess", frame: "Frame", *, at_entry: bool) -> None:
-        for guard in self.guards:
-            if not guard.value:
-                return
-        ctx = ExecContext(
-            proc=proc,
-            frame=frame,
-            at_entry=at_entry,
-            builtins=getattr(proc, "instr_builtins", _EMPTY_BUILTINS),
-        )
-        for stmt in self.statements:
-            stmt.execute(ctx)
+        self._run(proc, frame, at_entry)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Snippet {self.label or hex(id(self))} stmts={len(self.statements)}>"

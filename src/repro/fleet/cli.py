@@ -83,7 +83,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     counts = summary["counts"]
     cache_stats = summary["cache"]
     print(
-        f"# fleet sweep [{summary['suite']}] on {summary['jobs']} worker(s): "
+        f"# fleet sweep [{summary['suite']}] on {summary.get('workers', summary['jobs'])} worker(s): "
         f"{counts['specs']} jobs -> {counts['completed']} completed, "
         f"{counts['cached']} cache hits, {counts['failed']} failed"
     )

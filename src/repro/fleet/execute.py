@@ -86,7 +86,7 @@ def failure_artifact(
 
 def _build_program(spec: RunSpec):
     from ..pperfmark.base import REGISTRY, create
-    from ..sanitizer.run import resolve_program
+    from ..pperfmark.catalog import resolve_program
 
     params = spec.program_params()
     if params and spec.program in REGISTRY:
@@ -138,7 +138,7 @@ def _execute_tool(spec: RunSpec) -> dict:
 
 
 def _execute_sanitize(spec: RunSpec) -> dict:
-    from ..sanitizer.run import sanitize_program
+    from ..sanitizer.run import sanitize_program  # mode-salt: sanitize
 
     program = _build_program(spec)
     report = sanitize_program(
@@ -202,7 +202,7 @@ def artifact_found(artifact: dict, hypothesis: str, *needles: str) -> bool:
 
 def report_from_artifact(artifact: dict):
     """Reconstruct a :class:`SanitizerReport` from a sanitize artifact."""
-    from ..sanitizer.findings import Finding, FindingKind, SanitizerReport
+    from ..sanitizer.findings import Finding, FindingKind, SanitizerReport  # mode-salt: sanitize
 
     if artifact.get("status") != "ok":
         error = artifact.get("error") or {}

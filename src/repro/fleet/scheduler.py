@@ -39,6 +39,14 @@ def _mp_context():
         return multiprocessing.get_context("spawn")
 
 
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def _worker_main(executor: Callable[[RunSpec], dict], spec_dict: dict, out_path: str) -> None:
     """Child-process entry: execute the spec, spool the artifact atomically.
 
@@ -95,7 +103,13 @@ class FleetScheduler:
 
     Parameters
     ----------
-    jobs: worker-process concurrency (default: ``os.cpu_count()``).
+    jobs: requested worker-process concurrency (default: the usable CPU
+        count).  The effective concurrency is clamped to the CPUs the
+        process may run on: fleet jobs are CPU-bound simulations, so
+        oversubscribing cores cannot increase throughput -- it only adds
+        context switching and inflates every concurrent job's wall clock
+        (the per-job walls reported in BENCH_fleet.json).  The requested
+        value is kept on ``requested_jobs`` for reporting.
     timeout: per-job wall-clock limit in seconds (``None`` = unlimited).
     retries: extra attempts after the first failure/timeout/crash.
     backoff: base delay before attempt *n*'s retry (``backoff * 2**(n-1)``).
@@ -118,7 +132,9 @@ class FleetScheduler:
         executor: Callable[[RunSpec], dict] = execute_spec,
         poll_interval: float = 0.02,
     ) -> None:
-        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        usable = _usable_cpus()
+        self.requested_jobs = max(1, jobs if jobs is not None else usable)
+        self.jobs = min(self.requested_jobs, usable)
         self.timeout = timeout
         self.retries = max(0, retries)
         self.backoff = backoff

@@ -119,7 +119,7 @@ def sanitize_specs(
 ) -> list[RunSpec]:
     """The ``repro sanitize all`` sweep (plus the defect library) as specs."""
     from ..pperfmark.defects import DEFECT_REGISTRY
-    from ..sanitizer.run import CLEAN_PROGRAMS
+    from ..pperfmark.catalog import CLEAN_PROGRAMS
 
     specs = [
         RunSpec.make(name, mode="sanitize", impl=impl, quick=True)
@@ -216,7 +216,10 @@ def run_sweep(
         "schema": 1,
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "suite": suite,
-        "jobs": scheduler.jobs,
+        "jobs": scheduler.requested_jobs,
+        # requested concurrency clamped to usable CPUs (the jobs are
+        # CPU-bound; oversubscribing only inflates per-job walls)
+        "workers": scheduler.jobs,
         "counts": scheduler.summary(),
         "cache": cache.describe(),
         "wall": {

@@ -106,23 +106,26 @@ class MpiApi:
     # -- setup ---------------------------------------------------------------
 
     def init(self) -> Generator:
-        return (yield from self.proc.call("MPI_Init", 0, self.proc.argv))
+        return self.proc.call("MPI_Init", 0, self.proc.argv)
 
     def finalize(self) -> Generator:
-        return (yield from self.proc.call("MPI_Finalize"))
+        return self.proc.call("MPI_Finalize")
 
     # -- compute (not MPI, but every program needs it) --------------------------
 
-    def compute(self, seconds: float) -> Generator:
-        yield from self.proc.compute(seconds)
+    def compute(self, seconds: float):
+        return self.proc.compute(seconds)
 
-    def system_work(self, seconds: float) -> Generator:
+    def system_work(self, seconds: float):
         """Burn *system* CPU time (the ``system-time`` PPerfMark program)."""
-        yield from self.proc.syscall(seconds)
+        return self.proc.syscall(seconds)
 
     def call(self, name: str, *args: Any) -> Generator:
-        """Call an application function registered in this process's image."""
-        return (yield from self.proc.call(name, *args))
+        """Call an application function registered in this process's image.
+
+        Pass-through: ``proc.call`` already returns the call generator, so
+        no wrapper generator frame is stacked per MPI-level call."""
+        return self.proc.call(name, *args)
 
     # -- point to point -----------------------------------------------------------
 
@@ -152,10 +155,8 @@ class MpiApi:
     ) -> Generator:
         comm = comm or self.comm_world
         count = nbytes // datatype.size if nbytes else 0
-        return (
-            yield from self.proc.call(
-                "MPI_Recv", None, count, datatype, source, tag, comm, status
-            )
+        return self.proc.call(
+            "MPI_Recv", None, count, datatype, source, tag, comm, status
         )
 
     def isend(

@@ -14,7 +14,10 @@ from typing import Generator, Type
 import numpy as np
 
 from ...mpi.datatypes import DOUBLE, INT
-from ...sanitizer.findings import FindingKind
+# FindingKind here is pure *expectation metadata* (which finding a sanitize
+# run of each defect must report); defect program behavior never reads it,
+# so tool-mode artifacts are unaffected by sanitizer edits.
+from ...sanitizer.findings import FindingKind  # mode-salt: sanitize
 from ..base import PPerfProgram
 
 __all__ = ["DefectProgram", "DEFECT_REGISTRY", "register_defect", "defect_names"]

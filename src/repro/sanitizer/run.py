@@ -17,72 +17,22 @@ maps run outcomes onto a :class:`~repro.sanitizer.findings.SanitizerReport`:
 
 from __future__ import annotations
 
-from typing import Any, Optional, Union
+from typing import Optional, Union
 
 from ..analysis.runner import cluster_for
 from ..dyninst.image import ImageError
 from ..mpi.errors import MpiError, RmaEpochError, UnsupportedFeature
 from ..mpi.world import MpiProgram, MpiUniverse
+from ..pperfmark.catalog import CLEAN_PROGRAMS, SMALL_PARAMS, resolve_program
 from ..sim.kernel import DeadlockError, SimulationError
 from .core import Sanitizer
 from .findings import Finding, FindingKind, SanitizerReport
 
+# CLEAN_PROGRAMS / SMALL_PARAMS / resolve_program moved to
+# repro.pperfmark.catalog (program resolution is mode-agnostic and must not
+# drag the sanitizer into tool-mode runs); re-exported here for callers that
+# grew up with them in the sanitizer namespace.
 __all__ = ["sanitize_program", "CLEAN_PROGRAMS", "SMALL_PARAMS", "resolve_program"]
-
-#: the paper's 16 clean PPerfMark programs (8 MPI-1 + 7 MPI-2 + oned)
-CLEAN_PROGRAMS = (
-    "small_messages",
-    "big_message",
-    "wrong_way",
-    "intensive_server",
-    "random_barrier",
-    "diffuse_procedure",
-    "system_time",
-    "hot_procedure",
-    "allcount",
-    "wincreateblast",
-    "winfencesync",
-    "winscpwsync",
-    "spawncount",
-    "spawnsync",
-    "spawnwinsync",
-    "oned",
-)
-
-#: scaled-down constructor parameters for quick sweeps (CI, tests): same
-#: code paths and communication structure, far fewer iterations.
-SMALL_PARAMS: dict[str, dict[str, Any]] = {
-    "small_messages": {"iterations": 300},
-    "big_message": {"iterations": 8},
-    "wrong_way": {"iterations": 30, "batch": 10},
-    "intensive_server": {"iterations": 40, "time_to_waste": 0.05},
-    "random_barrier": {"iterations": 12, "time_to_waste": 0.2},
-    "diffuse_procedure": {"iterations": 40},
-    "system_time": {"iterations": 60, "barrier_every": 20},
-    "hot_procedure": {"iterations": 60},
-    "allcount": {"epochs": 10},
-    "wincreateblast": {"num_windows": 10},
-    "winfencesync": {"iterations": 30, "waste_seconds": 1e-3},
-    "winscpwsync": {"iterations": 30, "waste_seconds": 1e-3},
-    "spawncount": {"spawns": 2, "children_per_spawn": 2},
-    "spawnsync": {"children": 2, "messages": 30, "waste_seconds": 1e-3},
-    "spawnwinsync": {"children": 2, "iterations": 30, "waste_seconds": 1e-3},
-    "oned": {"iterations": 12, "local_rows": 8, "row_width": 64},
-}
-
-
-def resolve_program(name: str, *, quick: bool = False) -> MpiProgram:
-    """A program instance from the PPerfMark or defect registries."""
-    from ..pperfmark.base import REGISTRY, create
-    from ..pperfmark.defects import DEFECT_REGISTRY
-
-    if name in REGISTRY:
-        params = SMALL_PARAMS.get(name, {}) if quick else {}
-        return create(name, **params)
-    if name in DEFECT_REGISTRY:
-        return DEFECT_REGISTRY[name]()
-    known = sorted(set(REGISTRY) | set(DEFECT_REGISTRY))
-    raise KeyError(f"unknown program {name!r}; known: {known}")
 
 
 def sanitize_program(

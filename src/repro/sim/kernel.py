@@ -18,12 +18,26 @@ yielding *effects*:
 Nested calls compose with ``yield from``, so user-level "programs" read like
 ordinary sequential code.  The design deliberately mirrors process-based DES
 frameworks (SimPy) so that simulated MPI programs stay legible.
+
+Scheduling internals (the fast path; see DESIGN.md "kernel fast path"):
+
+* Heap entries are plain ``(time, seq, call)`` tuples, so ordering is
+  resolved by C-level tuple comparison -- no Python ``__lt__`` runs.
+* Zero-delay calls (event triggers, task spawns -- the majority of all
+  scheduling in message-heavy workloads) bypass the heap through a FIFO
+  deque.  Global execution order is still exactly (time, seq): a zero-delay
+  call carries ``time == now`` and the largest seq issued so far, the heap
+  never holds anything earlier than ``now``, and the run loop merges the
+  two lanes by comparing (time, seq) across their heads.
+* Cancelled heap entries are counted and the heap is compacted once more
+  than half of it is dead, so mass cancellation cannot leak memory.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -97,8 +111,9 @@ class SimEvent:
         self._triggered = True
         self._value = value
         waiters, self._waiters = self._waiters, []
+        schedule = self.kernel.schedule
         for task in waiters:
-            self.kernel.schedule(0.0, task._step, value)
+            schedule(0.0, task._step, value)
 
     def add_waiter(self, task: "Task") -> None:
         if self._triggered:
@@ -145,7 +160,12 @@ class Task:
             self.kernel._live_tasks -= 1
             self.kernel._failed_task = self
             raise
-        if isinstance(effect, Delay):
+        cls = effect.__class__
+        if cls is Delay:
+            self.kernel.schedule(effect.dt, self._step, None)
+        elif cls is WaitEvent:
+            effect.event.add_waiter(self)
+        elif isinstance(effect, Delay):
             self.kernel.schedule(effect.dt, self._step, None)
         elif isinstance(effect, WaitEvent):
             effect.event.add_waiter(self)
@@ -175,26 +195,49 @@ class _NoValue:
 _NOVALUE = _NoValue()
 
 
-@dataclass(order=True)
 class _ScheduledCall:
-    time: float
-    seq: int
-    callback: Callable = field(compare=False)
-    value: Any = field(compare=False, default=_NOVALUE)
-    cancelled: bool = field(compare=False, default=False)
+    """One pending callback.  Heap ordering lives in the surrounding
+    ``(time, seq, call)`` tuple, not here, so no comparison methods run in
+    the hot loop; the record itself is just a slotted attribute bundle."""
+
+    __slots__ = ("time", "seq", "callback", "value", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable,
+        value: Any = _NOVALUE,
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.value = value
+        self.cancelled = cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"<_ScheduledCall t={self.time} seq={self.seq}{flag}>"
 
 
 class Kernel:
     """The event loop: a priority queue of timestamped callbacks.
 
     Determinism: ties in time are broken by insertion order (a monotonically
-    increasing sequence number), so a run is fully reproducible.
+    increasing sequence number), so a run is fully reproducible.  The
+    zero-delay FIFO lane preserves exactly that (time, seq) order -- see the
+    module docstring.
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[_ScheduledCall] = []
+        #: timed lane: a heap of (time, seq, _ScheduledCall) tuples
+        self._queue: list[tuple[float, int, _ScheduledCall]] = []
+        #: zero-delay lane: FIFO of _ScheduledCalls with time == now
+        self._zero: deque[_ScheduledCall] = deque()
         self._seq = 0
+        self._cancelled = 0  # cancelled entries still sitting in the heap
         self._live_tasks = 0
         self._failed_task: Optional[Task] = None
         #: callables run (once each) just before :class:`DeadlockError` is
@@ -207,12 +250,47 @@ class Kernel:
     def schedule(self, delay: float, callback: Callable, value: Any = _NOVALUE) -> _ScheduledCall:
         """Schedule ``callback(value)`` -- or ``callback()`` when no value is
         given -- at ``now + delay``."""
+        if delay == 0.0:
+            seq = self._seq + 1
+            self._seq = seq
+            call = _ScheduledCall(self.now, seq, callback, value)
+            self._zero.append(call)
+            return call
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        self._seq += 1
-        call = _ScheduledCall(self.now + delay, self._seq, callback, value)
-        heapq.heappush(self._queue, call)
+        seq = self._seq + 1
+        self._seq = seq
+        call = _ScheduledCall(self.now + delay, seq, callback, value)
+        heapq.heappush(self._queue, (call.time, seq, call))
         return call
+
+    def cancel(self, call: _ScheduledCall) -> None:
+        """Cancel a pending call.  Dead heap entries are counted and the heap
+        is compacted once cancelled entries outnumber live ones, so mass
+        cancellation (e.g. timeout guards that almost always get cancelled)
+        cannot grow the queue without bound."""
+        if call.cancelled:
+            return
+        call.cancelled = True
+        # Zero-lane entries drain within the current time step, so only heap
+        # residency can leak.  The count is a safe overestimate for zero-lane
+        # cancels; compaction recomputes it exactly.
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify in place (pop order depends
+        only on the unique (time, seq) keys, so execution order is
+        unchanged)."""
+        live = [entry for entry in self._queue if not entry[2].cancelled]
+        self._queue[:] = live
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+
+    def queue_depth(self) -> int:
+        """Pending entries across both lanes (cancelled ones included)."""
+        return len(self._queue) + len(self._zero)
 
     def event(self, name: str = "") -> SimEvent:
         return SimEvent(self, name=name)
@@ -233,22 +311,47 @@ class Kernel:
         live tasks remain but nothing is scheduled (a real deadlock in the
         simulated program, e.g. an unmatched blocking receive).
         """
+        queue = self._queue
+        zero = self._zero
+        heappop = heapq.heappop
+        popleft = zero.popleft
+        novalue = _NOVALUE
         events = 0
-        while self._queue:
-            call = self._queue[0]
-            if until is not None and call.time > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._queue)
-            if call.cancelled:
-                continue
-            if call.time < self.now:  # pragma: no cover - defensive
-                raise SimulationError("time went backwards")
-            self.now = call.time
-            if call.value is _NOVALUE:
-                call.callback()
+        while True:
+            # pick the earlier lane head by (time, seq); zero-lane entries
+            # always carry time == now, so they win unless a heap entry is
+            # strictly earlier (impossible) or tied-in-time with smaller seq
+            if zero:
+                head = zero[0]
+                if queue:
+                    htime, hseq, _ = queue[0]
+                    from_zero = head.time < htime or (head.time == htime and head.seq < hseq)
+                else:
+                    from_zero = True
+                if not from_zero:
+                    head = queue[0][2]
+            elif queue:
+                head = queue[0][2]
+                from_zero = False
             else:
-                call.callback(call.value)
+                break
+            if until is not None and head.time > until:
+                self.now = until
+                return until
+            if from_zero:
+                popleft()
+            else:
+                heappop(queue)
+            if head.cancelled:
+                if not from_zero and self._cancelled:
+                    self._cancelled -= 1
+                continue
+            self.now = head.time
+            value = head.value
+            if value is novalue:
+                head.callback()
+            else:
+                head.callback(value)
             events += 1
             if events > max_events:
                 raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
@@ -271,7 +374,6 @@ class Kernel:
             self.run(until=deadline)
             if deadline is not None and self.now >= deadline:
                 break
-            if self.now == before and not self._queue:
+            if self.now == before and not self._queue and not self._zero:
                 break
         return self.now
-

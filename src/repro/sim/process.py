@@ -42,15 +42,35 @@ class ProcState(enum.Enum):
     EXITED = "exited"
 
 
-@dataclass
-class Frame:
-    """One activation record on a simulated process's call stack."""
+# hot-path aliases: enum member access is an attribute lookup on the enum
+# class plus a descriptor call, which shows up in the CPU-accounting paths
+_BLOCKED = ProcState.BLOCKED
+_USER = ProcState.USER
+_SYSTEM = ProcState.SYSTEM
 
-    function: "FunctionDef"
-    args: tuple
-    entry_time: float
-    caller: Optional["Frame"] = None
-    return_value: Any = None
+
+class Frame:
+    """One activation record on a simulated process's call stack.
+
+    Slotted, positional construction: one Frame is allocated per simulated
+    function call, which makes this one of the hottest allocations in the
+    whole system (see DESIGN.md "kernel fast path")."""
+
+    __slots__ = ("function", "args", "entry_time", "caller", "return_value")
+
+    def __init__(
+        self,
+        function: "FunctionDef",
+        args: tuple = (),
+        entry_time: float = 0.0,
+        caller: Optional["Frame"] = None,
+        return_value: Any = None,
+    ) -> None:
+        self.function = function
+        self.args = args
+        self.entry_time = entry_time
+        self.caller = caller
+        self.return_value = return_value
 
     @property
     def name(self) -> str:
@@ -102,6 +122,11 @@ class SimProcess:
         self._cpu_system = 0.0
 
         self.stack: list[Frame] = []
+        # symbol-resolution cache for the instrumented-call fast path;
+        # invalidated whenever the image's symbol table changes (version
+        # counter bumped by add_function/interpose/add_weak_alias)
+        self._resolve_cache: dict[str, "FunctionDef"] = {}
+        self._resolve_version = -1
         self.instr_vars: dict[int, Any] = {}
         # entry/exit trace hooks: callable(proc, frame, event) where event is
         # "entry" or "exit"; used by MPE-style tracing and gprof.
@@ -116,15 +141,24 @@ class SimProcess:
     # -- CPU clocks ----------------------------------------------------------
 
     def _accrue(self) -> None:
-        elapsed = self.kernel.now - self._state_since
-        if self._state is ProcState.USER:
-            self._cpu_user += elapsed
-        elif self._state is ProcState.SYSTEM:
-            self._cpu_system += elapsed
-        self._state_since = self.kernel.now
+        now = self.kernel.now
+        state = self._state
+        if state is ProcState.USER:
+            self._cpu_user += now - self._state_since
+        elif state is ProcState.SYSTEM:
+            self._cpu_system += now - self._state_since
+        self._state_since = now
 
     def _set_state(self, state: ProcState) -> None:
-        self._accrue()
+        # accrual inlined: this runs twice per compute/syscall, which in
+        # message-heavy workloads means several times per simulated call
+        now = self.kernel.now
+        prev = self._state
+        if prev is _USER:
+            self._cpu_user += now - self._state_since
+        elif prev is _SYSTEM:
+            self._cpu_system += now - self._state_since
+        self._state_since = now
         self._state = state
 
     @property
@@ -150,25 +184,47 @@ class SimProcess:
 
     # -- effects used by simulated code ---------------------------------------
 
-    def compute(self, seconds: float) -> Generator:
-        """Burn ``seconds`` of user CPU time."""
+    def compute(self, seconds: float):
+        """Burn ``seconds`` of user CPU time.
+
+        Returns an iterable to drive with ``yield from``.  The zero-cost
+        case returns an empty tuple instead of instantiating a generator --
+        ``yield from ()`` resumes the caller immediately with no kernel
+        round-trip, exactly like the generator early-return did."""
+        if seconds == 0.0:
+            return ()
         if seconds < 0:
             raise ValueError(f"negative compute time: {seconds}")
-        if seconds == 0.0:
-            return
-        self._set_state(ProcState.USER)
-        yield Delay(seconds)
-        self._set_state(ProcState.BLOCKED)
+        return self._burn(seconds, ProcState.USER)
 
-    def syscall(self, seconds: float) -> Generator:
+    def syscall(self, seconds: float):
         """Burn ``seconds`` of *system* CPU time (invisible to user-CPU metrics)."""
+        if seconds == 0.0:
+            return ()
         if seconds < 0:
             raise ValueError(f"negative syscall time: {seconds}")
-        if seconds == 0.0:
-            return
-        self._set_state(ProcState.SYSTEM)
+        return self._burn(seconds, ProcState.SYSTEM)
+
+    def _burn(self, seconds: float, state: ProcState) -> Generator:
+        # _set_state inlined twice: every compute/syscall passes through
+        # here, and the method-call overhead is measurable in message-heavy
+        # workloads.  The accrual arithmetic is identical to _set_state.
+        now = self.kernel.now
+        prev = self._state
+        if prev is _USER:
+            self._cpu_user += now - self._state_since
+        elif prev is _SYSTEM:
+            self._cpu_system += now - self._state_since
+        self._state_since = now
+        self._state = state
         yield Delay(seconds)
-        self._set_state(ProcState.BLOCKED)
+        now = self.kernel.now
+        if state is _USER:
+            self._cpu_user += now - self._state_since
+        elif state is _SYSTEM:
+            self._cpu_system += now - self._state_since
+        self._state_since = now
+        self._state = _BLOCKED
 
     def block(self, event) -> Generator:
         """Block (no CPU accrual) until ``event`` triggers; returns its value."""
@@ -195,21 +251,31 @@ class SimProcess:
         ``PMPI_Send``); entry and exit instrumentation snippets attached to
         the resolved function run around the body.  The body is a generator
         ``body(proc, *args)``.
+
+        Not itself a generator: it resolves the symbol (through a
+        per-process cache keyed on the image's symbol-table version) and
+        returns the call generator directly, saving one generator frame per
+        simulated call under ``yield from``.
         """
-        fn = self.image.resolve(name)
-        return (yield from self._call_function(fn, args))
+        image = self.image
+        if self._resolve_version != image.version:
+            self._resolve_cache.clear()
+            self._resolve_version = image.version
+        fn = self._resolve_cache.get(name)
+        if fn is None:
+            fn = image.resolve(name)
+            self._resolve_cache[name] = fn
+        return self._call_function(fn, args)
 
     def _call_function(self, fn: "FunctionDef", args: tuple) -> Generator:
-        frame = Frame(
-            function=fn,
-            args=args,
-            entry_time=self.kernel.now,
-            caller=self.stack[-1] if self.stack else None,
-        )
-        self.stack.append(frame)
+        stack = self.stack
+        frame = Frame(fn, args, self.kernel.now, stack[-1] if stack else None)
+        stack.append(frame)
         for hook in self.trace_hooks:
             hook(self, frame, "entry")
-        yield from self._run_snippets(fn.entry_snippets(), frame, at_entry=True)
+        entry_snippets = fn.entry_snippets()
+        if entry_snippets:
+            yield from self._run_snippets(entry_snippets, frame, at_entry=True)
         result: Any = None
         try:
             result = yield from fn.body(self, *args)
@@ -217,20 +283,26 @@ class SimProcess:
             # Exit snippets and trace hooks run even if the body raises, so
             # timers never dangle when simulated programs abort.
             frame.return_value = result
-            yield from self._run_snippets(fn.exit_snippets(), frame, at_entry=False)
+            exit_snippets = fn.exit_snippets()
+            if exit_snippets:
+                yield from self._run_snippets(exit_snippets, frame, at_entry=False)
             for hook in self.trace_hooks:
                 hook(self, frame, "exit")
-            self.stack.pop()
+            stack.pop()
         return result
 
     def _run_snippets(self, snippets, frame: Frame, *, at_entry: bool) -> Generator:
-        if not snippets:
-            return
+        # Invokes each snippet's compiled closure directly (skipping the
+        # Snippet.execute wrapper); cost accrues by repeated addition so the
+        # perturbation charge is bit-identical to the pre-fast-path code.
+        sc = self.snippet_cost
         cost = 0.0
-        for snippet in list(snippets):
-            snippet.execute(self, frame, at_entry=at_entry)
-            self.snippets_executed += 1
-            cost += self.snippet_cost
+        count = 0
+        for snippet in snippets:
+            snippet._run(self, frame, at_entry)
+            count += 1
+            cost += sc
+        self.snippets_executed += count
         if cost > 0.0:
             yield from self.compute(cost)
 

@@ -1,0 +1,47 @@
+"""Figure 22's Oned result in tier-1 (fast, unmarked).
+
+The full-scale version (2500 iterations) lives in
+``benchmarks/bench_fig22_oned_pc.py`` and the ``slow``-marked integration
+suite; this runs the same 1-D Poisson RMA solver at a reduced scale with a
+proportionally shrunk PC experiment window so every default test run
+exercises the paper's MPI-2 headline: the Performance Consultant finding
+the MPI_Win_fence bottleneck inside ``exchng1``.
+"""
+
+import pytest
+
+from repro.analysis import run_program
+from repro.pperfmark import Oned
+
+#: reduced scale: same communication structure as the paper's runs, ~1s of
+#: wall time; pc_window/bin_width shrink with it so the PC's refinement
+#: search still gets enough experiment windows to reach function level
+SMALL = {"iterations": 600, "local_rows": 8, "row_width": 64}
+PC_OPTS = {"pc_window": 0.1, "bin_width": 0.025}
+
+
+@pytest.fixture(scope="module")
+def lam_result():
+    return run_program(Oned(**SMALL), impl="lam", **PC_OPTS)
+
+
+def test_pc_finds_sync_bottleneck(lam_result):
+    assert lam_result.consultant.found("ExcessiveSyncWaitingTime")
+
+
+def test_pc_refines_to_exchng1(lam_result):
+    """The paper's Figure 22 headline: the bottleneck is localized to the
+    fence in exchng1."""
+    assert lam_result.consultant.found("ExcessiveSyncWaitingTime", "exchng1")
+
+
+def test_lam_fence_shows_barrier_sync_object(lam_result):
+    """LAM implements MPI_Win_fence via MPI_Barrier, so the sync-object
+    refinement surfaces a Barrier bottleneck (LAM-only)."""
+    assert lam_result.consultant.found("ExcessiveSyncWaitingTime", "Barrier")
+
+
+def test_run_is_deterministic(lam_result):
+    again = run_program(Oned(**SMALL), impl="lam", **PC_OPTS)
+    assert again.elapsed == lam_result.elapsed
+    assert again.consultant.summary() == lam_result.consultant.summary()

@@ -1,0 +1,221 @@
+"""Per-subsystem cache salts: soundness and selectivity.
+
+Soundness: every mode's salt set in ``MODE_SUBSYSTEMS`` must cover the
+mode's *import closure* -- if tool-mode execution can reach a module whose
+source is not hashed into the tool salt, an edit there would leave stale
+cached artifacts live.  The closure is recomputed here from the AST of the
+actual source tree (module-level and function-level imports alike), so
+adding a cross-subsystem import without updating the salt map fails CI.
+
+Selectivity: the point of the exercise -- edits outside a mode's closure
+must *not* change that mode's digests (a sanitizer-only change re-runs
+sanitize jobs, not the whole fleet).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import pytest
+
+from repro.fleet.spec import (
+    MODE_SUBSYSTEMS,
+    MODES,
+    RunSpec,
+    code_version,
+    mode_code_version,
+    subsystem_hashes,
+)
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: the subsystems whose source each mode's *executor entry point* imports
+#: directly (see ``fleet/execute.py``); the test closes over the graph.
+MODE_ROOTS = {
+    "tool": {"fleet", "analysis", "core", "pperfmark"},
+    "sanitize": {"fleet", "sanitizer", "pperfmark"},
+    "chaos": {"fleet"},
+}
+
+
+def _subsystem_of(path: pathlib.Path) -> str:
+    rel = path.relative_to(SRC_ROOT)
+    return rel.parts[0] if len(rel.parts) > 1 else ""
+
+
+def _import_edges(mode: str) -> dict[str, set[str]]:
+    """subsystem -> set of subsystems it imports (module or function level).
+
+    An import line carrying a ``# mode-salt: <mode>`` pragma is a
+    mode-dispatched lazy import (the executor only reaches it for that
+    mode), so it contributes an edge only to that mode's closure.
+    """
+    packages = {p.name for p in SRC_ROOT.iterdir() if p.is_dir()}
+    edges: dict[str, set[str]] = {sub: set() for sub in packages | {""}}
+    for path in SRC_ROOT.rglob("*.py"):
+        sub = _subsystem_of(path)
+        depth = len(path.relative_to(SRC_ROOT).parts)  # 1 = top-level module
+        source = path.read_text()
+        lines = source.splitlines()
+        for node in ast.walk(ast.parse(source)):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                line = lines[node.lineno - 1]
+                if "# mode-salt:" in line:
+                    only_mode = line.split("# mode-salt:", 1)[1].strip()
+                    if only_mode != mode:
+                        continue
+            target = None
+            if isinstance(node, ast.ImportFrom):
+                if node.level:
+                    # relative: ``level`` dots climb from the containing
+                    # package; find which top-level subsystem that lands in
+                    climbed = depth - node.level  # parts left under repro/
+                    if climbed <= 0:
+                        # reached repro/ itself: target is the module path
+                        head = (node.module or "").split(".")[0]
+                        target = head if head in packages else ""
+                    else:
+                        target = sub  # still inside the same subsystem
+                elif node.module and node.module.split(".")[0] == "repro":
+                    parts = node.module.split(".")
+                    target = parts[1] if len(parts) > 1 and parts[1] in packages else ""
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    parts = alias.name.split(".")
+                    if parts[0] == "repro":
+                        t = parts[1] if len(parts) > 1 and parts[1] in packages else ""
+                        if t != sub:
+                            edges[sub].add(t)
+            if target is not None and target != sub:
+                edges[sub].add(target)
+    return edges
+
+
+def _closure(roots: set[str], edges: dict[str, set[str]]) -> set[str]:
+    seen = set(roots)
+    frontier = list(roots)
+    while frontier:
+        for dep in edges.get(frontier.pop(), ()):
+            if dep not in seen:
+                seen.add(dep)
+                frontier.append(dep)
+    return seen
+
+
+# ------------------------------------------------------------- soundness
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_salt_set_covers_import_closure(mode):
+    edges = _import_edges(mode)
+    reachable = _closure(MODE_ROOTS[mode], edges)
+    salted = set(MODE_SUBSYSTEMS[mode]) | {""}  # top-level always salted
+    missing = reachable - salted
+    assert not missing, (
+        f"mode {mode!r} can import subsystems {sorted(missing)} that are not "
+        f"part of its cache salt -- edits there would serve stale artifacts; "
+        f"add them to MODE_SUBSYSTEMS[{mode!r}] in repro/fleet/spec.py"
+    )
+
+
+def test_every_mode_has_a_salt_set():
+    assert set(MODE_SUBSYSTEMS) == set(MODES)
+
+
+def test_tool_salt_excludes_sanitizer_and_tracetools():
+    """The selectivity this PR is for: these exclusions are load-bearing."""
+    assert "sanitizer" not in MODE_SUBSYSTEMS["tool"]
+    for mode in MODES:
+        assert "tracetools" not in MODE_SUBSYSTEMS[mode]
+
+
+# ----------------------------------------------------------- selectivity
+
+
+def _fresh_hashes():
+    subsystem_hashes.cache_clear()
+    try:
+        return subsystem_hashes()
+    finally:
+        subsystem_hashes.cache_clear()
+
+
+def test_sanitizer_edit_leaves_tool_digests_alone(monkeypatch, tmp_path):
+    """Simulate a sanitizer-only source edit by patching its subsystem hash:
+    sanitize digests must move, tool digests must not."""
+    monkeypatch.delenv("REPRO_CODE_VERSION", raising=False)
+    code_version.cache_clear()
+    subsystem_hashes.cache_clear()
+    try:
+        tool_spec = RunSpec.make("oned", mode="tool", metrics=("sync_wait",))
+        san_spec = RunSpec.make("oned", mode="sanitize")
+        tool_before = tool_spec.digest
+        san_before = san_spec.digest
+
+        edited = dict(subsystem_hashes())
+        edited["sanitizer"] = "deadbeefdeadbeef"
+        subsystem_hashes.cache_clear()
+        monkeypatch.setattr(
+            "repro.fleet.spec.subsystem_hashes", lambda: edited
+        )
+        # fresh spec objects: digest is a cached_property
+        tool_after = RunSpec.make("oned", mode="tool", metrics=("sync_wait",)).digest
+        san_after = RunSpec.make("oned", mode="sanitize").digest
+
+        assert tool_after == tool_before, "sanitizer edit invalidated tool cache"
+        assert san_after != san_before, "sanitizer edit must invalidate sanitize cache"
+    finally:
+        code_version.cache_clear()
+        subsystem_hashes.cache_clear()
+
+
+def test_sim_edit_invalidates_every_mode(monkeypatch):
+    monkeypatch.delenv("REPRO_CODE_VERSION", raising=False)
+    code_version.cache_clear()
+    subsystem_hashes.cache_clear()
+    try:
+        before = {mode: mode_code_version(mode) for mode in MODES}
+        edited = dict(subsystem_hashes())
+        edited["sim"] = "cafebabecafebabe"
+        monkeypatch.setattr("repro.fleet.spec.subsystem_hashes", lambda: edited)
+        after = {mode: mode_code_version(mode) for mode in MODES}
+        assert all(after[mode] != before[mode] for mode in MODES)
+    finally:
+        code_version.cache_clear()
+        subsystem_hashes.cache_clear()
+
+
+def test_tracetools_edit_invalidates_nothing(monkeypatch):
+    monkeypatch.delenv("REPRO_CODE_VERSION", raising=False)
+    code_version.cache_clear()
+    subsystem_hashes.cache_clear()
+    try:
+        before = {mode: mode_code_version(mode) for mode in MODES}
+        edited = dict(subsystem_hashes())
+        edited["tracetools"] = "0123456789abcdef"
+        monkeypatch.setattr("repro.fleet.spec.subsystem_hashes", lambda: edited)
+        after = {mode: mode_code_version(mode) for mode in MODES}
+        assert after == before
+    finally:
+        code_version.cache_clear()
+        subsystem_hashes.cache_clear()
+
+
+def test_env_override_pins_all_modes(monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "pinned-xyz")
+    code_version.cache_clear()
+    try:
+        assert code_version() == "pinned-xyz"
+        for mode in MODES:
+            assert mode_code_version(mode) == "pinned-xyz"
+    finally:
+        code_version.cache_clear()
+
+
+def test_subsystem_hashes_cover_the_tree():
+    hashes = _fresh_hashes()
+    expected = {p.name for p in SRC_ROOT.iterdir() if p.is_dir() and (p / "__init__.py").exists()}
+    assert expected <= set(hashes)
+    assert "" in hashes  # loose top-level modules
+    assert all(len(h) == 16 for h in hashes.values())
