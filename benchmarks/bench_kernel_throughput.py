@@ -90,6 +90,16 @@ def timer_churn(make_kernel, timers: int = 250, fires: int = 60):
     return state["events"], kernel.now, state["checksum"]
 
 
+def timer_churn_traced(make_kernel, timers: int = 250, fires: int = 60):
+    """``timer_churn`` with the flight recorder *enabled*: bounds the cost
+    of the kernel's observe hooks when someone is actually listening (the
+    disabled cost is bounded by plain ``timer_churn`` vs its baseline)."""
+    from repro.observe.recorder import recording
+
+    with recording(capacity=4096):
+        return timer_churn(make_kernel, timers, fires)
+
+
 def zero_delay_pingpong(make_kernel, rounds: int = 6000):
     """Task/event churn through the zero-delay lane: two coroutines hand a
     token back and forth; every wake-up is a ``schedule(0.0, ...)``."""
@@ -237,6 +247,7 @@ def sampling_off(make_kernel, samples: int = 4000):
 
 SCENARIOS = {
     "timer_churn": timer_churn,
+    "timer_churn_traced": timer_churn_traced,
     "zero_delay_pingpong": zero_delay_pingpong,
     "calls_uninstrumented": calls_uninstrumented,
     "calls_instrumented": calls_instrumented,
@@ -255,6 +266,13 @@ CALIBRATION_SCENARIO = "timer_churn"
 
 def run_scenarios(sizes: dict | None = None) -> dict:
     """Run every scenario on both kernels; assert deterministic equality."""
+    from repro.observe.recorder import active as observe_active
+
+    # the disabled-overhead numbers (every scenario but *_traced) are only
+    # honest if nothing left a recorder installed
+    assert observe_active() is None, (
+        "flight recorder left enabled; kernel bench would measure tracing"
+    )
     kernels = _kernels()
     summary: dict = {"schema": 1, "scenarios": {}}
     for name, fn in SCENARIOS.items():

@@ -107,8 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     t3.add_argument("--impl", default="lam")
 
     from .fleet.cli import add_fleet_parser
+    from .observe.cli import add_observe_parser  # mode-salt: none
 
     add_fleet_parser(sub)
+    add_observe_parser(sub)
     return parser
 
 
@@ -266,6 +268,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .fleet.cli import cmd_fleet
 
         return cmd_fleet(args)
+    if args.command == "observe":
+        from .observe.cli import cmd_observe  # mode-salt: none
+
+        return cmd_observe(args)
     if args.command == "table1":
         print(render_table1())
         return 0

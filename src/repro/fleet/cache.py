@@ -87,8 +87,11 @@ class ResultCache:
     def digests(self) -> Iterator[str]:
         if not self.objects_dir.is_dir():
             return
+        # is_file() guards against stray directories named *.json -- a
+        # partially initialized or hand-mangled cache must degrade, not crash
         for path in sorted(self.objects_dir.glob("*/*.json")):
-            yield path.stem
+            if path.is_file():
+                yield path.stem
 
     def __len__(self) -> int:
         return sum(1 for _ in self.digests())
@@ -96,7 +99,14 @@ class ResultCache:
     def size_bytes(self) -> int:
         if not self.objects_dir.is_dir():
             return 0
-        return sum(p.stat().st_size for p in self.objects_dir.glob("*/*.json"))
+        total = 0
+        for path in self.objects_dir.glob("*/*.json"):
+            try:
+                if path.is_file():
+                    total += path.stat().st_size
+            except OSError:  # racing clean/gc
+                continue
+        return total
 
     # -- write ---------------------------------------------------------------
 
@@ -113,13 +123,19 @@ class ResultCache:
     # -- maintenance ---------------------------------------------------------
 
     def clean(self) -> int:
-        """Drop every cached artifact (and the events log); returns count removed."""
+        """Drop every cached artifact (and the events log); returns count
+        removed.  Tolerant of a missing or partially initialized cache --
+        including an events path that is (wrongly) a directory."""
         removed = len(self)
         shutil.rmtree(self.objects_dir, ignore_errors=True)
         try:
             self.events_path.unlink()
         except FileNotFoundError:
             pass
+        except (IsADirectoryError, PermissionError):
+            # something non-file squatting on events.jsonl (seen after
+            # interrupted setups); clean means clean
+            shutil.rmtree(self.events_path, ignore_errors=True)
         return removed
 
     def gc(self, live: Iterable[str]) -> int:
@@ -128,9 +144,14 @@ class ResultCache:
         keep = set(live)
         removed = 0
         for path in list(self.objects_dir.glob("*/*.json")) if self.objects_dir.is_dir() else []:
-            if path.stem not in keep:
+            if path.stem in keep:
+                continue
+            try:
                 path.unlink(missing_ok=True)
-                removed += 1
+            except (IsADirectoryError, PermissionError):
+                # a directory masquerading as an object; reclaim it too
+                shutil.rmtree(path, ignore_errors=True)
+            removed += 1
         self.stats.evicted += removed
         return removed
 

@@ -11,6 +11,8 @@ import json
 import sys
 from pathlib import Path
 
+from ..observe.cli import DEFAULT_TRACE_DIR  # mode-salt: none
+from ..observe.critical_path import render_critical_path  # mode-salt: none
 from .cache import ResultCache
 from .events import read_events
 from .sweeps import (
@@ -53,6 +55,11 @@ def add_fleet_parser(sub: argparse._SubParsersAction) -> None:
                        help="perf-trajectory JSON output (- to skip)")
     sweep.add_argument("--impls", default=",".join(DEFAULT_SANITIZE_IMPLS),
                        help="comma-separated impls for the sanitizer sweep")
+    sweep.add_argument("--trace", action="store_true",
+                       help="flight-record the scheduler and every worker; "
+                       "merge into a Perfetto-loadable Chrome trace")
+    sweep.add_argument("--trace-dir", default=DEFAULT_TRACE_DIR, metavar="DIR",
+                       help="trace output directory (default %(default)s)")
 
     status = fsub.add_parser("status", help="cache and last-sweep statistics")
     status.add_argument("--cache", default=None, metavar="DIR")
@@ -79,6 +86,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache=cache,
         bench_out=bench_out,
         sanitize_impls=tuple(args.impls.split(",")),
+        trace_dir=Path(args.trace_dir) if args.trace else None,
     )
     counts = summary["counts"]
     cache_stats = summary["cache"]
@@ -103,6 +111,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   f"{job['error']}")
     for bench, error in summary["render"]["failures"]:
         print(f"#   RENDER FAILED {bench}: {error}")
+    cpath = summary.get("critical_path") or {}
+    if cpath.get("chain"):
+        for line in render_critical_path(cpath).splitlines():
+            print(f"# {line}")
+    trace = summary.get("trace")
+    if trace:
+        print(f"# trace: {trace['events']} event(s) from "
+              f"{trace['processes']} process(es) -> {trace['chrome']} "
+              "(load in Perfetto / chrome://tracing)")
     if bench_out is not None:
         print(f"# perf trajectory written to {bench_out}")
     chaos_failures = sum(

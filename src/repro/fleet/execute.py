@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 from typing import Any, Optional
 
+from ..observe.recorder import active as _observe_active  # mode-salt: none
 from .cache import ResultCache
 from .spec import RunSpec, canonical_json
 
@@ -67,16 +68,30 @@ def from_bytes(data: bytes) -> dict:
 
 
 def failure_artifact(
-    spec: RunSpec, error_type: str, message: str, *, attempts: int = 1
+    spec: RunSpec,
+    error_type: str,
+    message: str,
+    *,
+    attempts: int = 1,
+    flight_recorder: Optional[dict] = None,
 ) -> dict:
     """The artifact recorded for a job that crashed, timed out, or exhausted
-    its retries -- the sweep carries on and this is what it reports."""
+    its retries -- the sweep carries on and this is what it reports.
+
+    ``flight_recorder`` is the dying worker's recorder dump (or the tail
+    salvaged from its trace mirror after a SIGKILL).  It carries wall
+    timestamps, which is fine *here only*: failure artifacts are never
+    cached, so the byte-stability contract on cached artifacts holds.
+    """
+    error = {"type": error_type, "message": message, "attempts": attempts}
+    if flight_recorder is not None:
+        error["flight_recorder"] = flight_recorder
     return {
         "schema": ARTIFACT_SCHEMA,
         "digest": spec.digest,
         "spec": spec.to_dict(),
         "status": "failed",
-        "error": {"type": error_type, "message": message, "attempts": attempts},
+        "error": error,
         "result": None,
     }
 
@@ -171,6 +186,21 @@ def _execute_sanitize(spec: RunSpec) -> dict:
 def execute_spec(spec: RunSpec) -> dict:
     """Run one spec to completion and return its artifact (raises on error;
     the scheduler/worker layer is responsible for containment)."""
+    rec = _observe_active()
+    if rec is None:
+        return _execute_spec(spec)
+    rec.begin("fleet.execute", job=spec.label, digest=spec.digest[:12],
+              mode=spec.mode)
+    try:
+        artifact = _execute_spec(spec)
+    except BaseException as exc:
+        rec.end("fleet.execute", status=type(exc).__name__)
+        raise
+    rec.end("fleet.execute", status=artifact["status"])
+    return artifact
+
+
+def _execute_spec(spec: RunSpec) -> dict:
     if spec.mode == "chaos":
         raise RuntimeError(f"injected chaos failure ({spec.program})")
     if spec.mode == "sanitize":

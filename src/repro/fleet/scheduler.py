@@ -24,6 +24,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional
 
+from ..observe.export import read_jsonl  # mode-salt: none
+from ..observe.recorder import active as _observe_active  # mode-salt: none
+from ..observe.recorder import enable as _observe_enable  # mode-salt: none
 from .cache import ResultCache
 from .events import EventLog
 from .execute import execute_spec, failure_artifact, from_bytes, to_bytes
@@ -47,22 +50,42 @@ def _usable_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def _worker_main(executor: Callable[[RunSpec], dict], spec_dict: dict, out_path: str) -> None:
+def _worker_main(
+    executor: Callable[[RunSpec], dict],
+    spec_dict: dict,
+    out_path: str,
+    trace_path: Optional[str] = None,
+    attempt: int = 1,
+) -> None:
     """Child-process entry: execute the spec, spool the artifact atomically.
 
     Exceptions are folded into a failure artifact *in the child* so the
     parent can distinguish "the job raised" (clean failure record) from
     "the worker died" (no spool file at all).
+
+    Every worker runs an always-on flight recorder (fresh ring, own pid --
+    replacing any recorder inherited over fork); a raising job embeds the
+    recorder dump in its failure artifact.  With ``--trace`` the recorder
+    also mirrors each event to ``trace_path`` (flushed per event), which is
+    what the parent salvages when it has to SIGKILL us.
     """
     spec = RunSpec.from_dict(spec_dict)
+    rec = _observe_enable(capacity=4096, mirror=trace_path)
+    rec.begin("worker.job", job=spec.label, digest=spec.digest[:12],
+              attempt=attempt)
     try:
         data = to_bytes(executor(spec))
+        rec.end("worker.job", status="ok")
     except BaseException as exc:  # noqa: BLE001 - containment is the point
-        data = to_bytes(failure_artifact(spec, type(exc).__name__, str(exc)))
+        rec.end("worker.job", status=type(exc).__name__)
+        data = to_bytes(failure_artifact(
+            spec, type(exc).__name__, str(exc), flight_recorder=rec.dump()
+        ))
     tmp = f"{out_path}.tmp.{os.getpid()}"
     with open(tmp, "wb") as fh:
         fh.write(data)
     os.replace(tmp, out_path)
+    rec.close()
 
 
 @dataclass
@@ -96,6 +119,8 @@ class _Active:
     out_path: Path
     started_at: float
     deadline: Optional[float]
+    slot: int = 0
+    trace_path: Optional[str] = None
 
 
 class FleetScheduler:
@@ -118,6 +143,9 @@ class FleetScheduler:
     executor: the job body (tests substitute stubs); must be callable in
         the worker process -- under the default fork start method any
         callable works, under spawn it must be importable.
+    trace_dir: directory for per-worker flight-recorder mirror files
+        (``--trace``); ``None`` disables mirroring (workers still keep
+        their in-memory ring for failure artifacts).
     """
 
     def __init__(
@@ -131,6 +159,7 @@ class FleetScheduler:
         events: Optional[EventLog] = None,
         executor: Callable[[RunSpec], dict] = execute_spec,
         poll_interval: float = 0.02,
+        trace_dir: Optional[Path] = None,
     ) -> None:
         usable = _usable_cpus()
         self.requested_jobs = max(1, jobs if jobs is not None else usable)
@@ -142,6 +171,10 @@ class FleetScheduler:
         self.events = events if events is not None else EventLog()
         self.executor = executor
         self.poll_interval = poll_interval
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        # worker-slot numbers (stable swimlane ids in the merged trace):
+        # popped smallest-first on launch, returned on reap
+        self._free_slots = list(range(self.jobs))[::-1]
 
         self._heap: list[tuple[int, int, _Pending]] = []
         self._deferred: list[_Pending] = []
@@ -181,6 +214,14 @@ class FleetScheduler:
         Never raises for job failures -- those become failure artifacts."""
         ctx = _mp_context()
         active: list[_Active] = []
+        queued = len(self._heap) + len(self._deferred)
+        self.events.emit(
+            "pool-start", workers=self.jobs, requested=self.requested_jobs,
+            queued=queued,
+        )
+        rec = _observe_active()
+        if rec is not None:
+            rec.begin("fleet.pool", workers=self.jobs, jobs=queued)
         with tempfile.TemporaryDirectory(prefix="repro-fleet-") as spool:
             spool_dir = Path(spool)
             while self._heap or self._deferred or active:
@@ -190,7 +231,12 @@ class FleetScheduler:
                 progressed |= self._reap(active)
                 if not progressed:
                     time.sleep(self.poll_interval)
-        self.events.emit("sweep-summary", **self.summary())
+        summary = self.summary()
+        self.events.emit("sweep-summary", **summary)
+        if rec is not None:
+            rec.end("fleet.pool", specs=summary["specs"],
+                    completed=summary["completed"], cached=summary["cached"],
+                    failed=summary["failed"])
         return self.results
 
     def _promote_deferred(self, now: float) -> bool:
@@ -215,14 +261,26 @@ class FleetScheduler:
                     outcome.status = "cached"
                     outcome.cached = True
                     self.events.emit("cached-hit", digest=digest, job=outcome.job)
+                    rec = _observe_active()
+                    if rec is not None:
+                        rec.instant("cache.hit", job=outcome.job,
+                                    digest=digest[:12])
                     progressed = True
                     continue
             pending.attempts += 1
             outcome.attempts = pending.attempts
             out_path = spool_dir / f"{digest}.{pending.attempts}.json"
+            slot = self._free_slots.pop() if self._free_slots else len(active)
+            trace_path = None
+            if self.trace_dir is not None:
+                trace_path = str(
+                    self.trace_dir
+                    / f"worker-{digest[:12]}.{pending.attempts}.jsonl"
+                )
             proc = ctx.Process(
                 target=_worker_main,
-                args=(self.executor, pending.spec.to_dict(), str(out_path)),
+                args=(self.executor, pending.spec.to_dict(), str(out_path),
+                      trace_path, pending.attempts),
                 daemon=True,
             )
             proc.start()
@@ -234,11 +292,18 @@ class FleetScheduler:
                     out_path=out_path,
                     started_at=now,
                     deadline=deadline,
+                    slot=slot,
+                    trace_path=trace_path,
                 )
             )
             self.events.emit(
                 "started", digest=digest, job=outcome.job, attempt=pending.attempts
             )
+            rec = _observe_active()
+            if rec is not None:
+                rec.instant("job.start", job=outcome.job, digest=digest[:12],
+                            attempt=pending.attempts, slot=slot)
+                rec.counter("workers.active", len(active))
             progressed = True
         return progressed
 
@@ -250,6 +315,7 @@ class FleetScheduler:
             if entry.proc.is_alive() and not timed_out:
                 continue
             active.remove(entry)
+            self._free_slots.append(entry.slot)
             progressed = True
             wall = now - entry.started_at
             outcome = self.outcomes[entry.pending.spec.digest]
@@ -260,30 +326,68 @@ class FleetScheduler:
                 if entry.proc.is_alive():  # pragma: no cover - stubborn child
                     entry.proc.kill()
                     entry.proc.join(1.0)
-                self._job_failed(entry.pending, "timeout",
-                                 f"exceeded {self.timeout}s wall-clock limit")
+                self._trace_job_done(entry, wall, "timeout", len(active))
+                self._job_failed(
+                    entry.pending, "timeout",
+                    f"exceeded {self.timeout}s wall-clock limit",
+                    flight_recorder=self._salvage_flight_recorder(entry),
+                )
                 continue
             entry.proc.join()
             try:
                 artifact = from_bytes(entry.out_path.read_bytes())
             except (FileNotFoundError, ValueError):
+                self._trace_job_done(entry, wall, "crashed", len(active))
                 self._job_failed(
                     entry.pending,
                     "crashed",
                     f"worker died with exit code {entry.proc.exitcode} "
                     "before writing a result",
+                    flight_recorder=self._salvage_flight_recorder(entry),
                 )
                 continue
             if artifact.get("status") == "ok":
+                self._trace_job_done(entry, wall, "completed", len(active))
                 self._job_completed(entry.pending, artifact, wall)
             else:
                 error = artifact.get("error") or {}
+                self._trace_job_done(entry, wall,
+                                     error.get("type", "error"), len(active))
                 self._job_failed(
                     entry.pending,
                     error.get("type", "error"),
                     error.get("message", ""),
+                    flight_recorder=error.get("flight_recorder"),
                 )
         return progressed
+
+    def _trace_job_done(self, entry: _Active, wall: float, status: str,
+                        active_count: int) -> None:
+        rec = _observe_active()
+        if rec is None:
+            return
+        outcome = self.outcomes[entry.pending.spec.digest]
+        rec.complete(f"job:{outcome.job}", wall, slot=entry.slot,
+                     attempt=entry.pending.attempts, status=status)
+        rec.counter("workers.active", active_count)
+
+    def _salvage_flight_recorder(
+        self, entry: _Active, limit: int = 256
+    ) -> Optional[dict]:
+        """Tail of a killed worker's trace mirror.  A timed-out or crashed
+        worker never reaches its own ``dump()``; the per-event-flushed
+        mirror (``--trace``) is the only record of what it was doing."""
+        if entry.trace_path is None:
+            return None
+        events = list(read_jsonl(entry.trace_path))
+        if not events:
+            return None
+        return {
+            "schema": 1,
+            "pid": events[-1].get("pid"),
+            "salvaged": True,
+            "events": events[-limit:],
+        }
 
     # -- transitions ---------------------------------------------------------
 
@@ -302,7 +406,13 @@ class FleetScheduler:
             wall=round(wall, 6),
         )
 
-    def _job_failed(self, pending: _Pending, error_type: str, message: str) -> None:
+    def _job_failed(
+        self,
+        pending: _Pending,
+        error_type: str,
+        message: str,
+        flight_recorder: Optional[dict] = None,
+    ) -> None:
         digest = pending.spec.digest
         outcome = self.outcomes[digest]
         if pending.attempts <= self.retries:
@@ -317,9 +427,15 @@ class FleetScheduler:
                 error=error_type,
                 backoff=round(delay, 3),
             )
+            rec = _observe_active()
+            if rec is not None:
+                rec.instant("job.retry", job=outcome.job, digest=digest[:12],
+                            attempt=pending.attempts, error=error_type,
+                            backoff=round(delay, 3))
             return
         artifact = failure_artifact(
-            pending.spec, error_type, message, attempts=pending.attempts
+            pending.spec, error_type, message, attempts=pending.attempts,
+            flight_recorder=flight_recorder,
         )
         self.results[digest] = artifact  # contained: never cached, sweep goes on
         outcome.status = "failed"

@@ -106,6 +106,11 @@ def code_version() -> str:
 #: slip in silently.  The payoff is the complement: a sanitizer-only edit
 #: re-runs sanitize jobs but leaves every cached tool artifact valid (and
 #: tracetools, used only by the comparator figures, invalidates nothing).
+#: ``observe`` (the flight-recorder/tracing subsystem) is likewise in no
+#: salt set: its output reaches only never-cached failure artifacts and
+#: side files, never cached bytes, and every import of it is tagged
+#: ``# mode-salt: none`` so the closure test skips those edges for every
+#: mode.
 MODE_SUBSYSTEMS: dict[str, tuple[str, ...]] = {
     "tool": (
         "", "fleet", "analysis", "core", "pperfmark",

@@ -28,6 +28,9 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Iterator, Optional, Sequence
 
+from ..observe.critical_path import critical_path  # mode-salt: none
+from ..observe.export import merge_events, write_chrome, write_jsonl  # mode-salt: none
+from ..observe.recorder import recording  # mode-salt: none
 from .cache import ResultCache
 from .events import EventLog
 from .execute import default_cache
@@ -185,21 +188,40 @@ def run_sweep(
     events: Optional[EventLog] = None,
     bench_out: Optional[Path] = None,
     sanitize_impls: Sequence[str] = DEFAULT_SANITIZE_IMPLS,
+    trace_dir: Optional[Path] = None,
 ) -> dict:
     """Full sweep: warm the cache in parallel, then re-render the suite.
-    Returns the machine-readable summary also written to ``bench_out``."""
+    Returns the machine-readable summary also written to ``bench_out``.
+
+    With ``trace_dir`` set (``--trace``), the scheduler and every worker
+    mirror their flight recorders into that directory; afterwards the
+    per-process streams are merged into ``trace.jsonl`` + a Perfetto-
+    loadable ``trace.json``.
+    """
     cache = cache if cache is not None else default_cache()
     events = events if events is not None else EventLog(cache.events_path)
+    if trace_dir is not None:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        for stale in trace_dir.glob("*.json*"):
+            if stale.is_file():
+                stale.unlink()
     t0 = time.monotonic()
+    events_start = len(getattr(events, "records", []))
     specs = sweep_specs(suite, sanitize_impls=sanitize_impls, chaos=chaos)
     scheduler = FleetScheduler(
-        jobs=jobs, timeout=timeout, retries=retries, cache=cache, events=events
+        jobs=jobs, timeout=timeout, retries=retries, cache=cache, events=events,
+        trace_dir=trace_dir,
     )
     for spec in specs:
         # defects and chaos jobs are cheap; let the long PC runs go first
         priority = 1 if spec.mode != "tool" else 0
         scheduler.submit(spec, priority=priority)
-    scheduler.run()
+    if trace_dir is not None:
+        with recording(capacity=32768, mirror=trace_dir / "scheduler.jsonl"):
+            scheduler.run()
+    else:
+        scheduler.run()
     warm_wall = time.monotonic() - t0
 
     rendered, render_failures = (0, [])
@@ -212,6 +234,27 @@ def run_sweep(
     outcomes = list(scheduler.outcomes.values())
     executed_wall = sum(o.wall for o in outcomes if o.status == "completed")
     speedup = round(executed_wall / warm_wall, 2) if executed_wall else None
+
+    # what actually bounded the warm phase's wall clock (observe subsystem)
+    sweep_records = events.records[events_start:]
+    cpath = critical_path(sweep_records, workers=scheduler.jobs)
+
+    trace_summary = None
+    if trace_dir is not None:
+        mirrors = sorted(
+            p for p in trace_dir.glob("*.jsonl") if p.name != "trace.jsonl"
+        )
+        merged = merge_events(mirrors)
+        write_jsonl(trace_dir / "trace.jsonl", merged)
+        write_chrome(trace_dir / "trace.json", merged)
+        trace_summary = {
+            "dir": str(trace_dir),
+            "events": len(merged),
+            "processes": len({e.get("pid") for e in merged}),
+            "jsonl": str(trace_dir / "trace.jsonl"),
+            "chrome": str(trace_dir / "trace.json"),
+        }
+
     summary = {
         "schema": 1,
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -230,6 +273,9 @@ def run_sweep(
         # sum of per-job worker wall over the parallel phase's wall clock:
         # ~N on an idle N-core box, ~1 on a warm cache (nothing executed)
         "speedup_vs_serial": speedup,
+        # blocking job chain + worker idle fraction (repro.observe)
+        "critical_path": cpath,
+        "trace": trace_summary,
         "render": {
             "benches": rendered,
             "failures": [list(f) for f in render_failures],

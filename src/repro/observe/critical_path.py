@@ -1,0 +1,182 @@
+"""Critical-path analysis of a fleet sweep.
+
+Input is the fleet's JSONL lifecycle log (:mod:`repro.fleet.events`):
+``started`` / ``completed`` / ``retry`` / ``failed`` / ``cached-hit``
+records, each wall-stamped.  From the per-attempt execution intervals we
+derive what actually bounded the sweep's wall clock:
+
+* the **blocking chain** -- walked backwards from the last-finishing
+  attempt: each link is the attempt whose completion (most recently before
+  the current link started) freed the worker slot the current link ran on.
+  The chain is the sweep's critical path under greedy scheduling: shorten
+  any link and the makespan moves.
+* the **worker-idle fraction** -- ``1 - busy / (workers * makespan)``,
+  the headroom a better schedule (or more cache hits) could reclaim;
+* the **speedup-vs-serial decomposition** -- executed worker-seconds over
+  makespan, next to the job/cache-hit counts that explain it.
+
+All inputs are wall timestamps, so the numbers are not byte-stable -- only
+the *structure* (job names, counts) is; ``repro fleet sweep`` appends the
+summary to ``BENCH_fleet.json`` and ``repro observe critical-path``
+renders it after the fact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+__all__ = ["sweep_intervals", "critical_path", "render_critical_path"]
+
+#: slack allowed between one attempt's finish and its successor's launch
+#: (scheduler poll granularity + fork cost) when linking the blocking chain
+CHAIN_TOLERANCE = 0.5
+
+
+def sweep_intervals(records: Iterable[dict]) -> tuple[list[dict], list[dict]]:
+    """Per-attempt execution intervals (and cache hits) from a sweep's log.
+
+    Returns ``(intervals, cached)``: each interval is one worker-process
+    execution ``{job, digest, attempt, start, end, status}``; retries
+    produce one interval per attempt.
+    """
+    starts: dict[tuple[str, int], float] = {}
+    intervals: list[dict] = []
+    cached: list[dict] = []
+    for record in records:
+        event = record.get("event")
+        digest = record.get("digest")
+        if event == "started":
+            starts[(digest, record.get("attempt", 1))] = record["t"]
+        elif event in ("completed", "failed", "retry"):
+            key = (digest, record.get("attempt", 1))
+            t0 = starts.pop(key, None)
+            if t0 is None:
+                continue
+            intervals.append({
+                "job": record.get("job", digest),
+                "digest": digest,
+                "attempt": record.get("attempt", 1),
+                "start": t0,
+                "end": record["t"],
+                "status": "completed" if event == "completed" else "failed",
+            })
+        elif event == "cached-hit":
+            cached.append({"job": record.get("job", digest), "digest": digest})
+    return intervals, cached
+
+
+def _chain(intervals: list[dict], t_start: float,
+           tolerance: float = CHAIN_TOLERANCE) -> list[dict]:
+    """Walk the blocking chain back from the last finisher."""
+    if not intervals:
+        return []
+    current = max(intervals, key=lambda i: i["end"])
+    chain = [current]
+    while current["start"] - t_start > tolerance:
+        blockers = [
+            i for i in intervals
+            if i is not current
+            and i["end"] <= current["start"] + tolerance
+            and i["start"] < current["start"]
+        ]
+        if not blockers:
+            break
+        current = max(blockers, key=lambda i: i["end"])
+        chain.append(current)
+    chain.reverse()
+    return chain
+
+
+def critical_path(
+    records: Iterable[dict],
+    *,
+    workers: Optional[int] = None,
+    tolerance: float = CHAIN_TOLERANCE,
+) -> dict:
+    """Summarize what bounded a sweep's wall clock (see module docstring)."""
+    records = list(records)
+    if workers is None:
+        for record in records:
+            if record.get("event") == "pool-start":
+                workers = record.get("workers")
+                break
+    intervals, cached = sweep_intervals(records)
+    if not intervals:
+        return {
+            "workers": workers,
+            "executed": 0,
+            "cached": len(cached),
+            "makespan": 0.0,
+            "busy": 0.0,
+            "worker_idle_fraction": None,
+            "speedup_vs_serial": None,
+            "chain": [],
+            "chain_wall": 0.0,
+            "chain_coverage": None,
+        }
+    t_start = min(i["start"] for i in intervals)
+    t_end = max(i["end"] for i in intervals)
+    makespan = t_end - t_start
+    busy = sum(i["end"] - i["start"] for i in intervals)
+    idle = (
+        max(0.0, 1.0 - busy / (workers * makespan))
+        if workers and makespan > 0
+        else None
+    )
+    chain = _chain(intervals, t_start, tolerance)
+    chain_wall = sum(i["end"] - i["start"] for i in chain)
+    return {
+        "workers": workers,
+        "executed": len(intervals),
+        "cached": len(cached),
+        "makespan": round(makespan, 3),
+        "busy": round(busy, 3),
+        "worker_idle_fraction": round(idle, 4) if idle is not None else None,
+        "speedup_vs_serial": round(busy / makespan, 2) if makespan > 0 else None,
+        "chain": [
+            {
+                "job": i["job"],
+                "digest": (i["digest"] or "")[:12],
+                "attempt": i["attempt"],
+                "status": i["status"],
+                "start": round(i["start"] - t_start, 3),
+                "wall": round(i["end"] - i["start"], 3),
+            }
+            for i in chain
+        ],
+        "chain_wall": round(chain_wall, 3),
+        "chain_coverage": round(chain_wall / makespan, 4) if makespan > 0 else None,
+    }
+
+
+def render_critical_path(summary: dict) -> str:
+    """Human-readable rendering (``repro observe critical-path``)."""
+    lines = []
+    workers = summary.get("workers")
+    lines.append(
+        f"sweep: {summary['executed']} executed + {summary['cached']} cached "
+        f"job(s) on {workers if workers is not None else '?'} worker(s); "
+        f"makespan {summary['makespan']}s, busy {summary['busy']}s"
+    )
+    idle = summary.get("worker_idle_fraction")
+    speedup = summary.get("speedup_vs_serial")
+    lines.append(
+        f"worker idle fraction: "
+        f"{f'{idle:.1%}' if idle is not None else 'n/a'}; "
+        f"speedup vs serial: {speedup if speedup is not None else 'n/a'}x"
+    )
+    chain = summary.get("chain", [])
+    if not chain:
+        lines.append("blocking chain: none (nothing executed -- warm cache?)")
+    else:
+        coverage = summary.get("chain_coverage")
+        lines.append(
+            f"blocking chain ({len(chain)} link(s), {summary['chain_wall']}s, "
+            f"{f'{coverage:.0%}' if coverage is not None else '?'} of makespan):"
+        )
+        for link in chain:
+            lines.append(
+                f"  t+{link['start']:>8.3f}s  {link['wall']:>8.3f}s  "
+                f"{link['job']} (attempt {link['attempt']}, {link['status']})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,290 @@
+"""Per-process binary ring-buffer flight recorder.
+
+A :class:`Recorder` keeps the last ``capacity`` events of this process in a
+preallocated ring of packed binary records (:func:`pack_event`), so memory
+is strictly bounded no matter how long the process runs -- the flight-
+recorder property: when something dies, the tail of what it was doing is
+still there.  Optionally every event is also *mirrored* to an append-only
+JSONL file (flushed per event), which is what lets the fleet scheduler
+salvage a SIGKILLed worker's trace.
+
+Event schema (one dict per event)::
+
+    {"seq":  int,      # per-recorder emission counter (1-based)
+     "pid":  int,      # recording process
+     "kind": str,      # "B" span begin | "E" span end | "X" complete span
+                       # | "C" counter | "I" instant
+     "clock": str,     # "wall" (host time.time) | "sim" (virtual seconds)
+     "t":    float,    # timestamp in the event's clock domain
+     "wall": float,    # wall clock at emission (merge key across processes)
+     "dur":  float,    # wall duration ("X" events only, else 0.0)
+     "name": str,
+     "args": dict}     # small JSON payload; deterministic values only
+
+Determinism contract: ``name``, ``kind``, ``clock``, ``args``, ``seq`` and
+sim-clock ``t`` values must be byte-stable across runs of the same
+deterministic workload; ``wall``, ``dur``, wall-clock ``t`` and ``pid``
+are the only nondeterministic fields (see
+:func:`repro.observe.export.deterministic_projection`).
+
+Cost model: the module-level :func:`active` recorder is ``None`` unless
+explicitly enabled, and every instrumentation hook in the stack guards on
+that -- a single identity check, so disabled tracing adds no measurable
+cost to the kernel hot loop (gated by the perf-smoke baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Optional, Union
+
+__all__ = [
+    "Recorder",
+    "active",
+    "enable",
+    "disable",
+    "recording",
+    "pack_event",
+    "unpack_event",
+    "KINDS",
+    "CLOCKS",
+]
+
+#: event kinds: span begin / span end / complete span / counter / instant
+KINDS = ("B", "E", "X", "C", "I")
+#: clock domains: host wall clock vs simulated virtual time
+CLOCKS = ("wall", "sim")
+
+_KIND_CODE = {k: i for i, k in enumerate(KINDS)}
+_CLOCK_CODE = {c: i for i, c in enumerate(CLOCKS)}
+
+#: packed record header: seq, kind, clock, t, wall, dur, len(name), len(args)
+_HEADER = struct.Struct("<IBBdddHH")
+
+
+def pack_event(
+    seq: int,
+    kind: str,
+    clock: str,
+    t: float,
+    wall: float,
+    dur: float,
+    name: str,
+    args: dict,
+) -> bytes:
+    """Pack one event into the fixed binary record the ring stores."""
+    name_b = name.encode("utf-8")
+    args_b = (
+        json.dumps(args, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        if args
+        else b""
+    )
+    return (
+        _HEADER.pack(
+            seq & 0xFFFFFFFF,
+            _KIND_CODE[kind],
+            _CLOCK_CODE[clock],
+            t,
+            wall,
+            dur,
+            len(name_b),
+            len(args_b),
+        )
+        + name_b
+        + args_b
+    )
+
+
+def unpack_event(data: bytes, pid: int = 0) -> dict:
+    """Invert :func:`pack_event` back into the event-dict schema."""
+    seq, kind, clock, t, wall, dur, name_len, args_len = _HEADER.unpack_from(data)
+    name = data[_HEADER.size : _HEADER.size + name_len].decode("utf-8")
+    args_b = data[_HEADER.size + name_len : _HEADER.size + name_len + args_len]
+    return {
+        "seq": seq,
+        "pid": pid,
+        "kind": KINDS[kind],
+        "clock": CLOCKS[clock],
+        "t": t,
+        "wall": wall,
+        "dur": dur,
+        "name": name,
+        "args": json.loads(args_b) if args_b else {},
+    }
+
+
+class Recorder:
+    """Bounded binary ring of structured events, optionally JSONL-mirrored."""
+
+    def __init__(
+        self,
+        capacity: int = 8192,
+        *,
+        pid: Optional[int] = None,
+        mirror: Union[str, Path, None] = None,
+        clock=time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.pid = os.getpid() if pid is None else pid
+        self._clock = clock
+        self._ring: list[Optional[bytes]] = [None] * capacity
+        self._seq = 0
+        self.mirror_path = Path(mirror) if mirror is not None else None
+        self._mirror_fh = None
+        if self.mirror_path is not None:
+            self.mirror_path.parent.mkdir(parents=True, exist_ok=True)
+            self._mirror_fh = self.mirror_path.open("a", encoding="utf-8")
+
+    def now(self) -> float:
+        """The recorder's wall clock (for callers timing their own spans)."""
+        return self._clock()
+
+    # -- emission ------------------------------------------------------------
+
+    def _emit(self, kind: str, clock: str, t: Optional[float], name: str,
+              args: dict, dur: float = 0.0) -> None:
+        wall = self._clock()
+        if t is None:
+            t = wall
+        self._seq += 1
+        seq = self._seq
+        record = pack_event(seq, kind, clock, t, wall, dur, name, args)
+        self._ring[(seq - 1) % self.capacity] = record
+        if self._mirror_fh is not None:
+            event = unpack_event(record, self.pid)
+            self._mirror_fh.write(json.dumps(event, sort_keys=True) + "\n")
+            self._mirror_fh.flush()
+
+    def begin(self, name: str, **args: Any) -> None:
+        """Open a span on the host wall clock."""
+        self._emit("B", "wall", None, name, args)
+
+    def end(self, name: str, **args: Any) -> None:
+        """Close the innermost open span named ``name``."""
+        self._emit("E", "wall", None, name, args)
+
+    def complete(self, name: str, dur: float, **args: Any) -> None:
+        """One whole span as a single event (begin time = now - dur)."""
+        wall = self._clock()
+        self._emit("X", "wall", wall - dur, name, args, dur=dur)
+
+    def counter(self, name: str, value: Union[int, float], *,
+                clock: str = "wall", t: Optional[float] = None,
+                **args: Any) -> None:
+        """A sampled numeric series (worker occupancy, kernel event count)."""
+        args["value"] = value
+        self._emit("C", clock, t, name, args)
+
+    def instant(self, name: str, *, clock: str = "wall",
+                t: Optional[float] = None, **args: Any) -> None:
+        """A point marker (cache hit, retry, heap compaction)."""
+        self._emit("I", clock, t, name, args)
+
+    @contextmanager
+    def span(self, name: str, **args: Any):
+        self.begin(name, **args)
+        try:
+            yield self
+        finally:
+            self.end(name)
+
+    # -- readback ------------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten because the ring wrapped."""
+        return max(0, self._seq - self.capacity)
+
+    def __len__(self) -> int:
+        return min(self._seq, self.capacity)
+
+    def events(self) -> Iterator[dict]:
+        """Decode the ring oldest-to-newest (sequence order)."""
+        start = self.dropped  # seq of the oldest retained event, minus one
+        for seq in range(start + 1, self._seq + 1):
+            record = self._ring[(seq - 1) % self.capacity]
+            if record is not None:
+                yield unpack_event(record, self.pid)
+
+    def dump(self) -> dict:
+        """The flight-recorder dump embedded in fleet failure artifacts."""
+        return {
+            "schema": 1,
+            "pid": self.pid,
+            "capacity": self.capacity,
+            "emitted": self._seq,
+            "dropped": self.dropped,
+            "events": list(self.events()),
+        }
+
+    def close(self) -> None:
+        if self._mirror_fh is not None:
+            self._mirror_fh.close()
+            self._mirror_fh = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Recorder pid={self.pid} {len(self)}/{self.capacity} events"
+                f" (+{self.dropped} dropped)>")
+
+
+# -- process-global recorder --------------------------------------------------
+#
+# Instrumentation hooks across the stack read this single slot; ``None``
+# (the default) means every hook reduces to one failed identity check.
+
+_ACTIVE: Optional[Recorder] = None
+
+
+def active() -> Optional[Recorder]:
+    """The process-global recorder, or ``None`` when tracing is disabled."""
+    return _ACTIVE
+
+
+def enable(
+    capacity: int = 8192,
+    *,
+    mirror: Union[str, Path, None] = None,
+    pid: Optional[int] = None,
+) -> Recorder:
+    """Install (replacing any previous) the process-global recorder.
+
+    Fork-safety: a worker forked while the parent records inherits the
+    parent's recorder object; calling ``enable`` in the child installs a
+    fresh one (own pid, own seq counter) and closes the inherited mirror
+    handle in the child only.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+    _ACTIVE = Recorder(capacity, mirror=mirror, pid=pid)
+    return _ACTIVE
+
+
+def disable() -> Optional[Recorder]:
+    """Remove and return the process-global recorder (closing its mirror)."""
+    global _ACTIVE
+    rec, _ACTIVE = _ACTIVE, None
+    if rec is not None:
+        rec.close()
+    return rec
+
+
+@contextmanager
+def recording(capacity: int = 8192, *, mirror: Union[str, Path, None] = None):
+    """Scoped tracing: enable for the block, restore the prior state after."""
+    global _ACTIVE
+    previous = _ACTIVE
+    rec = Recorder(capacity, mirror=mirror)
+    _ACTIVE = rec
+    try:
+        yield rec
+    finally:
+        _ACTIVE = previous
+        rec.close()

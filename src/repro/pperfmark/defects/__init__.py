@@ -24,15 +24,24 @@ __all__ = ["DefectProgram", "DEFECT_REGISTRY", "register_defect", "defect_names"
 
 
 class DefectProgram(PPerfProgram):
-    """Base class: a broken program plus the finding it must trigger."""
+    """Base class: a broken program plus the finding(s) it must trigger."""
 
     suite = "defect"
     default_nprocs = 2
-    #: the single FindingKind a sanitized run must report
+    #: the primary FindingKind a sanitized run must report
     expected_finding: FindingKind = FindingKind.MPI_ERROR
+    #: every FindingKind the run must report, no more, no less -- defaults
+    #: to just ``expected_finding``; multi-defect programs override it
+    expected_findings: tuple[FindingKind, ...] | None = None
     #: personality the defect needs (None = any; e.g. passive-target RMA
     #: defects need "refmpi", the only personality with that feature)
     required_impl: str | None = None
+
+    @classmethod
+    def expected_kinds(cls) -> frozenset[FindingKind]:
+        if cls.expected_findings is not None:
+            return frozenset(cls.expected_findings)
+        return frozenset((cls.expected_finding,))
 
 
 DEFECT_REGISTRY: dict[str, Type[DefectProgram]] = {}
@@ -205,6 +214,39 @@ class DefectUseAfterFree(DefectProgram):
         yield from mpi.win_create(8, datatype=INT)  # may reuse win_a's id
         if mpi.rank == 0:
             yield from mpi.win_fence(win_a)  # stale handle
+        yield from mpi.finalize()
+
+
+@register_defect
+class DefectTruncationRmaRace(DefectProgram):
+    """Two unrelated defects in one program: a truncated receive on the
+    point-to-point path *and* an RMA fence-epoch race.
+
+    This is the cross-contamination fixture: one sanitized run must report
+    **both** findings -- exactly ``{RECV_TRUNCATION, RMA_RACE}`` -- with
+    neither detector masking, duplicating, or mislabeling the other.
+    """
+
+    name = "defect_truncation_rma_race"
+    module = "defect_truncation_rma_race.c"
+    expected_finding = FindingKind.RECV_TRUNCATION
+    expected_findings = (FindingKind.RECV_TRUNCATION, FindingKind.RMA_RACE)
+    default_nprocs = 3
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        # defect 1: rank 0's 64-byte message lands in rank 1's 16-byte buffer
+        if mpi.rank == 0:
+            yield from mpi.send(1, tag=5, nbytes=64)
+        elif mpi.rank == 1:
+            yield from mpi.recv(0, tag=5, nbytes=16)
+        # defect 2: ranks 1 and 2 put to the same window range in one epoch
+        win = yield from mpi.win_create(16, datatype=INT)
+        yield from mpi.win_fence(win)
+        if mpi.rank in (1, 2):
+            yield from mpi.put(win, 0, np.full(8, mpi.rank, dtype="i4"))
+        yield from mpi.win_fence(win)
+        yield from mpi.win_free(win)
         yield from mpi.finalize()
 
 

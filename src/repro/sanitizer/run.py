@@ -23,6 +23,7 @@ from ..analysis.runner import cluster_for
 from ..dyninst.image import ImageError
 from ..mpi.errors import MpiError, RmaEpochError, UnsupportedFeature
 from ..mpi.world import MpiProgram, MpiUniverse
+from ..observe.recorder import active as _observe_active  # mode-salt: none
 from ..pperfmark.catalog import CLEAN_PROGRAMS, SMALL_PARAMS, resolve_program
 from ..sim.kernel import DeadlockError, SimulationError
 from .core import Sanitizer
@@ -48,10 +49,17 @@ def sanitize_program(
     if isinstance(program, str):
         program = resolve_program(program, quick=quick)
     nprocs = nprocs or getattr(program, "default_nprocs", 4)
+    rec = _observe_active()
+    if rec is not None:
+        rec.begin("sanitize.build", program=program.name, impl=impl,
+                  nprocs=nprocs, seed=seed)
     procs_per_node = getattr(program, "procs_per_node", 2)
     cluster = cluster_for(nprocs, procs_per_node)
     universe = MpiUniverse(impl=impl, cluster=cluster, seed=seed)
     san = Sanitizer(universe).attach()
+    if rec is not None:
+        rec.end("sanitize.build")
+        rec.begin("sanitize.run", program=program.name, impl=impl)
 
     placement = []
     per_node = max(1, min(procs_per_node, cluster.nodes[0].num_cpus))
@@ -106,10 +114,15 @@ def sanitize_program(
         if all(ep.proc.exited for w in universe.worlds for ep in w.endpoints):
             san.finalize_checks()
 
+    if rec is not None:
+        rec.end("sanitize.run", elapsed=universe.kernel.now)
     report.findings = list(san.findings)
     if report.findings:
         report.status = "findings"
     report.trace_digest = san.trace_digest()
     report.data_signature = san.data_signature()
     report.elapsed = universe.kernel.now
+    if rec is not None:
+        rec.instant("sanitize.classify", status=report.status,
+                    findings=len(report.findings), elapsed=report.elapsed)
     return report

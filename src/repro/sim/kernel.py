@@ -40,6 +40,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..observe.recorder import active as _observe_active  # mode-salt: none
+
 __all__ = [
     "Delay",
     "WaitEvent",
@@ -284,6 +286,10 @@ class Kernel:
         only on the unique (time, seq) keys, so execution order is
         unchanged)."""
         live = [entry for entry in self._queue if not entry[2].cancelled]
+        rec = _observe_active()
+        if rec is not None:
+            rec.instant("kernel.compact", clock="sim", t=self.now,
+                        dropped=len(self._queue) - len(live), live=len(live))
         self._queue[:] = live
         heapq.heapify(self._queue)
         self._cancelled = 0
@@ -317,6 +323,11 @@ class Kernel:
         popleft = zero.popleft
         novalue = _NOVALUE
         events = 0
+        # Flight recorder: one identity check per dispatched event when
+        # disabled; when enabled, counters are batched (every 8192 events)
+        # so the hot loop stays tight.
+        rec = _observe_active()
+        run_start = rec.now() if rec is not None else 0.0
         while True:
             # pick the earlier lane head by (time, seq); zero-lane entries
             # always carry time == now, so they win unless a heap entry is
@@ -337,6 +348,9 @@ class Kernel:
                 break
             if until is not None and head.time > until:
                 self.now = until
+                if rec is not None and events:
+                    rec.complete("kernel.run", rec.now() - run_start,
+                                 events=events)
                 return until
             if from_zero:
                 popleft()
@@ -353,8 +367,12 @@ class Kernel:
             else:
                 head.callback(value)
             events += 1
+            if rec is not None and not (events & 8191):
+                rec.counter("kernel.events", events, clock="sim", t=self.now)
             if events > max_events:
                 raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
+        if rec is not None and events:
+            rec.complete("kernel.run", rec.now() - run_start, events=events)
         if self._live_tasks > 0:
             blocked = self._live_tasks
             for hook in list(self.deadlock_hooks):

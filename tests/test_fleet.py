@@ -136,6 +136,42 @@ def test_cache_clean_and_gc(tmp_path):
     assert len(cache) == 0
 
 
+def test_cache_clean_and_gc_on_missing_cache(tmp_path):
+    """clean/gc on a cache directory that was never created must be no-ops,
+    not tracebacks."""
+    cache = ResultCache(tmp_path / "never-created")
+    assert cache.clean() == 0
+    assert cache.gc([]) == 0
+    assert cache.describe()["objects"] == 0
+
+
+def test_cache_clean_and_gc_on_partially_initialized_cache(tmp_path):
+    """A mangled cache -- events.jsonl squatted by a directory, a directory
+    masquerading as an object -- degrades gracefully under every
+    maintenance entry point (the `repro fleet clean` traceback regression)."""
+    cache = ResultCache(tmp_path / "cache")
+    good = "aa" + "4" * 62
+    cache.put(good, b"{}")
+    # events.jsonl as a *directory* (interrupted setup / bad restore)
+    cache.events_path.mkdir(parents=True)
+    (cache.events_path / "stray").write_text("x")
+    # a directory named like an object
+    fake = cache.objects_dir / "zz" / ("zz" + "5" * 62 + ".json")
+    fake.mkdir(parents=True)
+    # reads skip the impostor ...
+    assert list(cache.digests()) == [good]
+    assert len(cache) == 1
+    assert cache.size_bytes() == 2
+    # ... gc reclaims it without raising ...
+    assert cache.gc([good]) == 1
+    assert not fake.exists()
+    assert cache.has(good)
+    # ... and clean wipes everything, including the squatted events path
+    assert cache.clean() == 1
+    assert not cache.objects_dir.exists()
+    assert not cache.events_path.exists()
+
+
 # ------------------------------------------------------------------ events
 
 def test_event_log_appends_and_persists(tmp_path):

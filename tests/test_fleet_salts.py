@@ -130,6 +130,30 @@ def test_tool_salt_excludes_sanitizer_and_tracetools():
         assert "tracetools" not in MODE_SUBSYSTEMS[mode]
 
 
+def test_observe_excluded_from_every_salt():
+    """The observe subsystem never contributes to cached-artifact bytes
+    (trace output only reaches never-cached failure artifacts and side
+    files), so like tracetools it must stay out of every mode's salt --
+    and every import of it must carry the ``# mode-salt: none`` pragma so
+    the closure test above stays sound."""
+    for mode in MODES:
+        assert "observe" not in MODE_SUBSYSTEMS[mode]
+    untagged = []
+    for path in SRC_ROOT.rglob("*.py"):
+        if _subsystem_of(path) == "observe":
+            continue  # observe's own internal imports are out of scope
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if ("observe" in line and ("import" in line)
+                    and ("from ..observe" in line or "from .observe" in line
+                         or "import repro.observe" in line)
+                    and "# mode-salt: none" not in line):
+                untagged.append(f"{path.relative_to(SRC_ROOT)}:{lineno}")
+    assert not untagged, (
+        "imports of repro.observe must carry '# mode-salt: none': "
+        + ", ".join(untagged)
+    )
+
+
 # ----------------------------------------------------------- selectivity
 
 
@@ -194,6 +218,25 @@ def test_tracetools_edit_invalidates_nothing(monkeypatch):
         before = {mode: mode_code_version(mode) for mode in MODES}
         edited = dict(subsystem_hashes())
         edited["tracetools"] = "0123456789abcdef"
+        monkeypatch.setattr("repro.fleet.spec.subsystem_hashes", lambda: edited)
+        after = {mode: mode_code_version(mode) for mode in MODES}
+        assert after == before
+    finally:
+        code_version.cache_clear()
+        subsystem_hashes.cache_clear()
+
+
+def test_observe_edit_invalidates_nothing(monkeypatch):
+    """Editing the observe subsystem must not move any mode's digests:
+    tracing a sweep cannot cause it to re-execute every job."""
+    monkeypatch.delenv("REPRO_CODE_VERSION", raising=False)
+    code_version.cache_clear()
+    subsystem_hashes.cache_clear()
+    try:
+        before = {mode: mode_code_version(mode) for mode in MODES}
+        edited = dict(subsystem_hashes())
+        assert "observe" in edited  # the package exists and is hashed
+        edited["observe"] = "feedfacefeedface"
         monkeypatch.setattr("repro.fleet.spec.subsystem_hashes", lambda: edited)
         after = {mode: mode_code_version(mode) for mode in MODES}
         assert after == before

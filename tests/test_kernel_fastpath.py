@@ -192,6 +192,7 @@ def test_bench_scenarios_deterministic_across_runs():
 
     sizes = {
         "timer_churn": {"timers": 40, "fires": 10},
+        "timer_churn_traced": {"timers": 40, "fires": 10},
         "zero_delay_pingpong": {"rounds": 300},
         "calls_uninstrumented": {"calls": 200},
         "calls_instrumented": {"calls": 200},
@@ -212,6 +213,7 @@ def test_bench_summary_has_required_schema_fields():
 
     sizes = {
         "timer_churn": {"timers": 20, "fires": 5},
+        "timer_churn_traced": {"timers": 20, "fires": 5},
         "zero_delay_pingpong": {"rounds": 50},
         "calls_uninstrumented": {"calls": 50},
         "calls_instrumented": {"calls": 50},
