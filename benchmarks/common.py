@@ -28,9 +28,19 @@ REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
 #: running anything.
 FLEET_COLLECT: Optional[list] = None
 
+#: set by ``repro.fleet.render`` render-mode workers to a dict; ``emit``
+#: then captures ``name -> text`` instead of touching the reports dir, so
+#: the sweep parent is the only writer and the captured bytes become the
+#: cached render artifact.
+RENDER_CAPTURE: Optional[dict] = None
+
 
 def emit(name: str, text: str) -> None:
     """Print a report and persist it under benchmarks/reports/."""
+    if RENDER_CAPTURE is not None:
+        RENDER_CAPTURE[name] = text
+        print(f"\n{text}\n[report captured: {name}]")
+        return
     REPORTS_DIR.mkdir(parents=True, exist_ok=True)
     (REPORTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}\n[report saved to benchmarks/reports/{name}.txt]")
@@ -40,10 +50,11 @@ def once(benchmark, fn: Callable):
     """Run an experiment exactly once under the benchmark timer (the
     workloads are deterministic; repetition only wastes wall time)."""
     if FLEET_COLLECT is not None:
-        # opaque bench body: nothing cacheable to collect, runs at render time
+        # opaque bench body: nothing fleet-routed to collect -- the sweep
+        # warms this bench's render spec instead of re-running it serially
         from repro.fleet import CollectOnly
 
-        raise CollectOnly("opaque bench body")
+        raise CollectOnly("opaque bench body", opaque=True)
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 

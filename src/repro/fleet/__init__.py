@@ -12,6 +12,10 @@ declaratively-specified runs in parallel, cached, with failures contained":
   multiprocessing pool with per-job timeouts, bounded retry with backoff,
   and failure containment;
 * :class:`EventLog` (:mod:`~repro.fleet.events`) -- JSONL lifecycle log;
+* :mod:`~repro.fleet.render` -- content-addressed incremental report
+  rendering: each bench entry point is a ``mode="render"`` spec whose
+  digest (its *render key*) covers the bench source, ``common.py``, and
+  the artifacts it consumes, so unchanged reports are cache hits;
 * :mod:`~repro.fleet.sweeps` / ``python -m repro fleet`` -- whole-paper
   regeneration sweeps and the ``sweep`` / ``status`` / ``clean`` CLI.
 
@@ -34,12 +38,23 @@ from .execute import (
     sanitize_cached,
     to_bytes,
 )
+from .render import (
+    BenchEntry,
+    CollectOnly,
+    CollectTimer,
+    RenderPlan,
+    StubTimer,
+    bench_dir,
+    collect_render_plan,
+    execute_render,
+    iter_bench_tests,
+    restore_reports,
+)
 from .scheduler import FleetScheduler, JobOutcome
 from .spec import RunSpec, canonical_json, code_version
 from .sweeps import (
-    CollectOnly,
-    StubTimer,
     collect_bench_specs,
+    render_benchmarks,
     run_sweep,
     sanitize_specs,
     sweep_specs,
@@ -66,9 +81,18 @@ __all__ = [
     "canonical_json",
     "code_version",
     "CollectOnly",
+    "CollectTimer",
     "StubTimer",
+    "BenchEntry",
+    "RenderPlan",
+    "bench_dir",
+    "iter_bench_tests",
+    "collect_render_plan",
+    "execute_render",
+    "restore_reports",
     "collect_bench_specs",
     "sanitize_specs",
     "sweep_specs",
     "run_sweep",
+    "render_benchmarks",
 ]

@@ -90,17 +90,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     counts = summary["counts"]
     cache_stats = summary["cache"]
+    render_info = summary["render"]
+    collect_info = summary["collect"]
     print(
         f"# fleet sweep [{summary['suite']}] on {summary.get('workers', summary['jobs'])} worker(s): "
         f"{counts['specs']} jobs -> {counts['completed']} completed, "
         f"{counts['cached']} cache hits, {counts['failed']} failed"
     )
     print(
-        f"# wall: warm {summary['wall']['warm']}s + render "
+        f"# render: {render_info['skipped']} skipped + "
+        f"{render_info['rendered']} rendered of {render_info['benches']} "
+        f"bench(es), {render_info['failed']} failed"
+        + (
+            f"; speedup vs serial ~{render_info['speedup_vs_serial']}x"
+            if render_info["speedup_vs_serial"]
+            else ""
+        )
+    )
+    print(
+        f"# wall: collect {summary['wall']['collect']}s + warm "
+        f"{summary['wall']['warm']}s + render "
         f"{summary['wall']['render']}s; cache hit rate "
         f"{cache_stats['hit_rate']:.0%}"
         + (
-            f"; speedup vs serial ~{summary['speedup_vs_serial']}x"
+            f"; warm speedup vs serial ~{summary['speedup_vs_serial']}x"
             if summary["speedup_vs_serial"]
             else ""
         )
@@ -109,7 +122,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if job["status"] == "failed":
             print(f"#   FAILED {job['job']} after {job['attempts']} attempt(s): "
                   f"{job['error']}")
-    for bench, error in summary["render"]["failures"]:
+    for bench, error in collect_info["failures"]:
+        print(f"#   COLLECT FAILED {bench}: {error}")
+    for bench, error in render_info["failures"]:
         print(f"#   RENDER FAILED {bench}: {error}")
     cpath = summary.get("critical_path") or {}
     if cpath.get("chain"):
@@ -127,7 +142,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if job["status"] == "failed" and job["job"].startswith("chaos:")
     )
     real_failures = counts["failed"] - chaos_failures
-    return 1 if (real_failures or summary["render"]["failures"]) else 0
+    return 1 if (
+        real_failures
+        or render_info["failures"]
+        or collect_info["failed"]
+    ) else 0
 
 
 def _cmd_status(args: argparse.Namespace) -> int:

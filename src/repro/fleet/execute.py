@@ -13,6 +13,8 @@ a run is condensed into the artifact:
 * **sanitize** runs -- the full :class:`SanitizerReport` (findings, trace
   digest, per-rank data signature), reconstructible via
   :func:`report_from_artifact`;
+* **render** runs -- one bench entry point executed with a stub timer, its
+  emitted reports captured by name (see :mod:`repro.fleet.render`);
 * **chaos** runs -- raise, on purpose (failure-containment drills).
 """
 
@@ -207,6 +209,10 @@ def _execute_spec(spec: RunSpec) -> dict:
         result = _execute_sanitize(spec)
     elif spec.mode == "tool":
         result = _execute_tool(spec)
+    elif spec.mode == "render":
+        from .render import execute_render  # lazy: render imports bench suite
+
+        result = execute_render(spec)
     else:  # pragma: no cover - make() rejects unknown modes
         raise ValueError(f"unknown mode {spec.mode!r}")
     return {

@@ -41,9 +41,13 @@ __all__ = [
 
 #: what a spec asks the executor to do.  "tool" runs the program under the
 #: Paradyn-style tool with the Performance Consultant; "sanitize" runs it
-#: under the correctness sanitizer; "chaos" is an always-crashing stub used
-#: to exercise failure containment end to end (``fleet sweep --chaos``).
-MODES = ("tool", "sanitize", "chaos")
+#: under the correctness sanitizer; "render" runs one bench entry point
+#: (``benchmarks/bench_*.py::test_*``) with a stub timer and captures the
+#: reports it emits (the spec's ``params`` carry the bench/common source
+#: hashes and consumed-artifact digests, so the digest *is* the render
+#: key); "chaos" is an always-crashing stub used to exercise failure
+#: containment end to end (``fleet sweep --chaos``).
+MODES = ("tool", "sanitize", "render", "chaos")
 
 _DICT_TAG = "@dict"
 
@@ -119,6 +123,15 @@ MODE_SUBSYSTEMS: dict[str, tuple[str, ...]] = {
     "sanitize": (
         "", "fleet", "sanitizer", "analysis", "core", "pperfmark",
         "mpi", "launch", "sim", "dyninst",
+    ),
+    # render executes the bench modules themselves, which reach everything
+    # tool mode does *plus* the comparator figures' tracetools (gprof, MPE/
+    # CLOG, Jumpshot) -- the one mode whose cached bytes a tracetools edit
+    # must invalidate.  The bench/common sources and consumed-artifact
+    # digests are hashed into the spec params, not this salt.
+    "render": (
+        "", "fleet", "analysis", "core", "pperfmark",
+        "mpi", "launch", "sim", "dyninst", "tracetools",
     ),
     # chaos jobs raise before touching any simulation code, but the fleet
     # package itself (sweep rendering) imports broadly, and the soundness

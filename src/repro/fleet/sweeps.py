@@ -1,32 +1,41 @@
-"""Sweep definitions and the two-phase sweep driver.
+"""Sweep definitions and the phased sweep driver.
 
-``repro fleet sweep`` regenerates the full paper reproduction in two
-phases:
+``repro fleet sweep`` regenerates the full paper reproduction in three
+phases, every one of them incremental against the content-addressed cache:
 
-1. **warm** -- every :class:`RunSpec` the sweep needs (the condensed-PC
-   figure runs collected from the bench suite itself, plus the sanitizer
-   sweep over the clean programs and the seeded-defect library) is executed
-   through the :class:`FleetScheduler`: parallel across cores, content-
-   addressed-cached, failures contained;
-2. **render** -- the bench modules under ``benchmarks/`` run with a stub
-   timer and regenerate every table/figure report; the heavy experiment
-   runs inside them hit the now-warm cache.
+1. **collect** -- the bench suite runs in collect mode
+   (:func:`~repro.fleet.render.collect_render_plan`): each bench entry
+   point records the :class:`RunSpec` runs it would execute and gets a
+   ``mode="render"`` spec of its own whose digest is its *render key*
+   (bench source + ``common.py`` + consumed-artifact digests + mode salt);
+2. **warm** -- every experiment spec (bench-collected runs, the sanitizer
+   sweep over the clean programs, the seeded-defect library) plus the
+   render specs of *opaque* bench bodies executes through the
+   :class:`FleetScheduler`: parallel across cores, cached, failures
+   contained;
+3. **render** -- the per-bench render specs go through a second scheduler
+   pool: an unchanged render key is a cache hit (the bench is skipped and
+   its reports restored byte-identically), stale benches re-render in
+   parallel, and the parent writes every captured report to
+   ``benchmarks/reports/`` as the single writer.
 
 Spec collection reuses the bench suite as the single source of truth: in
 collect mode ``benchmarks/common.py`` raises :class:`CollectOnly` from its
 harness entry points after recording the specs it would have run, so the
-figure list can never drift from the benches.
+figure list can never drift from the benches.  Benches that *fail* to
+collect are counted and reported (``summary["collect"]["failures"]``), not
+silently dropped.
 """
 
 from __future__ import annotations
 
-import importlib
+import contextlib
 import json
-import sys
+import os
 import time
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Iterator, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..observe.critical_path import critical_path  # mode-salt: none
 from ..observe.export import merge_events, write_chrome, write_jsonl  # mode-salt: none
@@ -34,6 +43,15 @@ from ..observe.recorder import recording  # mode-salt: none
 from .cache import ResultCache
 from .events import EventLog
 from .execute import default_cache
+from .render import (
+    CollectOnly,
+    RenderPlan,
+    StubTimer,
+    bench_dir,
+    collect_render_plan,
+    iter_bench_tests,
+    restore_reports,
+)
 from .scheduler import FleetScheduler
 from .spec import RunSpec
 
@@ -54,67 +72,11 @@ DEFAULT_SANITIZE_IMPLS = ("lam", "mpich", "mpich2")
 BENCH_OUT = "BENCH_fleet.json"
 
 
-class CollectOnly(Exception):
-    """Raised by the bench harness in collect mode instead of executing."""
-
-
-class StubTimer:
-    """Duck-type of the pytest-benchmark fixture as the harness uses it."""
-
-    def pedantic(self, fn, rounds=1, iterations=1):
-        return fn()
-
-    def __call__(self, fn, *args, **kwargs):
-        return fn(*args, **kwargs)
-
-
-def _repo_root() -> Path:
-    return Path(__file__).resolve().parents[3]
-
-
-def _bench_dir() -> Optional[Path]:
-    bench = _repo_root() / "benchmarks"
-    return bench if (bench / "common.py").is_file() else None
-
-
-def iter_bench_tests() -> Iterator[tuple[str, str, object]]:
-    """Yield ``(module_name, test_name, fn)`` for every bench entry point."""
-    bench = _bench_dir()
-    if bench is None:
-        return
-    if str(bench) not in sys.path:
-        sys.path.insert(0, str(bench))
-    for path in sorted(bench.glob("bench_*.py")):
-        module = importlib.import_module(path.stem)
-        for name in sorted(dir(module)):
-            if name.startswith("test_"):
-                yield path.stem, name, getattr(module, name)
-
-
 def collect_bench_specs() -> list[RunSpec]:
-    """Every fleet-routed spec the bench suite would run, without running it."""
-    bench = _bench_dir()
-    if bench is None:
-        return []
-    if str(bench) not in sys.path:
-        sys.path.insert(0, str(bench))
-    common = importlib.import_module("common")
-    collected: list[RunSpec] = []
-    common.FLEET_COLLECT = collected
-    try:
-        for _mod, _name, fn in iter_bench_tests():
-            try:
-                fn(StubTimer())
-            except CollectOnly:
-                continue
-            except Exception:  # pragma: no cover - collection is best-effort
-                continue
-    finally:
-        common.FLEET_COLLECT = None
-    unique: dict[str, RunSpec] = {}
-    for spec in collected:
-        unique.setdefault(spec.digest, spec)
-    return list(unique.values())
+    """Every fleet-routed spec the bench suite would run, without running it.
+    (Collection *failures* are dropped here; :func:`run_sweep` goes through
+    :func:`~repro.fleet.render.collect_render_plan` and reports them.)"""
+    return list(collect_render_plan().specs)
 
 
 def sanitize_specs(
@@ -147,11 +109,15 @@ def sweep_specs(
     sanitize_impls: Sequence[str] = DEFAULT_SANITIZE_IMPLS,
     chaos: int = 0,
 ) -> list[RunSpec]:
+    """Every spec a sweep of ``suite`` can touch -- including the per-bench
+    ``mode="render"`` specs, so ``fleet clean --gc`` keeps cached reports."""
     if suite not in SWEEP_SUITES:
         raise ValueError(f"unknown suite {suite!r}; have {SWEEP_SUITES}")
     specs: list[RunSpec] = []
     if suite in ("all", "bench"):
-        specs.extend(collect_bench_specs())
+        plan = collect_render_plan()
+        specs.extend(plan.specs)
+        specs.extend(entry.spec for entry in plan.benches)
     if suite in ("all", "sanitize"):
         specs.extend(sanitize_specs(sanitize_impls))
     specs.extend(
@@ -161,9 +127,13 @@ def sweep_specs(
 
 
 def render_benchmarks() -> tuple[int, list[tuple[str, str]]]:
-    """Run every bench entry point with a stub timer, regenerating the
-    reports under ``benchmarks/reports/``.  Failures are contained and
-    returned as ``(bench, error)`` pairs."""
+    """Serial in-process render: run every bench entry point with a stub
+    timer, regenerating the reports under ``benchmarks/reports/`` directly.
+
+    This is the pre-incremental fallback path (and the oracle the render
+    determinism tests compare the parallel/cached pipeline against).
+    Failures are contained and returned as ``(bench, error)`` pairs.
+    """
     ran = 0
     failures: list[tuple[str, str]] = []
     for mod, name, fn in iter_bench_tests():
@@ -174,6 +144,72 @@ def render_benchmarks() -> tuple[int, list[tuple[str, str]]]:
         except Exception as exc:  # noqa: BLE001 - containment
             failures.append((target, f"{type(exc).__name__}: {exc}"))
     return ran, failures
+
+
+def _render_phase(
+    plan: RenderPlan,
+    *,
+    jobs: Optional[int],
+    timeout: Optional[float],
+    retries: int,
+    cache: ResultCache,
+    events: EventLog,
+    trace_dir: Optional[Path],
+) -> tuple[dict, list]:
+    """Run the per-bench render specs through a scheduler pool and restore
+    every captured report; returns ``(render_summary, outcomes)``."""
+    t0 = time.monotonic()
+    scheduler = FleetScheduler(
+        jobs=jobs, timeout=timeout, retries=retries, cache=cache, events=events,
+        trace_dir=trace_dir,
+    )
+    by_digest = {}
+    for entry in plan.benches:
+        scheduler.submit(entry.spec)
+        by_digest[entry.spec.digest] = entry
+    results = scheduler.run()
+    outcomes = list(scheduler.outcomes.values())
+
+    reports_dir = None
+    bench = bench_dir()
+    if bench is not None:
+        reports_dir = bench / "reports"
+    failures: list[tuple[str, str]] = []
+    per_bench: list[dict] = []
+    for outcome in sorted(outcomes, key=lambda o: (-o.wall, o.job)):
+        entry = by_digest[outcome.digest]
+        artifact = results.get(outcome.digest)
+        if artifact is not None and artifact.get("status") == "ok":
+            if reports_dir is not None:
+                restore_reports(artifact, reports_dir)
+        else:
+            error = (artifact or {}).get("error") or {}
+            failures.append((
+                entry.target,
+                f"{error.get('type', 'error')}: {error.get('message', '')}",
+            ))
+        per_bench.append({
+            "bench": entry.target,
+            "status": outcome.status,
+            "cached": outcome.cached,
+            "opaque": entry.opaque,
+            "wall": round(outcome.wall, 4),
+        })
+    wall = time.monotonic() - t0
+    executed_wall = sum(o.wall for o in outcomes if o.status == "completed")
+    summary = {
+        "benches": len(plan.benches),
+        "skipped": sum(1 for o in outcomes if o.status == "cached"),
+        "rendered": sum(1 for o in outcomes if o.status == "completed"),
+        "failed": sum(1 for o in outcomes if o.status == "failed"),
+        "wall": round(wall, 3),
+        # sum of per-bench worker wall over the phase's wall clock: how much
+        # the parallel cold render beat a serial one (None on a warm cache)
+        "speedup_vs_serial": round(executed_wall / wall, 2) if executed_wall else None,
+        "failures": [list(f) for f in failures],
+        "per_bench": per_bench,
+    }
+    return summary, outcomes
 
 
 def run_sweep(
@@ -190,8 +226,10 @@ def run_sweep(
     sanitize_impls: Sequence[str] = DEFAULT_SANITIZE_IMPLS,
     trace_dir: Optional[Path] = None,
 ) -> dict:
-    """Full sweep: warm the cache in parallel, then re-render the suite.
-    Returns the machine-readable summary also written to ``bench_out``.
+    """Full sweep: collect render keys, warm the cache in parallel, then
+    render incrementally (cache-hit benches restored, stale ones re-rendered
+    in parallel).  Returns the machine-readable summary also written to
+    ``bench_out``.
 
     With ``trace_dir`` set (``--trace``), the scheduler and every worker
     mirror their flight recorders into that directory; afterwards the
@@ -206,36 +244,103 @@ def run_sweep(
         for stale in trace_dir.glob("*.json*"):
             if stale.is_file():
                 stale.unlink()
+    # bench bodies resolve the cache via default_cache(); point workers at
+    # this sweep's cache root for the duration (inherited over fork)
+    prev_cache_env = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache.root)
+    try:
+        return _run_sweep(
+            suite=suite, jobs=jobs, timeout=timeout, retries=retries,
+            chaos=chaos, render=render, cache=cache, events=events,
+            bench_out=bench_out, sanitize_impls=sanitize_impls,
+            trace_dir=trace_dir,
+        )
+    finally:
+        if prev_cache_env is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = prev_cache_env
+
+
+def _run_sweep(
+    *,
+    suite: str,
+    jobs: Optional[int],
+    timeout: Optional[float],
+    retries: int,
+    chaos: int,
+    render: bool,
+    cache: ResultCache,
+    events: EventLog,
+    bench_out: Optional[Path],
+    sanitize_impls: Sequence[str],
+    trace_dir: Optional[Path],
+) -> dict:
+    if suite not in SWEEP_SUITES:
+        raise ValueError(f"unknown suite {suite!r}; have {SWEEP_SUITES}")
     t0 = time.monotonic()
     events_start = len(getattr(events, "records", []))
-    specs = sweep_specs(suite, sanitize_impls=sanitize_impls, chaos=chaos)
-    scheduler = FleetScheduler(
-        jobs=jobs, timeout=timeout, retries=retries, cache=cache, events=events,
-        trace_dir=trace_dir,
-    )
-    for spec in specs:
-        # defects and chaos jobs are cheap; let the long PC runs go first
-        priority = 1 if spec.mode != "tool" else 0
-        scheduler.submit(spec, priority=priority)
-    if trace_dir is not None:
-        with recording(capacity=32768, mirror=trace_dir / "scheduler.jsonl"):
-            scheduler.run()
-    else:
-        scheduler.run()
-    warm_wall = time.monotonic() - t0
+    events.emit("sweep-start", suite=suite)
 
-    rendered, render_failures = (0, [])
-    render_wall = 0.0
-    if render and suite in ("all", "bench"):
+    # -- collect: render keys + the specs the benches would run -------------
+    events.emit("phase-start", phase="collect")
+    plan = RenderPlan()
+    if suite in ("all", "bench"):
+        plan = collect_render_plan()
+    events.emit("phase-end", phase="collect")
+    collect_wall = time.monotonic() - t0
+
+    specs: list[RunSpec] = list(plan.specs)
+    if suite in ("all", "sanitize"):
+        specs.extend(sanitize_specs(sanitize_impls))
+    specs.extend(RunSpec.make(f"chaos-{i}", mode="chaos") for i in range(chaos))
+
+    with contextlib.ExitStack() as stack:
+        if trace_dir is not None:
+            stack.enter_context(
+                recording(capacity=32768, mirror=trace_dir / "scheduler.jsonl")
+            )
+
+        # -- warm: experiments + opaque bench bodies, parallel + cached ----
         t1 = time.monotonic()
-        rendered, render_failures = render_benchmarks()
-        render_wall = time.monotonic() - t1
+        events.emit("phase-start", phase="warm")
+        scheduler = FleetScheduler(
+            jobs=jobs, timeout=timeout, retries=retries, cache=cache,
+            events=events, trace_dir=trace_dir,
+        )
+        for spec in specs:
+            # defects and chaos jobs are cheap; let the long PC runs go first
+            priority = 1 if spec.mode != "tool" else 0
+            scheduler.submit(spec, priority=priority)
+        for entry in plan.benches:
+            # opaque bodies *are* their own experiment: warm them here so
+            # the render phase cache-hits them instead of re-running
+            if entry.opaque:
+                scheduler.submit(entry.spec, priority=0)
+        scheduler.run()
+        events.emit("phase-end", phase="warm")
+        warm_wall = time.monotonic() - t1
+
+        # -- render: per-bench jobs, skipped on an unchanged render key ----
+        render_summary = {
+            "benches": len(plan.benches), "skipped": 0, "rendered": 0,
+            "failed": 0, "wall": 0.0, "speedup_vs_serial": None,
+            "failures": [], "per_bench": [],
+        }
+        render_outcomes: list = []
+        if render and suite in ("all", "bench") and plan.benches:
+            events.emit("phase-start", phase="render")
+            render_summary, render_outcomes = _render_phase(
+                plan, jobs=jobs, timeout=timeout, retries=retries,
+                cache=cache, events=events, trace_dir=trace_dir,
+            )
+            events.emit("phase-end", phase="render")
 
     outcomes = list(scheduler.outcomes.values())
     executed_wall = sum(o.wall for o in outcomes if o.status == "completed")
     speedup = round(executed_wall / warm_wall, 2) if executed_wall else None
 
-    # what actually bounded the warm phase's wall clock (observe subsystem)
+    # what actually bounded the sweep's wall clock (observe subsystem)
     sweep_records = events.records[events_start:]
     cpath = critical_path(sweep_records, workers=scheduler.jobs)
 
@@ -255,8 +360,22 @@ def run_sweep(
             "chrome": str(trace_dir / "trace.json"),
         }
 
+    per_job = [
+        {
+            "phase": phase,
+            "digest": o.digest[:12],
+            "job": o.job,
+            "status": o.status,
+            "cached": o.cached,
+            "attempts": o.attempts,
+            "wall": round(o.wall, 4),
+            "error": o.error,
+        }
+        for phase, rows in (("warm", outcomes), ("render", render_outcomes))
+        for o in sorted(rows, key=lambda o: (-o.wall, o.job))
+    ]
     summary = {
-        "schema": 1,
+        "schema": 2,
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "suite": suite,
         "jobs": scheduler.requested_jobs,
@@ -265,33 +384,27 @@ def run_sweep(
         "workers": scheduler.jobs,
         "counts": scheduler.summary(),
         "cache": cache.describe(),
+        "collect": {
+            "benches": len(plan.benches),
+            "specs": len(plan.specs),
+            "failed": len(plan.failures),
+            "failures": [list(f) for f in plan.failures],
+        },
         "wall": {
+            "collect": round(collect_wall, 3),
             "warm": round(warm_wall, 3),
-            "render": round(render_wall, 3),
-            "total": round(warm_wall + render_wall, 3),
+            "render": render_summary["wall"],
+            "total": round(time.monotonic() - t0, 3),
         },
         # sum of per-job worker wall over the parallel phase's wall clock:
         # ~N on an idle N-core box, ~1 on a warm cache (nothing executed)
         "speedup_vs_serial": speedup,
-        # blocking job chain + worker idle fraction (repro.observe)
+        # blocking job chain + worker idle fraction + per-phase decomposition
+        # (which phase bounds the sweep) -- repro.observe
         "critical_path": cpath,
         "trace": trace_summary,
-        "render": {
-            "benches": rendered,
-            "failures": [list(f) for f in render_failures],
-        },
-        "per_job": [
-            {
-                "digest": o.digest[:12],
-                "job": o.job,
-                "status": o.status,
-                "cached": o.cached,
-                "attempts": o.attempts,
-                "wall": round(o.wall, 4),
-                "error": o.error,
-            }
-            for o in sorted(outcomes, key=lambda o: (-o.wall, o.job))
-        ],
+        "render": render_summary,
+        "per_job": per_job,
     }
     if bench_out is not None:
         bench_out = Path(bench_out)

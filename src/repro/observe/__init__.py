@@ -44,6 +44,7 @@ from .recorder import (
     enable,
     pack_event,
     recording,
+    suspended,
     unpack_event,
 )
 
@@ -53,6 +54,7 @@ __all__ = [
     "enable",
     "disable",
     "recording",
+    "suspended",
     "pack_event",
     "unpack_event",
     "merge_events",

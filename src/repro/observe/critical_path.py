@@ -25,7 +25,12 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-__all__ = ["sweep_intervals", "critical_path", "render_critical_path"]
+__all__ = [
+    "sweep_intervals",
+    "phase_windows",
+    "critical_path",
+    "render_critical_path",
+]
 
 #: slack allowed between one attempt's finish and its successor's launch
 #: (scheduler poll granularity + fork cost) when linking the blocking chain
@@ -61,8 +66,28 @@ def sweep_intervals(records: Iterable[dict]) -> tuple[list[dict], list[dict]]:
                 "status": "completed" if event == "completed" else "failed",
             })
         elif event == "cached-hit":
-            cached.append({"job": record.get("job", digest), "digest": digest})
+            cached.append({
+                "job": record.get("job", digest),
+                "digest": digest,
+                "t": record["t"],
+            })
     return intervals, cached
+
+
+def phase_windows(records: Iterable[dict]) -> dict[str, tuple[float, float]]:
+    """``phase -> (start, end)`` wall windows from the sweep's
+    ``phase-start`` / ``phase-end`` marker records (emitted by
+    ``run_sweep`` around collect / warm / render)."""
+    open_at: dict[str, float] = {}
+    windows: dict[str, tuple[float, float]] = {}
+    for record in records:
+        event = record.get("event")
+        phase = record.get("phase")
+        if event == "phase-start" and phase is not None:
+            open_at[phase] = record["t"]
+        elif event == "phase-end" and phase in open_at:
+            windows[phase] = (open_at.pop(phase), record["t"])
+    return windows
 
 
 def _chain(intervals: list[dict], t_start: float,
@@ -101,6 +126,19 @@ def critical_path(
                 workers = record.get("workers")
                 break
     intervals, cached = sweep_intervals(records)
+    windows = phase_windows(records)
+    phases = {}
+    for name, (p0, p1) in windows.items():
+        in_phase = [i for i in intervals if p0 <= i["start"] <= p1]
+        phases[name] = {
+            "wall": round(p1 - p0, 3),
+            "executed": len(in_phase),
+            "cached": sum(1 for c in cached if p0 <= c["t"] <= p1),
+            "busy": round(sum(i["end"] - i["start"] for i in in_phase), 3),
+        }
+    bounding = (
+        max(phases, key=lambda name: phases[name]["wall"]) if phases else None
+    )
     if not intervals:
         return {
             "workers": workers,
@@ -110,6 +148,8 @@ def critical_path(
             "busy": 0.0,
             "worker_idle_fraction": None,
             "speedup_vs_serial": None,
+            "phases": phases,
+            "bounding_phase": bounding,
             "chain": [],
             "chain_wall": 0.0,
             "chain_coverage": None,
@@ -133,6 +173,10 @@ def critical_path(
         "busy": round(busy, 3),
         "worker_idle_fraction": round(idle, 4) if idle is not None else None,
         "speedup_vs_serial": round(busy / makespan, 2) if makespan > 0 else None,
+        # per-phase decomposition of the sweep (collect / warm / render):
+        # which phase bounds the wall clock, and what each one did
+        "phases": phases,
+        "bounding_phase": bounding,
         "chain": [
             {
                 "job": i["job"],
@@ -165,6 +209,18 @@ def render_critical_path(summary: dict) -> str:
         f"{f'{idle:.1%}' if idle is not None else 'n/a'}; "
         f"speedup vs serial: {speedup if speedup is not None else 'n/a'}x"
     )
+    phases = summary.get("phases") or {}
+    if phases:
+        parts = [
+            f"{name} {info['wall']}s ({info['executed']} executed, "
+            f"{info['cached']} cached)"
+            for name, info in phases.items()
+        ]
+        bounding = summary.get("bounding_phase")
+        lines.append(
+            "phases: " + " | ".join(parts)
+            + (f"; sweep is {bounding}-bound" if bounding else "")
+        )
     chain = summary.get("chain", [])
     if not chain:
         lines.append("blocking chain: none (nothing executed -- warm cache?)")

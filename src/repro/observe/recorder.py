@@ -49,6 +49,7 @@ __all__ = [
     "enable",
     "disable",
     "recording",
+    "suspended",
     "pack_event",
     "unpack_event",
     "KINDS",
@@ -288,3 +289,17 @@ def recording(capacity: int = 8192, *, mirror: Union[str, Path, None] = None):
     finally:
         _ACTIVE = previous
         rec.close()
+
+
+@contextmanager
+def suspended():
+    """Scoped *un*-tracing: detach the process-global recorder for the block
+    (without closing it), restore it after.  For measurement sections whose
+    numbers must reflect disabled-hook cost -- e.g. the kernel-throughput
+    bench running inside an always-recording fleet worker."""
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, None
+    try:
+        yield
+    finally:
+        _ACTIVE = previous

@@ -251,6 +251,44 @@ class DefectTruncationRmaRace(DefectProgram):
 
 
 @register_defect
+class DefectLeakDeadlock(DefectProgram):
+    """Two unrelated defects in one program: a leaked isend request on a
+    rank that reaches MPI_Finalize, plus a head-to-head receive deadlock
+    between two other ranks.
+
+    The cross-contamination fixture for the deadlock path: the run must
+    report exactly ``{REQUEST_LEAK, DEADLOCK}``.  The leak belongs to rank
+    2, which *entered* the collective MPI_Finalize before the deadlock hit
+    -- finalize-entry tracking is what keeps the deadlock from masking it
+    -- while the blocked ranks' pending receives must surface only in the
+    deadlock diagnosis, never as leaks of their own.
+    """
+
+    name = "defect_leak_deadlock"
+    module = "defect_leak_deadlock.c"
+    expected_finding = FindingKind.REQUEST_LEAK
+    expected_findings = (FindingKind.REQUEST_LEAK, FindingKind.DEADLOCK)
+    default_nprocs = 3
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        # defect 1: rank 2's isend completes (rank 1 receives it) but the
+        # request is dropped on the floor; rank 2 then enters finalize
+        if mpi.rank == 2:
+            yield from mpi.isend(1, tag=13, nbytes=4)  # request dropped
+        elif mpi.rank == 1:
+            yield from mpi.recv(2, tag=13, nbytes=4)
+        # defect 2: ranks 0 and 1 post head-to-head blocking receives
+        if mpi.rank == 0:
+            yield from mpi.recv(1, tag=7, nbytes=4)
+            yield from mpi.send(1, tag=7, nbytes=4)
+        elif mpi.rank == 1:
+            yield from mpi.recv(0, tag=7, nbytes=4)
+            yield from mpi.send(0, tag=7, nbytes=4)
+        yield from mpi.finalize()
+
+
+@register_defect
 class DefectSharedLockRace(DefectProgram):
     """Conflicting puts under overlapping MPI_LOCK_SHARED epochs.
 

@@ -84,6 +84,11 @@ class Sanitizer:
         self._clocks: list[dict[int, int]] = []
         self._counters: list[_EpCounters] = []
         self._requests: list[dict[int, tuple[str, int]]] = []
+        # ep indexes that entered MPI_Finalize -- tracked at *entry*, not via
+        # proc.exited: a rank blocked inside the collective finalize has
+        # committed to never completing its requests, so its leaks are real
+        # even when a deadlock elsewhere keeps it from exiting
+        self._in_finalize: set[int] = set()
 
         self._windows: list[Any] = []
         # strict epoch state, keyed by window *object* (ids may be reused)
@@ -365,6 +370,9 @@ class Sanitizer:
         if frame.return_value:
             self._requests[idx].pop(id(args[0]), None)
 
+    def _h_finalize_entry(self, ep, idx, clock, frame, call, args) -> None:
+        self._in_finalize.add(idx)
+
     def _h_barrier_entry(self, ep, idx, clock, frame, call, args) -> None:
         comm = args[0]
         if comm.remote_group is not None:
@@ -566,9 +574,22 @@ class Sanitizer:
         self.deadlock_reported = True
         self.findings.extend(analyze_deadlock(self.universe, normalize_mpi_name))
 
-    def finalize_checks(self) -> None:
-        """Leak detection; call only after a run that completed normally."""
+    def finalize_checks(self, *, finalized_only: bool = False) -> None:
+        """Leak detection.  After a normal completion, check every rank.
+
+        With ``finalized_only=True`` (the deadlock path), check only ranks
+        that *entered* MPI_Finalize: those ranks will never complete their
+        pending requests or receive their unexpected messages, so their
+        leaks are real findings and not an artifact of the deadlock --
+        while the still-blocked ranks' state is left alone (their pending
+        operations are part of the deadlock diagnosis, not leaks).
+        Window checks are skipped in that mode: ``MPI_Win_free`` is
+        collective, so a blocked rank elsewhere is enough to keep a window
+        allocated through no fault of the finalizing ranks.
+        """
         for idx, ep in enumerate(self._eps):
+            if finalized_only and idx not in self._in_finalize:
+                continue
             for env in ep.mailbox.unexpected_envelopes():
                 if env.tag >= COLL_TAG_BASE or getattr(env, "rma_sink", False):
                     continue
@@ -590,6 +611,8 @@ class Sanitizer:
                     f"{len(pending)} nonblocking request(s) ({kinds}) never "
                     "completed with MPI_Wait/MPI_Test before MPI_Finalize",
                 )
+        if finalized_only:
+            return
         for win in self._windows:
             if not win.freed:
                 self._report(
@@ -634,6 +657,7 @@ _ENTRY = {
     "Waitall": Sanitizer._h_waitall_entry,
     "Waitany": Sanitizer._h_waitall_entry,
     "Barrier": Sanitizer._h_barrier_entry,
+    "Finalize": Sanitizer._h_finalize_entry,
     "Win_fence": Sanitizer._h_fence_entry,
     "Win_start": Sanitizer._h_start_entry,
     "Win_complete": Sanitizer._h_complete_entry,

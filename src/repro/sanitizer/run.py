@@ -7,7 +7,8 @@ maps run outcomes onto a :class:`~repro.sanitizer.findings.SanitizerReport`:
 
 * normal completion -> finalize leak checks run, status from the findings;
 * :class:`DeadlockError` -> the kernel deadlock hook already recorded the
-  wait-for-graph diagnosis;
+  wait-for-graph diagnosis; leak checks still run for ranks that entered
+  MPI_Finalize (a deadlock must not mask their request leaks);
 * :class:`RmaEpochError` -> folded into an existing epoch/use-after-free
   finding when the sanitizer saw it first, reported standalone otherwise;
 * :class:`UnsupportedFeature` -> status "unsupported" (the program simply
@@ -90,6 +91,9 @@ def sanitize_program(
         report.crash = str(exc)
         if not san.deadlock_reported:  # pragma: no cover - hook always fires
             san.on_deadlock()
+        # ranks that made it into MPI_Finalize before the deadlock have
+        # committed their leaks; report them alongside the deadlock
+        san.finalize_checks(finalized_only=True)
     except RmaEpochError as exc:
         report.crash = str(exc)
         kinds = {f.kind for f in san.findings}

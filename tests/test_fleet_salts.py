@@ -35,6 +35,12 @@ SRC_ROOT = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
 MODE_ROOTS = {
     "tool": {"fleet", "analysis", "core", "pperfmark"},
     "sanitize": {"fleet", "sanitizer", "pperfmark"},
+    # render executes the bench modules, which live outside src/repro and
+    # so outside this AST scan; the roots enumerate every subsystem the
+    # bench suite imports (observe excluded: it feeds only timing numbers,
+    # which are outside the byte-stability contract to begin with)
+    "render": {"fleet", "analysis", "core", "pperfmark", "mpi",
+               "tracetools", "sim", "dyninst"},
     "chaos": {"fleet"},
 }
 
@@ -124,10 +130,15 @@ def test_every_mode_has_a_salt_set():
 
 
 def test_tool_salt_excludes_sanitizer_and_tracetools():
-    """The selectivity this PR is for: these exclusions are load-bearing."""
+    """The selectivity this PR is for: these exclusions are load-bearing.
+    tracetools feeds exactly one mode's cached bytes -- the comparator
+    figures rendered by ``mode="render"`` jobs -- so it lives in that salt
+    and no other."""
     assert "sanitizer" not in MODE_SUBSYSTEMS["tool"]
+    assert "tracetools" in MODE_SUBSYSTEMS["render"]
     for mode in MODES:
-        assert "tracetools" not in MODE_SUBSYSTEMS[mode]
+        if mode != "render":
+            assert "tracetools" not in MODE_SUBSYSTEMS[mode]
 
 
 def test_observe_excluded_from_every_salt():
@@ -210,7 +221,9 @@ def test_sim_edit_invalidates_every_mode(monkeypatch):
         subsystem_hashes.cache_clear()
 
 
-def test_tracetools_edit_invalidates_nothing(monkeypatch):
+def test_tracetools_edit_invalidates_only_render(monkeypatch):
+    """A tracetools edit can change the comparator figures a render job
+    bakes into its cached report bytes -- and nothing else."""
     monkeypatch.delenv("REPRO_CODE_VERSION", raising=False)
     code_version.cache_clear()
     subsystem_hashes.cache_clear()
@@ -220,7 +233,10 @@ def test_tracetools_edit_invalidates_nothing(monkeypatch):
         edited["tracetools"] = "0123456789abcdef"
         monkeypatch.setattr("repro.fleet.spec.subsystem_hashes", lambda: edited)
         after = {mode: mode_code_version(mode) for mode in MODES}
-        assert after == before
+        assert after["render"] != before["render"]
+        for mode in MODES:
+            if mode != "render":
+                assert after[mode] == before[mode]
     finally:
         code_version.cache_clear()
         subsystem_hashes.cache_clear()
@@ -254,6 +270,53 @@ def test_env_override_pins_all_modes(monkeypatch):
             assert mode_code_version(mode) == "pinned-xyz"
     finally:
         code_version.cache_clear()
+
+
+# ------------------------------------------------------------ render keys
+
+
+def _render_key(bench_hash: str, common_hash: str, consumes: list) -> str:
+    """A render spec's digest, built the way collect_render_plan builds it."""
+    return RunSpec.make(
+        "bench_x::test_y",
+        mode="render",
+        impl="bench",
+        params={
+            "sources": {"bench": bench_hash, "common": common_hash},
+            "consumes": list(consumes),
+        },
+    ).digest
+
+
+def test_render_key_covers_every_input(monkeypatch):
+    """The render key must move when any of its declared inputs moves --
+    bench module source, common.py source, or a consumed artifact digest --
+    and must be stable when none of them do."""
+    monkeypatch.setenv("REPRO_CODE_VERSION", "pinned-render-key")
+    base = _render_key("b" * 16, "c" * 16, ["d1", "d2"])
+    assert _render_key("b" * 16, "c" * 16, ["d1", "d2"]) == base
+    assert _render_key("B" * 16, "c" * 16, ["d1", "d2"]) != base
+    assert _render_key("b" * 16, "C" * 16, ["d1", "d2"]) != base
+    assert _render_key("b" * 16, "c" * 16, ["d1", "dX"]) != base
+    assert _render_key("b" * 16, "c" * 16, ["d1"]) != base
+
+
+def test_render_key_salted_with_render_mode(monkeypatch):
+    """Two identical render params under different mode salts differ: the
+    per-subsystem render salt is part of the key (so e.g. a tracetools
+    edit re-renders, per test_tracetools_edit_invalidates_only_render)."""
+    monkeypatch.delenv("REPRO_CODE_VERSION", raising=False)
+    code_version.cache_clear()
+    subsystem_hashes.cache_clear()
+    try:
+        base = _render_key("b" * 16, "c" * 16, ["d1"])
+        edited = dict(subsystem_hashes())
+        edited["tracetools"] = "feedface00000000"
+        monkeypatch.setattr("repro.fleet.spec.subsystem_hashes", lambda: edited)
+        assert _render_key("b" * 16, "c" * 16, ["d1"]) != base
+    finally:
+        code_version.cache_clear()
+        subsystem_hashes.cache_clear()
 
 
 def test_subsystem_hashes_cover_the_tree():

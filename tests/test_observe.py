@@ -134,6 +134,21 @@ def test_enable_disable_and_scoped_recording():
     assert active() is None
 
 
+def test_suspended_detaches_without_closing():
+    from repro.observe import suspended
+
+    with recording(capacity=16) as rec:
+        with suspended():
+            assert active() is None
+            # a nested scoped recorder still works inside the gap
+            with recording(capacity=8) as inner:
+                assert active() is inner
+            assert active() is None
+        assert active() is rec  # reattached, still usable
+        rec.instant("after-suspend")
+    assert active() is None
+
+
 # ------------------------------------------------------------------ export
 
 def test_merge_events_orders_by_wall_then_seq(tmp_path):
@@ -302,7 +317,7 @@ def test_sweep_intervals_per_attempt():
     assert [(i["attempt"], i["status"]) for i in intervals] == [
         (1, "failed"), (2, "completed")
     ]
-    assert cached == [{"job": "job-d2", "digest": "d2"}]
+    assert cached == [{"job": "job-d2", "digest": "d2", "t": 0.1}]
 
 
 def test_critical_path_chain_and_idle_fraction():
@@ -334,6 +349,53 @@ def test_critical_path_empty_and_all_cached():
     summary = critical_path(_records(("cached-hit", "d1", 0.0, {})))
     assert summary["executed"] == 0 and summary["cached"] == 1
     assert "warm cache" in render_critical_path(summary)
+
+
+def test_critical_path_phase_decomposition():
+    """phase-start/phase-end markers segment the sweep into warm/render;
+    the summary names the bounding phase and attributes jobs and cache
+    hits to the phase they ran in."""
+    records = _records(
+        ("sweep-start", None, 0.0, {"suite": "all"}),
+        ("phase-start", None, 0.0, {"phase": "warm"}),
+        ("pool-start", None, 0.0, {"workers": 2}),
+        ("started", "d1", 0.1, {"attempt": 1}),
+        ("completed", "d1", 5.0, {"attempt": 1}),
+        ("phase-end", None, 5.1, {"phase": "warm"}),
+        ("phase-start", None, 5.1, {"phase": "render"}),
+        ("pool-start", None, 5.1, {"workers": 2}),
+        ("cached-hit", "d2", 5.2, {}),
+        ("started", "d3", 5.2, {"attempt": 1}),
+        ("completed", "d3", 6.0, {"attempt": 1}),
+        ("phase-end", None, 6.1, {"phase": "render"}),
+    )
+    summary = critical_path(records)
+    phases = summary["phases"]
+    assert set(phases) == {"warm", "render"}
+    assert phases["warm"] == {
+        "wall": 5.1, "executed": 1, "cached": 0, "busy": 4.9,
+    }
+    assert phases["render"]["executed"] == 1
+    assert phases["render"]["cached"] == 1
+    assert summary["bounding_phase"] == "warm"
+    text = render_critical_path(summary)
+    assert "warm-bound" in text and "render" in text
+
+
+def test_critical_path_phases_survive_all_cached_sweep():
+    """A fully warm re-sweep executes nothing; the phase decomposition
+    must still be present (it is how `observe critical-path` shows the
+    render phase collapsed to cache restores)."""
+    records = _records(
+        ("phase-start", None, 0.0, {"phase": "render"}),
+        ("cached-hit", "d1", 0.1, {}),
+        ("cached-hit", "d2", 0.2, {}),
+        ("phase-end", None, 0.3, {"phase": "render"}),
+    )
+    summary = critical_path(records)
+    assert summary["executed"] == 0
+    assert summary["phases"]["render"]["cached"] == 2
+    assert summary["bounding_phase"] == "render"
 
 
 # ------------------------------------------------- scheduler integration

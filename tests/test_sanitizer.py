@@ -51,6 +51,24 @@ def test_multi_defect_program_reports_both_without_cross_contamination():
     assert "window" in race.detail
 
 
+def test_leak_deadlock_reports_both_without_cross_contamination():
+    """The deadlock-path multi-defect fixture: one run yields the deadlock
+    diagnosis *and* the finalize leak of the rank that reached MPI_Finalize
+    before the cycle bit -- the deadlock must not mask the leak, and the
+    blocked ranks' pending receives must not surface as leaks."""
+    report = sanitize_program("defect_leak_deadlock", impl="lam")
+    assert report.kinds() == {FindingKind.REQUEST_LEAK, FindingKind.DEADLOCK}
+    (leak,) = report.by_kind(FindingKind.REQUEST_LEAK)
+    # the leak belongs to rank 2 (entered finalize), not the blocked ranks
+    assert leak.rank == 2
+    assert "MPI_Isend" in leak.detail
+    (deadlock,) = report.by_kind(FindingKind.DEADLOCK)
+    # the cycle names only the two head-to-head receivers
+    assert "rank 0" in deadlock.detail and "rank 1" in deadlock.detail
+    assert "rank 2" not in deadlock.detail
+    assert report.crash and "deadlock" in report.crash
+
+
 def test_defect_report_carries_rank_and_detail():
     report = sanitize_program("defect_unmatched_send")
     (finding,) = report.by_kind(FindingKind.UNMATCHED_SEND)
