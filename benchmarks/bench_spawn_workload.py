@@ -1,0 +1,127 @@
+"""The nengo-mpi-style data-parallel spawn workload: merged vs unmerged.
+
+nengo-mpi's ``mpi_merged`` flag coalesces each worker's per-chunk traffic
+into one message; the model data moved is unchanged.  This bench runs the
+``spawn_workload`` program through the fleet cache in both modes under
+both spawn-capable personalities (LAM and refmpi) and checks the
+communication-coalescing contract:
+
+* every run is sanitizer-clean;
+* LAM and refmpi produce identical per-rank data signatures (the refmpi
+  spawn divergence is placement and cost only);
+* merging strictly reduces message counts while moving exactly the same
+  bytes.
+"""
+
+from repro.analysis import PaperComparison, format_table, render_comparisons
+
+import common
+from common import emit, once
+
+IMPLS = ("lam", "refmpi")
+MODES = {"unmerged": False, "merged": True}
+PARAMS = {
+    "workers": 3,
+    "chunks": 7,
+    "chunk_elems": 16,
+    "steps": 3,
+    "probe_every": 1,
+    "work_seconds": 1e-4,
+}
+
+
+def _totals(report):
+    """(messages, bytes) summed over every rank's sent counters."""
+    rows = [tuple(row) for row in report.data_signature]
+    return (
+        sum(row[2] + row[4] for row in rows),  # sent_msgs + recv_msgs
+        sum(row[3] + row[5] for row in rows),  # sent_bytes + recv_bytes
+    )
+
+
+def test_spawn_workload(benchmark):
+    from repro.fleet import (
+        CollectOnly,
+        RunSpec,
+        default_cache,
+        report_from_artifact,
+        run_cached,
+    )
+
+    specs = {
+        (impl, mode): RunSpec.make(
+            "spawn_workload",
+            mode="sanitize",
+            impl=impl,
+            seed=0,
+            params=dict(PARAMS, merged=merged),
+        )
+        for impl in IMPLS
+        for mode, merged in MODES.items()
+    }
+    if common.FLEET_COLLECT is not None:
+        common.FLEET_COLLECT.extend(specs.values())
+        raise CollectOnly("spawn_workload")
+
+    cache = default_cache()
+
+    def experiment():
+        return {key: run_cached(spec, cache) for key, spec in specs.items()}
+
+    artifacts = once(benchmark, experiment)
+    reports = {key: report_from_artifact(a) for key, a in artifacts.items()}
+
+    comparisons = [
+        PaperComparison(
+            f"[{impl}/{mode}] sanitizer-clean",
+            "clean",
+            report.status,
+            report.status == "clean",
+        )
+        for (impl, mode), report in reports.items()
+    ]
+    for mode in MODES:
+        lam, ref = reports[("lam", mode)], reports[("refmpi", mode)]
+        comparisons.append(
+            PaperComparison(
+                f"[{mode}] data signature lam == refmpi",
+                "identical",
+                "identical" if lam.data_signature == ref.data_signature
+                else "diverged",
+                lam.data_signature == ref.data_signature,
+            )
+        )
+    rows = []
+    for impl in IMPLS:
+        unmerged = _totals(reports[(impl, "unmerged")])
+        merged = _totals(reports[(impl, "merged")])
+        rows.append((f"{impl} unmerged", str(unmerged[0]), str(unmerged[1])))
+        rows.append((f"{impl} merged", str(merged[0]), str(merged[1])))
+        comparisons.append(
+            PaperComparison(
+                f"[{impl}] merging cuts message count",
+                "fewer messages",
+                f"{unmerged[0]} -> {merged[0]}",
+                merged[0] < unmerged[0],
+            )
+        )
+        comparisons.append(
+            PaperComparison(
+                f"[{impl}] merging moves identical bytes",
+                "same bytes",
+                f"{unmerged[1]} vs {merged[1]}",
+                merged[1] == unmerged[1],
+            )
+        )
+
+    report = (
+        render_comparisons(
+            "spawn_workload -- communication coalescing (nengo-mpi mpi_merged)",
+            comparisons,
+        )
+        + "\n\n"
+        + format_table(("Configuration", "Messages", "Bytes"), rows)
+    )
+    emit("spawn_workload", report)
+    failed = [c.quantity for c in comparisons if not c.holds]
+    assert not failed, f"spawn workload checks failed: {failed}"

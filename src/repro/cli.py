@@ -74,7 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     san_p.add_argument(
         "program",
-        help="a PPerfMark or defect program name, 'all' (the 16 clean "
+        help="a PPerfMark or defect program name, 'all' (the 17 clean "
         "PPerfMark programs) or 'defects' (the seeded-defect library)",
     )
     san_p.add_argument("--impl", default=None,

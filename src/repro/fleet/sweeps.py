@@ -68,7 +68,7 @@ __all__ = [
 ]
 
 SWEEP_SUITES = ("all", "bench", "sanitize")
-DEFAULT_SANITIZE_IMPLS = ("lam", "mpich", "mpich2")
+DEFAULT_SANITIZE_IMPLS = ("lam", "mpich", "mpich2", "refmpi")
 BENCH_OUT = "BENCH_fleet.json"
 
 

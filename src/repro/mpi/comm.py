@@ -121,6 +121,10 @@ class Communicator:
         #: resources, but are flagged so reports can distinguish them.
         self.internal = internal
         self.freed = False
+        #: True for intercommunicators created by MPI_Comm_spawn: both sides
+        #: must MPI_Comm_disconnect them before MPI_Finalize, and the
+        #: sanitizer's finalize checks report the ones that never were.
+        self.connected = False
         self._collectives: dict[int, CollectiveContext] = {}
         self._coll_seq: dict[int, int] = {}  # endpoint world_rank -> next seq
 

@@ -14,8 +14,15 @@ socket_functions          ("writev", "readv")      ("write", "read")
 visible_collective_p2p    False (internal RPI)     True (PMPI_Sendrecv etc.)
 fence_uses_barrier        True  (+ Isend/Waitall)  False (internal sync)
 win_start_blocks          True                     False (complete blocks)
-supports spawn            True                     MPICH2: False
+supports spawn            True (also refmpi)       MPICH / MPICH2: False
 ========================  =======================  ==========================
+
+Dynamic process creation is available on the LAM-family personalities
+only: ``lam`` (round-robin placement, ``lam_spawn_file`` schema) and
+``refmpi`` (packed fill-first placement, cheaper pre-forked spawn cost
+model).  ``mpich`` (MPI-1) and ``mpich2`` (0.96p2 beta, no dynamic
+process support yet) raise :class:`UnsupportedFeature` from every spawn
+entry point.
 
 Those knobs are exactly the implementation internals the paper's
 Performance Consultant output exposes (Figures 3, 9, 21, 22, 24).
@@ -209,6 +216,7 @@ class BaseImpl:
             add("MPI_Comm_spawn", "_body_comm_spawn", "spawn", "collective", "sync")
             add("MPI_Comm_get_parent", "_body_comm_get_parent")
             add("MPI_Intercomm_merge", "_body_intercomm_merge", "collective", "sync")
+            add("MPI_Comm_disconnect", "_body_comm_disconnect", "spawn", "collective", "sync")
         if self.supports("mpio"):
             add("MPI_File_open", "_body_file_open", "mpiio", "io")
             add("MPI_File_close", "_body_file_close", "mpiio", "io")
@@ -1213,6 +1221,18 @@ class BaseImpl:
     def _body_comm_get_parent(self, ep, proc) -> Generator:
         return ep.parent_intercomm
         yield  # pragma: no cover
+
+    def _body_comm_disconnect(self, ep, proc, comm) -> Generator:
+        """Collective over both sides of the intercomm: every member (local
+        and remote group) arrives before the communicator is marked freed."""
+        self._require("spawn")
+        yield from proc.compute(self.collective_entry_cost)
+        ctxt = comm.collective_context(ep, "disconnect")
+        if ctxt.arrive(ep):
+            comm.freed = True
+            ctxt.complete()
+        else:
+            yield from proc.block(ctxt.event)
 
     def _body_intercomm_merge(self, ep, proc, intercomm, high) -> Generator:
         yield from proc.compute(self.collective_entry_cost)

@@ -9,8 +9,10 @@ socket transport:
   implementation difference Figure 21 shows);
 * MPI object naming and MPI-IO;
 * **no dynamic process creation** -- the paper notes "MPICH2 0.96p2 beta
-  does not yet fully support dynamic process creation", so spawn raises
-  :class:`~repro.mpi.errors.UnsupportedFeature`;
+  does not yet fully support dynamic process creation", so every spawn
+  entry point (``MPI_Comm_spawn``/``MPI_Comm_disconnect``) raises
+  :class:`~repro.mpi.errors.UnsupportedFeature` whose message names the
+  personalities that do support spawn (``lam`` and ``refmpi``);
 * no passive-target RMA (lock/unlock unsupported, as in the paper).
 
 Passive target is carved out by overriding the feature set rather than the
@@ -20,6 +22,7 @@ bodies: the base implementation is complete, but ``MPI_Win_lock`` checks the
 
 from __future__ import annotations
 
+from ..errors import UnsupportedFeature
 from .base import BaseImpl
 
 __all__ = ["Mpich2Impl"]
@@ -37,3 +40,15 @@ class Mpich2Impl(BaseImpl):
     window_creates_internal_comm = False
     reuse_window_ids = True
     features = frozenset({"p2p", "collectives", "rma", "naming", "mpio"})
+
+    def _require(self, feature: str) -> None:
+        if feature == "spawn" and not self.supports(feature):
+            # Point users at the personalities that do implement spawn
+            # (the base-class docstring capability table is the source
+            # of truth: lam and refmpi only).
+            raise UnsupportedFeature(
+                f"{self.name} {self.version}",
+                "spawn (dynamic process creation is implemented by the "
+                "lam and refmpi personalities only)",
+            )
+        super()._require(feature)

@@ -494,6 +494,10 @@ class MpiApi:
     def intercomm_merge(self, intercomm: Communicator, high: bool = False) -> Generator:
         return (yield from self.proc.call("MPI_Intercomm_merge", intercomm, int(high)))
 
+    def comm_disconnect(self, comm: Communicator) -> Generator:
+        """Collectively sever a connected (spawn) intercommunicator."""
+        yield from self.proc.call("MPI_Comm_disconnect", comm)
+
     # -- naming ------------------------------------------------------------------------
 
     def comm_set_name(self, comm: Communicator, name: str) -> Generator:

@@ -279,6 +279,7 @@ class MpiUniverse:
                 remote=world.endpoints,
                 name=f"spawn_intercomm.{world.world_id}",
             )
+            world.parent_intercomm.connected = True
             for ep in world.endpoints:
                 ep.parent_intercomm = world.parent_intercomm
 

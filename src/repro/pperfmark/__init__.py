@@ -23,6 +23,8 @@ from .mpi2 import (
     SpawnCount,
     SpawnSync,
     SpawnWinSync,
+    SpawnWorkload,
+    SpawnWorkloadWorker,
     WinCreateBlast,
     WinFenceSync,
     WinLockSync,
@@ -53,6 +55,8 @@ __all__ = [
     "SpawnCount",
     "SpawnSync",
     "SpawnWinSync",
+    "SpawnWorkload",
+    "SpawnWorkloadWorker",
     "WinLockSync",
     "Oned",
     "PrestaRma",

@@ -18,6 +18,7 @@ from .base import REGISTRY, create
 __all__ = ["CLEAN_PROGRAMS", "SMALL_PARAMS", "resolve_program"]
 
 #: the paper's 16 clean PPerfMark programs (8 MPI-1 + 7 MPI-2 + oned)
+#: plus the nengo-mpi-style data-parallel spawn workload -- 17 in all
 CLEAN_PROGRAMS = (
     "small_messages",
     "big_message",
@@ -34,6 +35,7 @@ CLEAN_PROGRAMS = (
     "spawncount",
     "spawnsync",
     "spawnwinsync",
+    "spawn_workload",
     "oned",
 )
 
@@ -55,6 +57,13 @@ SMALL_PARAMS: dict[str, dict[str, Any]] = {
     "spawncount": {"spawns": 2, "children_per_spawn": 2},
     "spawnsync": {"children": 2, "messages": 30, "waste_seconds": 1e-3},
     "spawnwinsync": {"children": 2, "iterations": 30, "waste_seconds": 1e-3},
+    "spawn_workload": {
+        "workers": 2,
+        "chunks": 4,
+        "chunk_elems": 8,
+        "steps": 2,
+        "work_seconds": 1e-4,
+    },
     "oned": {"iterations": 12, "local_rows": 8, "row_width": 64},
 }
 

@@ -14,11 +14,13 @@ from typing import Generator, Type
 import numpy as np
 
 from ...mpi.datatypes import DOUBLE, INT
+from ...mpi.world import MpiProgram
 # FindingKind here is pure *expectation metadata* (which finding a sanitize
 # run of each defect must report); defect program behavior never reads it,
 # so tool-mode artifacts are unaffected by sanitizer edits.
 from ...sanitizer.findings import FindingKind  # mode-salt: sanitize
 from ..base import PPerfProgram
+from ..mpi2.dataparallel import SpawnWorkload
 
 __all__ = ["DefectProgram", "DEFECT_REGISTRY", "register_defect", "defect_names"]
 
@@ -313,4 +315,75 @@ class DefectSharedLockRace(DefectProgram):
             yield from mpi.win_unlock(win, 0)
         yield from mpi.barrier()
         yield from mpi.win_free(win)
+        yield from mpi.finalize()
+
+
+@register_defect
+class DefectProbeGatherTruncation(DefectProgram, SpawnWorkload):
+    """The data-parallel workload with undersized probe-gather buffers.
+
+    The master posts receive buffers half the size of the workers' probe
+    messages (a real nengo-mpi hazard: the probe buffer is sized from the
+    *local* model build, the message from the worker's): every probe
+    gather trips the truncation detector.  Everything else -- spawn,
+    distribution, stepping, disconnect -- is the clean workload, so the
+    run must report ``{RECV_TRUNCATION}`` and nothing more.
+    """
+
+    name = "defect_probe_gather_truncation"
+    module = "defect_probe_gather_truncation.c"
+    expected_finding = FindingKind.RECV_TRUNCATION
+    default_nprocs = 1
+
+    def __init__(self, **params) -> None:
+        params.setdefault("workers", 2)
+        params.setdefault("chunks", 4)
+        params.setdefault("chunk_elems", 8)
+        params.setdefault("steps", 2)
+        params.setdefault("work_seconds", 1e-4)
+        super().__init__(**params)
+
+    def probe_recv_elems(self, elems: int) -> int:
+        return max(1, elems // 2)  # seeded defect: half-size probe buffers
+
+
+class IntercommLeakChild(MpiProgram):
+    """Child of defect_spawn_intercomm_leak: reports up, never disconnects."""
+
+    name = "intercomm_leak_child"
+    module = "intercomm_leak_child.c"
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        parent = yield from mpi.comm_get_parent()
+        yield from mpi.send(0, nbytes=4, tag=11, comm=parent, payload="up")
+        # defect (shared with the parent): parent is never disconnected
+        yield from mpi.finalize()
+
+
+@register_defect
+class DefectSpawnIntercommLeak(DefectProgram):
+    """A spawn intercommunicator that neither side ever disconnects.
+
+    MPI_Comm_disconnect is the spawn intercomm's MPI_Win_free: both sides
+    must collectively sever it before MPI_Finalize.  Here parent and
+    children just finalize, so the finalize leak checks must report the
+    connected intercomm -- exactly ``{COMM_LEAK}``.
+    """
+
+    name = "defect_spawn_intercomm_leak"
+    module = "defect_spawn_intercomm_leak.c"
+    expected_finding = FindingKind.COMM_LEAK
+    default_nprocs = 1
+    required_impl = "refmpi"  # exercises the new spawn personality
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        universe = mpi.ep.world.universe
+        if "intercomm_leak_child" not in universe.program_registry:
+            universe.register_program(IntercommLeakChild())
+        inter, _codes = yield from mpi.comm_spawn("intercomm_leak_child", [], 2)
+        for _ in range(2):
+            yield from mpi.recv(tag=11, comm=inter, nbytes=4)
+        # defect: no MPI_Comm_disconnect before MPI_Finalize
         yield from mpi.finalize()

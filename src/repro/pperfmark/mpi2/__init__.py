@@ -1,6 +1,7 @@
 """PPerfMark MPI-2 programs (Table 3) plus Oned and the passive-target test."""
 
 from .allcount import AllCount
+from .dataparallel import SpawnWorkload, SpawnWorkloadWorker
 from .oned import Oned
 from .spawn_programs import (
     SpawnCount,
@@ -26,6 +27,8 @@ __all__ = [
     "SpawnSyncChild",
     "SpawnWinSync",
     "SpawnWinSyncChild",
+    "SpawnWorkload",
+    "SpawnWorkloadWorker",
     "WinLockSync",
     "Oned",
 ]

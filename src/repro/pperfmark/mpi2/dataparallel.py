@@ -1,0 +1,313 @@
+"""A data-parallel simulation workload family modeled on nengo-mpi.
+
+nengo-mpi runs large neural simulations as a master that spawns worker
+*processors* (``MPI_Comm_spawn``), partitions the model into chunks it
+assigns to them, steps the simulation in lockstep, and gathers probe
+data back over the spawn intercommunicator -- with an ``mpi_merged``
+flag that coalesces the per-chunk traffic of one worker into a single
+message.  ``spawn_workload`` reproduces that shape on the simulated
+MPI engine:
+
+1. **spawn** -- the master spawns ``workers`` worker processes;
+2. **distribute** (``SETUP_TAG``) -- model chunk ``c`` goes to worker
+   ``c % workers``; with ``merged=True`` each worker gets one
+   concatenated message instead of one message per chunk;
+3. **step** (``STEP_TAG``) -- every step the master sends each worker a
+   4-byte directive; workers simulate (compute scaled by their chunk
+   count);
+4. **gather** (``PROBE_TAG``) -- on probe steps (``step % probe_every
+   == 0``) every worker sends its probe data back: per chunk unmerged,
+   one coalesced message per worker merged.  The master stores each
+   probe array in ``self.gathered[(step, chunk)]``;
+5. **disconnect** -- both sides ``MPI_Comm_disconnect`` the intercomm
+   before finalizing.
+
+The ``merged`` toggle changes *message counts only*: the bytes moved in
+the distribute and gather phases are identical in both modes, and the
+gathered probe arrays are bit-identical -- the invariant the hypothesis
+property tests pin down.  Probe payloads are deterministic functions of
+the chunk id and step (``chunk_data(c) * (step + 1)``), so round-trips
+are verifiable without golden files.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ...mpi.datatypes import DOUBLE, INT
+from ...mpi.world import MpiProgram
+from ..base import Expectation, PPerfProgram, register
+
+__all__ = ["SpawnWorkload", "SpawnWorkloadWorker"]
+
+#: model-chunk distribution messages (nengo-mpi's setup_tag)
+SETUP_TAG = 1
+#: probe-data gather messages (nengo-mpi's probe_tag)
+PROBE_TAG = 2
+#: per-step directives from the master (tag 3 is the spawn trio's WORK_TAG)
+STEP_TAG = 4
+
+
+def _worker_chunks(chunks: int, workers: int, worker: int) -> list[int]:
+    """Chunk ids owned by ``worker`` (round-robin assignment)."""
+    return [c for c in range(chunks) if c % workers == worker]
+
+
+def _chunk_data(chunk: int, chunk_elems: int) -> np.ndarray:
+    """The deterministic model data of one chunk."""
+    return np.arange(chunk_elems, dtype="f8") * (chunk + 1.0)
+
+
+class _WorkloadShape:
+    """Parameters and derived layout shared by master and workers."""
+
+    workers: int
+    chunks: int
+    chunk_elems: int
+    steps: int
+    probe_every: int
+    work_seconds: float
+    merged: bool
+
+    def worker_chunks(self, worker: int) -> list[int]:
+        return _worker_chunks(self.chunks, self.workers, worker)
+
+    def chunk_data(self, chunk: int) -> np.ndarray:
+        return _chunk_data(chunk, self.chunk_elems)
+
+    def probe_steps(self) -> list[int]:
+        return [s for s in range(self.steps) if s % self.probe_every == 0]
+
+    def chunk_nbytes(self, nchunks: int = 1) -> int:
+        return nchunks * self.chunk_elems * DOUBLE.size
+
+
+class SpawnWorkloadWorker(MpiProgram, _WorkloadShape):
+    """One spawned worker processor: holds chunks, steps, reports probes."""
+
+    name = "spawn_workload_worker"
+    module = "spawn_workload_worker.c"
+
+    def __init__(
+        self,
+        workers: int = 4,
+        chunks: int = 8,
+        chunk_elems: int = 16,
+        steps: int = 3,
+        probe_every: int = 1,
+        work_seconds: float = 2e-3,
+        merged: bool = False,
+    ) -> None:
+        self.workers = workers
+        self.chunks = chunks
+        self.chunk_elems = chunk_elems
+        self.steps = steps
+        self.probe_every = probe_every
+        self.work_seconds = work_seconds
+        self.merged = merged
+
+    def functions(self):
+        return {"workerstep": self._workerstep}
+
+    def _workerstep(self, mpi, proc, parent, step, model) -> Generator:
+        """Simulate this worker's chunks for one step, then report probes."""
+        if model:
+            yield from mpi.compute(self.work_seconds * len(model))
+        if step % self.probe_every != 0 or not model:
+            return
+        scale = float(step + 1)
+        if self.merged:
+            payload = [(step, c, model[c] * scale) for c in sorted(model)]
+            yield from mpi.send(
+                0,
+                nbytes=self.chunk_nbytes(len(model)),
+                tag=PROBE_TAG,
+                comm=parent,
+                payload=payload,
+                datatype=DOUBLE,
+            )
+        else:
+            for c in sorted(model):
+                yield from mpi.send(
+                    0,
+                    nbytes=self.chunk_nbytes(),
+                    tag=PROBE_TAG,
+                    comm=parent,
+                    payload=(step, c, model[c] * scale),
+                    datatype=DOUBLE,
+                )
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        parent = yield from mpi.comm_get_parent()
+        mine = self.worker_chunks(mpi.rank)
+        model: dict[int, np.ndarray] = {}
+        if self.merged:
+            if mine:
+                batch = yield from mpi.recv(
+                    source=0,
+                    tag=SETUP_TAG,
+                    comm=parent,
+                    nbytes=self.chunk_nbytes(len(mine)),
+                    datatype=DOUBLE,
+                )
+                for chunk, data in batch:
+                    model[chunk] = data
+        else:
+            for _ in mine:
+                chunk, data = yield from mpi.recv(
+                    source=0,
+                    tag=SETUP_TAG,
+                    comm=parent,
+                    nbytes=self.chunk_nbytes(),
+                    datatype=DOUBLE,
+                )
+                model[chunk] = data
+        for step in range(self.steps):
+            yield from mpi.recv(
+                source=0, tag=STEP_TAG, comm=parent, nbytes=4, datatype=INT
+            )
+            yield from mpi.call("workerstep", parent, step, model)
+        yield from mpi.comm_disconnect(parent)
+        yield from mpi.finalize()
+
+
+@register
+class SpawnWorkload(PPerfProgram, _WorkloadShape):
+    name = "spawn_workload"
+    module = "spawn_workload.c"
+    suite = "mpi2"
+    default_nprocs = 1
+    description = (
+        "A nengo-mpi-style data-parallel simulation: the master spawns "
+        "worker processors, distributes model chunks over the spawn "
+        "intercommunicator, steps the simulation in lockstep, and gathers "
+        "probe data each probe step. The merged flag coalesces per-chunk "
+        "traffic into one message per worker (message counts change, "
+        "bytes and probe data do not)."
+    )
+    expectation = Expectation()  # verified by gathered-probe inspection
+
+    #: name of the spawned child program
+    child_name = "spawn_workload_worker"
+
+    def __init__(
+        self,
+        workers: int = 4,
+        chunks: int = 8,
+        chunk_elems: int = 16,
+        steps: int = 3,
+        probe_every: int = 1,
+        work_seconds: float = 2e-3,
+        merged: bool = False,
+    ) -> None:
+        self.workers = workers
+        self.chunks = chunks
+        self.chunk_elems = chunk_elems
+        self.steps = steps
+        self.probe_every = probe_every
+        self.work_seconds = work_seconds
+        self.merged = merged
+        #: (step, chunk) -> probe array, filled by the gather phase
+        self.gathered: dict[tuple[int, int], np.ndarray] = {}
+
+    def probe_recv_elems(self, elems: int) -> int:
+        """Receive-buffer size (elements) the master posts for one probe
+        message of ``elems`` doubles.  Seeded-defect subclasses shrink it
+        to provoke the truncation detector."""
+        return elems
+
+    def make_worker(self) -> SpawnWorkloadWorker:
+        return SpawnWorkloadWorker(
+            workers=self.workers,
+            chunks=self.chunks,
+            chunk_elems=self.chunk_elems,
+            steps=self.steps,
+            probe_every=self.probe_every,
+            work_seconds=self.work_seconds,
+            merged=self.merged,
+        )
+
+    def expected_probe_keys(self) -> set[tuple[int, int]]:
+        return {(s, c) for s in self.probe_steps() for c in range(self.chunks)}
+
+    def master_messages(self) -> int:
+        """Messages the master sends: distribution + step directives."""
+        loaded = sum(1 for w in range(self.workers) if self.worker_chunks(w))
+        distribution = loaded if self.merged else self.chunks
+        return distribution + self.steps * self.workers
+
+    def functions(self):
+        return {"gatherprobes": self._gatherprobes}
+
+    def _gatherprobes(self, mpi, proc, inter, step) -> Generator:
+        """Collect one probe step's data from every loaded worker."""
+        for worker in range(self.workers):
+            mine = self.worker_chunks(worker)
+            if not mine:
+                continue
+            if self.merged:
+                batch = yield from mpi.recv(
+                    source=worker,
+                    tag=PROBE_TAG,
+                    comm=inter,
+                    nbytes=self.probe_recv_elems(len(mine) * self.chunk_elems)
+                    * DOUBLE.size,
+                    datatype=DOUBLE,
+                )
+                for s, c, data in batch:
+                    self.gathered[(s, c)] = data
+            else:
+                for _ in mine:
+                    s, c, data = yield from mpi.recv(
+                        source=worker,
+                        tag=PROBE_TAG,
+                        comm=inter,
+                        nbytes=self.probe_recv_elems(self.chunk_elems)
+                        * DOUBLE.size,
+                        datatype=DOUBLE,
+                    )
+                    self.gathered[(s, c)] = data
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        universe = mpi.ep.world.universe
+        if self.child_name not in universe.program_registry:
+            universe.register_program(self.make_worker())
+        inter, _codes = yield from mpi.comm_spawn(self.child_name, [], self.workers)
+        if self.merged:
+            for worker in range(self.workers):
+                mine = self.worker_chunks(worker)
+                if not mine:
+                    continue
+                payload = [(c, self.chunk_data(c)) for c in mine]
+                yield from mpi.send(
+                    worker,
+                    nbytes=self.chunk_nbytes(len(mine)),
+                    tag=SETUP_TAG,
+                    comm=inter,
+                    payload=payload,
+                    datatype=DOUBLE,
+                )
+        else:
+            for c in range(self.chunks):
+                yield from mpi.send(
+                    c % self.workers,
+                    nbytes=self.chunk_nbytes(),
+                    tag=SETUP_TAG,
+                    comm=inter,
+                    payload=(c, self.chunk_data(c)),
+                    datatype=DOUBLE,
+                )
+        for step in range(self.steps):
+            for worker in range(self.workers):
+                yield from mpi.send(
+                    worker, nbytes=4, tag=STEP_TAG, comm=inter,
+                    payload=step, datatype=INT,
+                )
+            if step % self.probe_every == 0:
+                yield from mpi.call("gatherprobes", inter, step)
+        yield from mpi.comm_disconnect(inter)
+        yield from mpi.finalize()

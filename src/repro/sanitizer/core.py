@@ -90,6 +90,9 @@ class Sanitizer:
         # even when a deadlock elsewhere keeps it from exiting
         self._in_finalize: set[int] = set()
 
+        #: connected (spawn) intercommunicators, for finalize leak checks
+        self._intercomms: list[Any] = []
+
         self._windows: list[Any] = []
         # strict epoch state, keyed by window *object* (ids may be reused)
         self._wstate: dict[int, dict[int, str]] = {}
@@ -128,6 +131,7 @@ class Sanitizer:
     def attach(self) -> "Sanitizer":
         self.universe.process_hooks.append(self._on_process)
         self.universe.win_hooks.append(self._on_window)
+        self.universe.comm_hooks.append(self._on_comm)
         self.universe.event_hooks.append(self._on_event)
         self.universe.kernel.deadlock_hooks.append(self.on_deadlock)
         return self
@@ -141,6 +145,12 @@ class Sanitizer:
         proc.trace_hooks.append(
             lambda p, frame, event, _ep=ep: self._on_trace(_ep, frame, event)
         )
+
+    def _on_comm(self, comm) -> None:
+        # Record every communicator; the finalize check filters on the
+        # ``connected`` flag, which the universe sets right *after* the
+        # creation hook fires (spawn intercomms only).
+        self._intercomms.append(comm)
 
     def _on_window(self, win) -> None:
         self._windows.append(win)
@@ -586,6 +596,14 @@ class Sanitizer:
         Window checks are skipped in that mode: ``MPI_Win_free`` is
         collective, so a blocked rank elsewhere is enough to keep a window
         allocated through no fault of the finalizing ranks.
+
+        Connected (spawn) intercommunicators are checked in *both* modes.
+        ``MPI_Comm_disconnect`` is collective too, but the moment any
+        member -- parent or child -- enters MPI_Finalize (or exits) with
+        the intercomm still connected, the collective disconnect has
+        become permanently impossible: that member's commitment makes the
+        leak real regardless of any concurrent deadlock, so a deadlock
+        elsewhere must not mask it.
         """
         for idx, ep in enumerate(self._eps):
             if finalized_only and idx not in self._in_finalize:
@@ -611,6 +629,33 @@ class Sanitizer:
                     f"{len(pending)} nonblocking request(s) ({kinds}) never "
                     "completed with MPI_Wait/MPI_Test before MPI_Finalize",
                 )
+        for comm in self._intercomms:
+            if not getattr(comm, "connected", False) or comm.freed:
+                continue
+            members = list(comm.group) + list(comm.remote_group or [])
+            committed = [
+                ep
+                for ep in members
+                if self._ep_index.get(id(ep)) in self._in_finalize
+                or ep.proc.exited
+            ]
+            if finalized_only and not committed:
+                # every member is still blocked: the missing disconnect is
+                # part of the deadlock diagnosis, not (yet) a leak
+                continue
+            ranks = ", ".join(
+                f"{'child' if comm.remote_group and ep in list(comm.remote_group) else 'parent'} "
+                f"rank {ep.world_rank}"
+                for ep in committed
+            ) or "no member"
+            self._report(
+                FindingKind.COMM_LEAK,
+                -1,
+                comm.name,
+                f"spawn intercommunicator {comm.name!r} was never "
+                f"disconnected: {ranks} reached MPI_Finalize without "
+                "calling MPI_Comm_disconnect",
+            )
         if finalized_only:
             return
         for win in self._windows:

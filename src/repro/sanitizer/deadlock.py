@@ -41,6 +41,7 @@ _COLLECTIVE_CALLS = {
     "Comm_create",
     "Comm_spawn",
     "Intercomm_merge",
+    "Comm_disconnect",
     "File_open",
     "File_close",
     "Win_create",

@@ -25,6 +25,7 @@ class FindingKind(enum.Enum):
     UNMATCHED_SEND = "unmatched-send"
     REQUEST_LEAK = "request-leak"
     WINDOW_LEAK = "window-leak"
+    COMM_LEAK = "intercomm-leak"
     WINDOW_USE_AFTER_FREE = "window-use-after-free"
     RECV_TRUNCATION = "recv-truncation"
     DATATYPE_MISMATCH = "datatype-mismatch"

@@ -55,3 +55,51 @@ def test_signatures_do_differ_between_programs():
     a = sanitize_program("small_messages", impl="lam", quick=True)
     b = sanitize_program("big_message", impl="lam", quick=True)
     assert a.data_signature != b.data_signature
+
+
+# ------------------------------------------------------- dynamic processes
+
+#: every spawn program now has two implementations: LAM and refmpi
+SPAWN_PROGRAMS = ("spawncount", "spawnsync", "spawnwinsync", "spawn_workload")
+
+
+@pytest.mark.parametrize("name", SPAWN_PROGRAMS)
+def test_spawn_program_identical_data_refmpi_vs_lam(name):
+    """The paper's most novel feature, differentially tested: each spawn
+    program's per-rank data signature (parent *and* child worlds) must be
+    identical under LAM and refmpi."""
+    reports = {
+        impl: sanitize_program(name, impl=impl, quick=True)
+        for impl in ("lam", "refmpi")
+    }
+    for impl, report in reports.items():
+        assert report.status == "clean", (
+            f"{name}/{impl}: {[(f.kind.value, f.detail) for f in report.findings]}"
+        )
+    assert reports["lam"].data_signature, f"{name}: empty data signature"
+    assert reports["lam"].data_signature == reports["refmpi"].data_signature, (
+        f"{name}: refmpi application data diverges from lam"
+    )
+    # the child world's ranks must be part of the compared signature
+    worlds = {row[0] for row in reports["lam"].data_signature}
+    assert len(worlds) >= 2, f"{name}: signature misses the spawned world"
+
+
+@pytest.mark.parametrize("name", SPAWN_PROGRAMS)
+def test_spawn_divergence_is_limited_to_documented_knobs(name):
+    """refmpi diverges from LAM on exactly two documented spawn knobs --
+    packed placement and a cheaper spawn cost model -- so traces and
+    timings differ while application data does not."""
+    from repro.mpi.impls.lam import LamImpl
+    from repro.mpi.impls.refmpi import RefMpiImpl
+
+    assert RefMpiImpl.spawn_cost < LamImpl.spawn_cost
+    assert RefMpiImpl.child_startup_time < LamImpl.child_startup_time
+
+    lam = sanitize_program(name, impl="lam", quick=True)
+    ref = sanitize_program(name, impl="refmpi", quick=True)
+    assert lam.trace_digest != ref.trace_digest
+    assert lam.elapsed != ref.elapsed
+    # the cheaper pre-forked spawn path shows up as a faster run
+    assert ref.elapsed < lam.elapsed
+    assert lam.data_signature == ref.data_signature

@@ -1,0 +1,294 @@
+"""The nengo-mpi-style data-parallel spawn workload.
+
+Property tests (hypothesis) pin the workload family's two contracts on
+both spawn-capable personalities:
+
+* **round-trip** -- every probe array the master gathers is bit-identical
+  to the deterministic function of (chunk, step) the worker computed, for
+  any worker count, chunk count, and probe schedule;
+* **coalescing** -- the ``merged`` toggle (nengo-mpi's ``mpi_merged``)
+  changes message counts only: bytes moved and gathered data never change.
+
+Golden determinism tests pin the trace digest, and the cross-contamination
+fixture proves an intercomm leak and a deadlock in one run are both
+reported without masking each other.  The 16-worker scale variants are
+``slow``-marked (out of tier-1).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.datatypes import DOUBLE
+from repro.mpi.world import MpiProgram
+from repro.pperfmark.defects import IntercommLeakChild
+from repro.pperfmark.mpi2.dataparallel import (
+    SETUP_TAG,
+    SpawnWorkload,
+    _chunk_data,
+    _worker_chunks,
+)
+from repro.sanitizer import FindingKind, sanitize_program
+
+SPAWN_IMPLS = ("lam", "refmpi")
+
+#: small-but-irregular parameter space: workers that don't divide chunks,
+#: empty workers (chunks < workers), probe schedules that skip steps
+workers_st = st.integers(min_value=1, max_value=4)
+chunks_st = st.integers(min_value=0, max_value=6)
+elems_st = st.integers(min_value=1, max_value=8)
+steps_st = st.integers(min_value=1, max_value=3)
+probe_st = st.integers(min_value=1, max_value=2)
+
+
+def _run(impl, **params):
+    params.setdefault("work_seconds", 1e-4)
+    program = SpawnWorkload(**params)
+    report = sanitize_program(program, impl=impl)
+    return program, report
+
+
+def _msg_and_byte_columns(report):
+    """{(world, rank): ((sent_msgs, recv_msgs), (sent_bytes, recv_bytes))}"""
+    return {
+        (row[0], row[1]): ((row[2], row[4]), (row[3], row[5]))
+        for row in report.data_signature
+    }
+
+
+# ------------------------------------------------------------- pure layout
+
+def test_chunk_layout_helpers():
+    assert _worker_chunks(7, 3, 0) == [0, 3, 6]
+    assert _worker_chunks(7, 3, 2) == [2, 5]
+    assert _worker_chunks(2, 4, 3) == []  # an unloaded worker
+    p = SpawnWorkload(workers=3, chunks=7, steps=4, probe_every=2)
+    assert p.probe_steps() == [0, 2]
+    assert p.expected_probe_keys() == {(s, c) for s in (0, 2) for c in range(7)}
+    # merged coalesces distribution to one message per loaded worker
+    assert SpawnWorkload(workers=3, chunks=7, merged=True).master_messages() == (
+        3 + 3 * 3
+    )
+    assert SpawnWorkload(workers=3, chunks=7, merged=False).master_messages() == (
+        7 + 3 * 3
+    )
+
+
+# -------------------------------------------------- hypothesis properties
+
+@settings(max_examples=10, deadline=None)
+@given(
+    workers=workers_st,
+    chunks=chunks_st,
+    chunk_elems=elems_st,
+    steps=steps_st,
+    probe_every=probe_st,
+    merged=st.booleans(),
+)
+def test_probe_gather_round_trips_bit_identically_on_both_impls(
+    workers, chunks, chunk_elems, steps, probe_every, merged
+):
+    """For any shape, both spawn-capable personalities run clean, gather
+    exactly the expected (step, chunk) keys, and every gathered array is
+    bit-identical to ``chunk_data(c) * (step + 1)``."""
+    signatures = {}
+    for impl in SPAWN_IMPLS:
+        program, report = _run(
+            impl,
+            workers=workers,
+            chunks=chunks,
+            chunk_elems=chunk_elems,
+            steps=steps,
+            probe_every=probe_every,
+            merged=merged,
+        )
+        assert report.status == "clean", (
+            f"{impl}: {[(f.kind.value, f.detail) for f in report.findings]}"
+        )
+        assert set(program.gathered) == program.expected_probe_keys()
+        for (step, chunk), data in program.gathered.items():
+            expected = _chunk_data(chunk, chunk_elems) * float(step + 1)
+            assert np.array_equal(data, expected), (step, chunk)
+        signatures[impl] = report.data_signature
+    assert signatures["lam"] == signatures["refmpi"]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    workers=workers_st,
+    chunks=chunks_st,
+    chunk_elems=elems_st,
+    steps=steps_st,
+    probe_every=probe_st,
+)
+def test_merged_toggle_changes_message_counts_never_bytes(
+    workers, chunks, chunk_elems, steps, probe_every
+):
+    """nengo-mpi's coalescing contract: flipping ``merged`` leaves every
+    rank's byte counters and the gathered probe data untouched; it can only
+    lower message counts, strictly so when some worker owns >= 2 chunks."""
+    shape = dict(
+        workers=workers,
+        chunks=chunks,
+        chunk_elems=chunk_elems,
+        steps=steps,
+        probe_every=probe_every,
+    )
+    unmerged_prog, unmerged = _run("lam", merged=False, **shape)
+    merged_prog, merged = _run("lam", merged=True, **shape)
+    assert unmerged.status == merged.status == "clean"
+
+    # identical gathered data, key for key, bit for bit
+    assert set(merged_prog.gathered) == set(unmerged_prog.gathered)
+    for key, data in unmerged_prog.gathered.items():
+        assert np.array_equal(merged_prog.gathered[key], data), key
+
+    u_cols = _msg_and_byte_columns(unmerged)
+    m_cols = _msg_and_byte_columns(merged)
+    assert set(u_cols) == set(m_cols)  # same worlds and ranks
+    for rank_key, (u_msgs, u_bytes) in u_cols.items():
+        m_msgs, m_bytes = m_cols[rank_key]
+        assert m_bytes == u_bytes, f"{rank_key}: merging changed bytes"
+        assert m_msgs[0] <= u_msgs[0] and m_msgs[1] <= u_msgs[1], rank_key
+
+    coalescible = any(
+        len(_worker_chunks(chunks, workers, w)) >= 2 for w in range(workers)
+    )
+    total = lambda cols: sum(m[0] + m[1] for m, _ in cols.values())
+    if coalescible:
+        assert total(m_cols) < total(u_cols)
+    else:
+        assert total(m_cols) == total(u_cols)
+
+
+# -------------------------------------------------------- golden digests
+
+@pytest.mark.parametrize("impl", SPAWN_IMPLS)
+@pytest.mark.parametrize("merged", (False, True))
+def test_trace_digest_is_deterministic(impl, merged):
+    """Two identically-seeded runs replay event for event: equal digests,
+    signatures, and simulated wall time."""
+    runs = [
+        _run(impl, workers=3, chunks=7, chunk_elems=8, steps=3, merged=merged)[1]
+        for _ in range(2)
+    ]
+    assert runs[0].trace_digest == runs[1].trace_digest
+    assert runs[0].data_signature == runs[1].data_signature
+    assert runs[0].elapsed == runs[1].elapsed
+
+
+def test_trace_digest_separates_personalities_but_not_data():
+    """The digest is personality-sensitive (placement and spawn costs
+    differ), the data signature is not."""
+    lam = _run("lam", workers=3, chunks=7, chunk_elems=8, steps=3)[1]
+    ref = _run("refmpi", workers=3, chunks=7, chunk_elems=8, steps=3)[1]
+    assert lam.trace_digest != ref.trace_digest
+    assert lam.data_signature == ref.data_signature
+
+
+# ---------------------------------------------- leak + deadlock, one run
+
+class _LeakThenDeadlock(MpiProgram):
+    """Three parent ranks: rank 0 spawns a child that never disconnects and
+    then finalizes; ranks 1 and 2 deadlock head-to-head.  Both defects must
+    surface in one report."""
+
+    name = "leak_then_deadlock"
+    module = "leak_then_deadlock.c"
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        universe = mpi.ep.world.universe
+        if "intercomm_leak_child" not in universe.program_registry:
+            universe.register_program(IntercommLeakChild())
+        inter, _codes = yield from mpi.comm_spawn("intercomm_leak_child", [], 1)
+        if mpi.rank == 0:
+            yield from mpi.recv(tag=11, comm=inter, nbytes=4)
+            # commits the leak: finalize without MPI_Comm_disconnect
+            yield from mpi.finalize()
+        elif mpi.rank == 1:
+            yield from mpi.recv(source=2, tag=7, nbytes=8)
+        else:
+            yield from mpi.recv(source=1, tag=7, nbytes=8)
+
+
+def test_intercomm_leak_not_masked_by_concurrent_deadlock():
+    """A deadlock elsewhere in the world must not mask the intercomm leak
+    (rank 0 reached MPI_Finalize, committing it), and the leak must not
+    distort the deadlock diagnosis."""
+    report = sanitize_program(_LeakThenDeadlock(), impl="refmpi", nprocs=3)
+    assert report.kinds() == {FindingKind.COMM_LEAK, FindingKind.DEADLOCK}
+    (leak,) = report.by_kind(FindingKind.COMM_LEAK)
+    assert leak.rank == -1  # the leak belongs to the intercomm, not a rank
+    assert "never" in leak.detail and "disconnect" in leak.detail
+    (deadlock,) = report.by_kind(FindingKind.DEADLOCK)
+    assert "rank 1" in deadlock.detail and "rank 2" in deadlock.detail
+    assert report.crash and "deadlock" in report.crash.lower()
+
+
+# --------------------------------------------------------- scale (slow)
+
+SCALE = dict(workers=16, chunks=32, chunk_elems=4, steps=2, work_seconds=1e-5)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("impl", SPAWN_IMPLS)
+def test_scale_16_workers_clean(impl):
+    """16 spawned workers: the workload stays clean and complete, and the
+    signature spans the master plus all 16 children."""
+    program, report = _run(impl, **SCALE)
+    assert report.status == "clean", (
+        f"{impl}: {[(f.kind.value, f.detail) for f in report.findings]}"
+    )
+    assert set(program.gathered) == program.expected_probe_keys()
+    assert len(program.gathered) == 2 * 32
+    child_rows = [row for row in report.data_signature if row[0] != 0]
+    assert len(child_rows) == 16
+
+
+class _StalledGather(SpawnWorkload):
+    """The workload with its step directives removed: the master gathers
+    probes that the (directive-starved) workers will never send, so the
+    wait-for-graph must close a cycle *across the spawn intercommunicator*:
+    master waits on worker 0's probe, worker 0 waits on the master's step."""
+
+    name = "stalled_gather"
+    module = "stalled_gather.c"
+
+    def main(self, mpi) -> Generator:
+        yield from mpi.init()
+        universe = mpi.ep.world.universe
+        if self.child_name not in universe.program_registry:
+            universe.register_program(self.make_worker())
+        inter, _codes = yield from mpi.comm_spawn(self.child_name, [], self.workers)
+        for c in range(self.chunks):
+            yield from mpi.send(
+                c % self.workers,
+                nbytes=self.chunk_nbytes(),
+                tag=SETUP_TAG,
+                comm=inter,
+                payload=(c, self.chunk_data(c)),
+                datatype=DOUBLE,
+            )
+        # defect: no STEP_TAG directives -- straight to the gather
+        yield from mpi.call("gatherprobes", inter, 0)
+        yield from mpi.comm_disconnect(inter)
+        yield from mpi.finalize()
+
+
+@pytest.mark.slow
+def test_scale_wait_for_graph_spans_intercomm():
+    """With 16 spawned workers the deadlock detector still walks the
+    wait-for-graph across the intercomm and reports only the deadlock: no
+    member reached finalize, so the (real) undisconnected intercomm is not
+    reported -- disconnect was still collectively possible."""
+    program = _StalledGather(**SCALE)
+    report = sanitize_program(program, impl="refmpi")
+    assert report.kinds() == {FindingKind.DEADLOCK}
+    (deadlock,) = report.by_kind(FindingKind.DEADLOCK)
+    assert "MPI_Recv" in deadlock.detail
