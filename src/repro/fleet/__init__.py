@@ -6,8 +6,9 @@ declaratively-specified runs in parallel, cached, with failures contained":
 * :class:`RunSpec` (:mod:`~repro.fleet.spec`) -- frozen description of one
   deterministic run; its canonical digest, salted with the source-tree
   hash, is the cache key;
-* :class:`ResultCache` (:mod:`~repro.fleet.cache`) -- content-addressed
-  on-disk artifact store with atomic writes and hit/miss accounting;
+* :class:`ArtifactStore` / :class:`ResultCache` (:mod:`~repro.fleet.cache`)
+  -- the content-addressed artifact-store protocol and its local on-disk
+  backend, with atomic writes and hit/miss accounting;
 * :class:`FleetScheduler` (:mod:`~repro.fleet.scheduler`) -- priority-queued
   multiprocessing pool with per-job timeouts, bounded retry with backoff,
   and failure containment;
@@ -17,7 +18,11 @@ declaratively-specified runs in parallel, cached, with failures contained":
   digest (its *render key*) covers the bench source, ``common.py``, and
   the artifacts it consumes, so unchanged reports are cache hits;
 * :mod:`~repro.fleet.sweeps` / ``python -m repro fleet`` -- whole-paper
-  regeneration sweeps and the ``sweep`` / ``status`` / ``clean`` CLI.
+  regeneration sweeps and the ``sweep`` / ``status`` / ``clean`` CLI;
+* :mod:`~repro.fleet.remote` -- the distributed experiment service: the
+  artifact store served over HTTP (``fleet store``), the job-lease
+  coordinator (``fleet serve``), stateless cross-machine workers
+  (``fleet worker``), and the remote pool behind ``sweep --workers``.
 
 The separation mirrors the one the paper's ecosystem draws between the
 instrumentation layer and the daemons that ferry its data: the simulation
@@ -25,7 +30,14 @@ and analyses know nothing about scheduling or caching, and the fleet knows
 nothing about MPI.
 """
 
-from .cache import CacheStats, ResultCache, default_cache_root
+from .cache import (
+    ArtifactStore,
+    CacheStats,
+    ResultCache,
+    StoreIntegrityError,
+    content_sha256,
+    default_cache_root,
+)
 from .events import EventLog, read_events
 from .execute import (
     artifact_found,
@@ -62,7 +74,10 @@ from .sweeps import (
 
 __all__ = [
     "RunSpec",
+    "ArtifactStore",
     "ResultCache",
+    "StoreIntegrityError",
+    "content_sha256",
     "CacheStats",
     "FleetScheduler",
     "JobOutcome",

@@ -1,7 +1,15 @@
-"""``python -m repro fleet`` -- sweep / status / clean.
+"""``python -m repro fleet`` -- sweep / status / clean / store / serve / worker.
 
 Wired into the main CLI by :func:`add_fleet_parser`; kept here so the core
 CLI module stays free of fleet imports until a fleet command actually runs.
+
+The three service commands make up the distributed topology::
+
+    machine A$ repro fleet store --root /srv/repro-cache --port 8750
+    machine A$ repro fleet serve --store http://A:8750 --port 8751
+    machine B$ repro fleet worker A:8751
+    machine C$ repro fleet worker A:8751
+    anywhere$  repro fleet sweep --workers A:8751 --store http://A:8750
 """
 
 from __future__ import annotations
@@ -10,6 +18,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import Optional
 
 from ..observe.cli import DEFAULT_TRACE_DIR  # mode-salt: none
 from ..observe.critical_path import render_critical_path  # mode-salt: none
@@ -24,6 +33,21 @@ from .sweeps import (
 )
 
 __all__ = ["add_fleet_parser", "cmd_fleet"]
+
+
+def _resolve_store(arg: Optional[str]):
+    """A cache/store argument (or the environment default) as a backend:
+    a path gives the local directory, an ``http(s)://`` URL the remote
+    store client."""
+    if arg:
+        if arg.startswith(("http://", "https://")):
+            from .remote.store import HTTPStore
+
+            return HTTPStore(arg)
+        return ResultCache(arg)
+    from .execute import default_cache
+
+    return default_cache()
 
 
 def add_fleet_parser(sub: argparse._SubParsersAction) -> None:
@@ -46,9 +70,20 @@ def add_fleet_parser(sub: argparse._SubParsersAction) -> None:
     sweep.add_argument("--retries", type=int, default=1,
                        help="extra attempts after a failure/timeout")
     sweep.add_argument("--chaos", type=int, default=0,
-                       help="inject N always-crashing jobs (containment drill)")
+                       help="inject N always-crashing jobs (containment "
+                       "drill); with --workers, additionally SIGKILL N live "
+                       "workers mid-lease (steal/retry drill)")
+    sweep.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for the deterministic chaos kill schedule")
     sweep.add_argument("--no-render", action="store_true",
                        help="warm the cache only; skip report regeneration")
+    sweep.add_argument("--workers", default=None, metavar="HOST:PORT,...",
+                       help="run the sweep over remote workers attached to "
+                       "these coordinators (repro fleet serve) instead of "
+                       "local forks")
+    sweep.add_argument("--store", default=None, metavar="URL",
+                       help="shared artifact-store URL (repro fleet store); "
+                       "overrides --cache")
     sweep.add_argument("--cache", default=None, metavar="DIR",
                        help="cache directory (default .repro-cache)")
     sweep.add_argument("--bench-out", default=BENCH_OUT, metavar="PATH",
@@ -72,9 +107,56 @@ def add_fleet_parser(sub: argparse._SubParsersAction) -> None:
                        help="keep artifacts the current sweep would reuse; "
                        "drop only orphans from older code versions")
 
+    store = fsub.add_parser(
+        "store",
+        help="serve a cache directory as a shared artifact store over HTTP",
+    )
+    store.add_argument("--root", default=None, metavar="DIR",
+                       help="cache directory to serve (default .repro-cache)")
+    store.add_argument("--host", default="127.0.0.1")
+    store.add_argument("--port", type=int, default=8750,
+                       help="listen port (0 = auto-assign)")
+
+    serve = fsub.add_parser(
+        "serve",
+        help="run the sweep coordinator (job lease/heartbeat/result queue)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8751,
+                       help="listen port (0 = auto-assign)")
+    serve.add_argument("--store", default=None, metavar="URL",
+                       help="artifact-store URL handed to workers at lease "
+                       "time")
+    serve.add_argument("--lease-timeout", type=float, default=15.0,
+                       help="seconds without a heartbeat before a worker is "
+                       "presumed dead and its job is re-queued")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="extra attempts after a reported job failure")
+
+    worker = fsub.add_parser(
+        "worker",
+        help="run a stateless worker pulling jobs from a coordinator",
+    )
+    worker.add_argument("coordinator", metavar="HOST:PORT",
+                        help="coordinator endpoint (repro fleet serve)")
+    worker.add_argument("--id", default=None, metavar="NAME",
+                        help="worker id (default: hostname-pid)")
+    worker.add_argument("--store", default=None, metavar="URL",
+                        help="artifact-store URL (default: whatever the "
+                        "coordinator hands out)")
+    worker.add_argument("--max-idle", type=float, default=None, metavar="SECS",
+                        help="exit after this long with no work (default: "
+                        "poll until the coordinator drains)")
+
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.cache) if args.cache else None
+    if args.store:
+        from .remote.store import HTTPStore
+
+        cache = HTTPStore(args.store)
+    else:
+        cache = ResultCache(args.cache) if args.cache else None
+    workers = [w for w in (args.workers or "").split(",") if w] or None
     bench_out = None if args.bench_out == "-" else Path(args.bench_out)
     summary = run_sweep(
         suite=args.suite,
@@ -82,7 +164,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
         chaos=args.chaos,
+        chaos_seed=args.chaos_seed,
         render=not args.no_render,
+        workers=workers,
         cache=cache,
         bench_out=bench_out,
         sanitize_impls=tuple(args.impls.split(",")),
@@ -118,6 +202,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             else ""
         )
     )
+    remote = summary.get("remote")
+    if remote:
+        per_worker = ", ".join(
+            f"{worker}={row['jobs']}" for worker, row in
+            sorted(remote.get("workers", {}).items())
+        )
+        print(
+            f"# remote: {len(remote.get('workers', {}))} worker(s) "
+            f"[{per_worker}], {remote.get('steals', 0)} steal(s), "
+            f"{remote.get('retries', 0)} retrie(s), "
+            f"{remote.get('worker_losses', 0)} lease expirie(s), "
+            f"{remote.get('chaos_kills', 0)} chaos kill(s)"
+        )
     for job in summary["per_job"]:
         if job["status"] == "failed":
             print(f"#   FAILED {job['job']} after {job['attempts']} attempt(s): "
@@ -150,7 +247,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.cache) if args.cache else ResultCache()
+    cache = _resolve_store(args.cache)
     info = cache.describe()
     print(f"# fleet cache at {info['root']}: {info['objects']} artifact(s), "
           f"{info['size_bytes'] / 1024:.1f} KiB")
@@ -164,16 +261,23 @@ def _cmd_status(args: argparse.Namespace) -> int:
             f"{counts.get('cached')} cached, {counts.get('failed')} failed, "
             f"wall {last.get('wall', {}).get('total')}s"
         )
-    tail = list(read_events(cache.events_path))[-args.events:]
-    for record in tail:
-        extras = {k: v for k, v in record.items() if k not in ("t", "event")}
-        print(f"  {record['t']:.3f} {record['event']:<12} "
-              + " ".join(f"{k}={v}" for k, v in sorted(extras.items())))
+    events_path = getattr(cache, "events_path", None)
+    if events_path is not None:
+        tail = list(read_events(events_path))[-args.events:]
+        for record in tail:
+            extras = {k: v for k, v in record.items() if k not in ("t", "event")}
+            print(f"  {record['t']:.3f} {record['event']:<12} "
+                  + " ".join(f"{k}={v}" for k, v in sorted(extras.items())))
     return 0
 
 
 def _cmd_clean(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.cache) if args.cache else ResultCache()
+    cache = _resolve_store(args.cache)
+    if not isinstance(cache, ResultCache):
+        print(f"fleet clean: {cache.root} is a remote store; run clean/gc "
+              "on the machine serving it (its --root directory)",
+              file=sys.stderr)
+        return 2
     if args.gc:
         live = {spec.digest for spec in sweep_specs("all")}
         removed = cache.gc(live)
@@ -185,6 +289,49 @@ def _cmd_clean(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .remote.store import ArtifactStoreServer
+
+    server = ArtifactStoreServer(args.root, host=args.host, port=args.port)
+    server.start()
+    print(f"# artifact store serving {server.cache.root} on {server.url} "
+          f"({len(server.cache)} object(s)); Ctrl-C to stop", flush=True)
+    server.serve_forever()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .remote.coordinator import FleetCoordinator
+
+    coordinator = FleetCoordinator(
+        host=args.host, port=args.port, store_url=args.store,
+        lease_timeout=args.lease_timeout, retries=args.retries,
+    )
+    coordinator.start()
+    print(f"# fleet coordinator on {coordinator.url}"
+          + (f" (store {args.store})" if args.store else "")
+          + f"; lease timeout {args.lease_timeout}s; point workers here "
+          "with: repro fleet worker " + coordinator.address, flush=True)
+    coordinator.serve_forever()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .remote.store import HTTPStore
+    from .remote.worker import FleetWorker
+
+    worker = FleetWorker(
+        args.coordinator,
+        worker_id=args.id,
+        store=HTTPStore(args.store) if args.store else None,
+        max_idle=args.max_idle,
+    )
+    completed = worker.run()
+    print(f"# worker {worker.worker_id}: {completed} job(s) "
+          f"({worker.store_hits} store hit(s))")
+    return 0
+
+
 def cmd_fleet(args: argparse.Namespace) -> int:
     if args.fleet_command == "sweep":
         return _cmd_sweep(args)
@@ -192,5 +339,11 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         return _cmd_status(args)
     if args.fleet_command == "clean":
         return _cmd_clean(args)
+    if args.fleet_command == "store":
+        return _cmd_store(args)
+    if args.fleet_command == "serve":
+        return _cmd_serve(args)
+    if args.fleet_command == "worker":
+        return _cmd_worker(args)
     print(f"fleet: unknown command {args.fleet_command!r}", file=sys.stderr)
     return 2  # pragma: no cover - argparse enforces choices

@@ -38,8 +38,12 @@ class EventLog:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = self.path.open("a", encoding="utf-8")
 
-    def emit(self, event: str, **fields: Any) -> dict:
-        record = {"t": round(self._clock(), 6), "event": event, **fields}
+    def emit(self, event: str, *, t: Optional[float] = None, **fields: Any) -> dict:
+        """Append one record.  ``t`` overrides the clock stamp -- the remote
+        pool re-emits coordinator events with the *coordinator's* timestamps
+        preserved, so cross-process event ordering survives the relay."""
+        record = {"t": round(self._clock() if t is None else t, 6),
+                  "event": event, **fields}
         self.records.append(record)
         if self._fh is not None:
             self._fh.write(json.dumps(record, sort_keys=True) + "\n")

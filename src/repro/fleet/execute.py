@@ -24,7 +24,7 @@ import json
 from typing import Any, Optional
 
 from ..observe.recorder import active as _observe_active  # mode-salt: none
-from .cache import ResultCache
+from .cache import ArtifactStore, ResultCache, StoreIntegrityError
 from .spec import RunSpec, canonical_json
 
 __all__ = [
@@ -42,17 +42,25 @@ __all__ = [
 
 ARTIFACT_SCHEMA = 1
 
-_default_cache: Optional[ResultCache] = None
+_default_cache: Optional[ArtifactStore] = None
 
 
-def default_cache() -> ResultCache:
-    """The process-wide cache at ``.repro-cache`` (or ``REPRO_CACHE_DIR``)."""
+def default_cache() -> ArtifactStore:
+    """The process-wide artifact store: the local directory at
+    ``.repro-cache`` by default; ``REPRO_CACHE_DIR`` overrides the path, and
+    an ``http(s)://`` value there selects the remote HTTP backend instead
+    (a worker machine pointing at a shared store server)."""
     global _default_cache
     from .cache import default_cache_root
 
     root = default_cache_root()
     if _default_cache is None or _default_cache.root != root:
-        _default_cache = ResultCache(root)
+        if isinstance(root, str):
+            from .remote.store import HTTPStore  # lazy: remote is optional
+
+            _default_cache = HTTPStore(root)
+        else:
+            _default_cache = ResultCache(root)
     return _default_cache
 
 
@@ -274,14 +282,19 @@ def report_from_artifact(artifact: dict):
 
 def run_cached(
     spec: RunSpec,
-    cache: Optional[ResultCache] = None,
+    cache: Optional[ArtifactStore] = None,
     *,
     events=None,
 ) -> dict:
     """Execute ``spec`` through the cache: hit -> replay the stored artifact,
     miss -> run in-process and store.  The inline (non-pool) fleet path."""
     cache = cache if cache is not None else default_cache()
-    data = cache.get(spec.digest)
+    try:
+        data = cache.get(spec.digest)
+    except StoreIntegrityError:
+        # the corrupt object was quarantined server-side; a verification
+        # failure is just a miss -- re-execute and re-store
+        data = None
     if data is not None:
         if events is not None:
             events.emit("cached-hit", digest=spec.digest, job=spec.label)
@@ -298,7 +311,7 @@ def sanitize_cached(
     nprocs: Optional[int] = None,
     seed: int = 0,
     quick: bool = False,
-    cache: Optional[ResultCache] = None,
+    cache: Optional[ArtifactStore] = None,
 ):
     """Drop-in for :func:`repro.sanitizer.sanitize_program` that goes through
     the fleet cache (differential tests, ``repro sanitize all``)."""

@@ -1,0 +1,393 @@
+"""The sweep driver's remote pool: shard jobs across coordinators.
+
+:class:`RemotePool` is interface-compatible with
+:class:`~repro.fleet.scheduler.FleetScheduler` (``submit`` / ``run`` /
+``results`` / ``outcomes`` / ``summary``), so ``run_sweep`` swaps one for
+the other when ``--workers`` names coordinator endpoints and every phase
+of the three-phase sweep -- warm, render, observe analysis -- works
+unchanged over remote workers.
+
+The driver:
+
+1. short-circuits each spec through the shared artifact store (the warm
+   sweep against an already-warm store does zero remote round trips per
+   hit, same as the local pool against a warm directory);
+2. submits the remaining jobs round-robin across the coordinator
+   endpoints (one coordinator is the common case; more shard the queue);
+3. polls each coordinator's event feed, re-emitting lifecycle records
+   into the sweep's :class:`EventLog` with the *coordinator's* timestamps
+   preserved -- so ``observe`` swimlanes and critical-path analysis see
+   the same ``queued/started/retry/stolen/completed`` stream a local
+   sweep produces;
+4. collects terminal artifacts from the feed into ``results``.
+
+Failure containment mirrors the fork pool: a worker that vanishes
+mid-job trips lease expiry on the coordinator (steal + retry, bounded),
+and a sweep whose workers *all* vanish fails its remaining jobs locally
+with ``no-workers`` artifacts after a grace period instead of hanging.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Union
+
+from ..cache import ArtifactStore, StoreIntegrityError
+from ..events import EventLog
+from ..execute import failure_artifact, from_bytes, to_bytes
+from ..scheduler import JobOutcome
+from ..spec import RunSpec
+from .wire import Endpoint, WireError, parse_endpoint, request_json
+
+__all__ = ["RemotePool"]
+
+#: coordinator event fields that never go into the local event log
+#: (artifacts are collected into ``results``, not logged)
+_STRIP_FIELDS = ("artifact",)
+
+
+class RemotePool:
+    """Drive one sweep phase over coordinator-attached remote workers.
+
+    Parameters
+    ----------
+    endpoints: coordinator addresses (``host:port`` strings).
+    store: the shared artifact store (driver-side hit short-circuit);
+        ``None`` disables the pre-check (workers may still have one).
+    timeout / retries: forwarded to the coordinators with the job batch.
+    chaos_kills: arm N deterministic worker kills on the first
+        coordinator (the ``--chaos`` drill, remote edition).
+    drain: after the phase completes, tell coordinators to send idle
+        workers home -- set on the *last* pool of a sweep only, so the
+        warm phase leaves workers alive for the render phase.
+    worker_grace: seconds to tolerate zero live workers with jobs
+        pending before failing the remainder locally.
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[Union[str, Endpoint]],
+        *,
+        store: Optional[ArtifactStore] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        events: Optional[EventLog] = None,
+        chaos_kills: int = 0,
+        chaos_seed: int = 0,
+        drain: bool = False,
+        poll_interval: float = 0.15,
+        worker_grace: float = 60.0,
+    ) -> None:
+        if not endpoints:
+            raise ValueError("RemotePool needs at least one coordinator endpoint")
+        self.endpoints = [parse_endpoint(e) for e in endpoints]
+        self.store = store
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.events = events if events is not None else EventLog()
+        self.chaos_kills = max(0, chaos_kills)
+        self.chaos_seed = chaos_seed
+        self.drain = drain
+        self.poll_interval = poll_interval
+        self.worker_grace = worker_grace
+        # FleetScheduler-compatible surface: observed worker concurrency
+        # (refined from coordinator health once the sweep is running)
+        self.requested_jobs = len(self.endpoints)
+        self.jobs = len(self.endpoints)
+        self._submitted: dict[str, tuple[RunSpec, int]] = {}
+        self.results: dict[str, dict] = {}
+        self.outcomes: dict[str, JobOutcome] = {}
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: RunSpec, *, priority: int = 0) -> str:
+        digest = spec.digest
+        if digest in self._submitted:
+            return digest
+        self._submitted[digest] = (spec, priority)
+        self.outcomes[digest] = JobOutcome(
+            digest=digest, job=spec.label, program=spec.program,
+            impl=spec.impl, mode=spec.mode,
+        )
+        return digest
+
+    # -- coordinator round trips ---------------------------------------------
+
+    def _post(self, endpoint: Endpoint, path: str, payload: dict) -> dict:
+        status, body = request_json(
+            endpoint, "POST", path, payload, timeout=30.0, retries=2
+        )
+        if status != 200:
+            raise WireError(f"{path} on {endpoint.address} -> HTTP {status}")
+        return body
+
+    def _get(self, endpoint: Endpoint, path: str) -> dict:
+        status, body = request_json(
+            endpoint, "GET", path, timeout=30.0, retries=2
+        )
+        if status != 200:
+            raise WireError(f"{path} on {endpoint.address} -> HTTP {status}")
+        return body
+
+    # -- the run loop --------------------------------------------------------
+
+    def run(self) -> dict[str, dict]:
+        """Drain every submitted job through the coordinators; returns
+        ``{digest: artifact}``.  Job failures become failure artifacts,
+        never exceptions -- same contract as the fork pool."""
+        pending = self._store_precheck()
+        self.refresh_worker_count()
+        self.events.emit(
+            "pool-start", workers=self.jobs, requested=self.requested_jobs,
+            queued=len(pending), remote=True,
+            coordinators=[e.address for e in self.endpoints],
+        )
+        if pending:
+            cursors = self._submit_batches(pending)
+            self._poll(cursors)
+        summary = self.summary()
+        self.events.emit("sweep-summary", **summary)
+        if self.drain:
+            for endpoint in self.endpoints:
+                try:
+                    self._post(endpoint, "/control", {"action": "drain"})
+                except WireError:  # pragma: no cover - already gone
+                    pass
+        return self.results
+
+    def _store_precheck(self) -> list[str]:
+        """Resolve store hits driver-side; returns the digests still to run."""
+        pending: list[str] = []
+        for digest, (spec, _priority) in self._submitted.items():
+            data = None
+            if self.store is not None:
+                try:
+                    data = self.store.get(digest)
+                except (StoreIntegrityError, WireError):
+                    data = None  # quarantined or unreachable: execute remotely
+            if data is None:
+                pending.append(digest)
+                continue
+            outcome = self.outcomes[digest]
+            self.results[digest] = from_bytes(data)
+            outcome.status = "cached"
+            outcome.cached = True
+            self.events.emit("cached-hit", digest=digest, job=outcome.job)
+        return pending
+
+    def _submit_batches(self, pending: list[str]) -> dict[str, int]:
+        """Round-robin the jobs across coordinators; returns each
+        coordinator's event-feed cursor snapshotted *before* submission
+        (a long-lived coordinator has older sweeps' events in its feed)."""
+        batches: dict[int, list[dict]] = {i: [] for i in range(len(self.endpoints))}
+        for n, digest in enumerate(pending):
+            spec, priority = self._submitted[digest]
+            batches[n % len(self.endpoints)].append({
+                "digest": digest,
+                "spec": spec.to_dict(),
+                "label": spec.label,
+                "priority": priority,
+            })
+        cursors: dict[str, int] = {}
+        for i, endpoint in enumerate(self.endpoints):
+            feed = self._get(endpoint, "/events?cursor=0")
+            cursors[endpoint.address] = feed.get("cursor", 0)
+            self._consume_stale(feed.get("events", ()))
+            payload = {
+                "jobs": batches[i],
+                "retries": self.retries,
+                "timeout": self.timeout,
+            }
+            if i == 0 and self.chaos_kills:
+                payload["chaos_kills"] = self.chaos_kills
+                payload["chaos_seed"] = self.chaos_seed
+            response = self._post(endpoint, "/jobs", payload)
+            # digests already terminal on a long-lived coordinator (an
+            # earlier phase ran them) come straight back as results
+            for row in response.get("done", ()):
+                self._terminal(row)
+        return cursors
+
+    def _consume_stale(self, events) -> None:
+        """Pre-submission feed events: terminal records for digests *we*
+        submitted resolve them (an earlier phase's run); the rest are an
+        older sweep's history -- skip, do not re-log."""
+        for record in events:
+            if (
+                record.get("event") in ("completed", "failed")
+                and record.get("digest") in self._submitted
+                and record.get("digest") not in self.results
+            ):
+                self._terminal(record)
+
+    def _poll(self, cursors: dict[str, int]) -> None:
+        no_worker_since: Optional[float] = None
+        while True:
+            progressed = False
+            all_done = True
+            alive = 0
+            for endpoint in self.endpoints:
+                try:
+                    feed = self._get(
+                        endpoint, f"/events?cursor={cursors[endpoint.address]}"
+                    )
+                    health = self._get(endpoint, "/health")
+                except WireError:
+                    self._fail_remaining("coordinator-lost",
+                                         f"coordinator {endpoint.address} "
+                                         "became unreachable mid-sweep")
+                    return
+                alive += int(health.get("workers", 0))
+                events = feed.get("events", ())
+                cursors[endpoint.address] = feed.get("cursor",
+                                                     cursors[endpoint.address])
+                progressed |= bool(events)
+                for record in events:
+                    self._ingest(record)
+                if not feed.get("done", False):
+                    all_done = False
+            if all_done and not self._unresolved():
+                return
+            now = time.monotonic()
+            if alive == 0 and self._unresolved():
+                no_worker_since = no_worker_since if no_worker_since is not None else now
+                if now - no_worker_since > self.worker_grace:
+                    self._fail_remaining(
+                        "no-workers",
+                        f"no live workers for {self.worker_grace}s "
+                        "with jobs still pending",
+                    )
+                    return
+            else:
+                no_worker_since = None
+            if not progressed:
+                time.sleep(self.poll_interval)
+
+    # -- event ingestion -----------------------------------------------------
+
+    def _ingest(self, record: dict) -> None:
+        event = record.get("event")
+        digest = record.get("digest")
+        if digest is not None and digest not in self._submitted:
+            return  # another driver's job on a shared coordinator
+        clean = {k: v for k, v in record.items()
+                 if k not in _STRIP_FIELDS and k not in ("t", "event")}
+        self.events.emit(event, t=record.get("t"), **clean)
+        if digest is None:
+            return
+        outcome = self.outcomes[digest]
+        if event == "started":
+            outcome.attempts = max(outcome.attempts,
+                                   int(record.get("attempt", 1)))
+        elif event in ("completed", "failed"):
+            self._terminal(record)
+
+    def _terminal(self, record: dict) -> None:
+        digest = record["digest"]
+        if digest in self.results:
+            return
+        outcome = self.outcomes[digest]
+        artifact = record.get("artifact") or {}
+        self.results[digest] = artifact
+        outcome.attempts = max(outcome.attempts, int(record.get("attempt", 1)))
+        outcome.wall += float(record.get("wall", 0.0) or 0.0)
+        if record.get("event", record.get("status")) == "completed" or (
+            artifact.get("status") == "ok"
+        ):
+            outcome.status = "completed"
+            outcome.cached = bool(record.get("store_hit") or record.get("cached"))
+            if self.store is not None and artifact:
+                # idempotent: the worker already put it; this covers a
+                # store that joined late or a worker whose put failed
+                try:
+                    self.store.put(digest, to_bytes(artifact))
+                except WireError:  # pragma: no cover - store died mid-sweep
+                    pass
+        else:
+            outcome.status = "failed"
+            error = artifact.get("error") or {}
+            outcome.error = (
+                f"{error.get('type', record.get('error', 'error'))}: "
+                f"{error.get('message', '')}"
+            )
+
+    def _unresolved(self) -> list[str]:
+        return [d for d in self._submitted if d not in self.results]
+
+    def _fail_remaining(self, error_type: str, message: str) -> None:
+        for digest in self._unresolved():
+            spec, _ = self._submitted[digest]
+            outcome = self.outcomes[digest]
+            artifact = failure_artifact(
+                spec, error_type, message,
+                attempts=max(1, outcome.attempts),
+            )
+            self.results[digest] = artifact
+            outcome.status = "failed"
+            outcome.error = f"{error_type}: {message}"
+            self.events.emit("failed", digest=digest, job=outcome.job,
+                             attempt=max(1, outcome.attempts), error=error_type)
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        rows = list(self.outcomes.values())
+        return {
+            "specs": len(rows),
+            "completed": sum(1 for r in rows if r.status == "completed"),
+            "cached": sum(1 for r in rows if r.status == "cached"),
+            "failed": sum(1 for r in rows if r.status == "failed"),
+            "worker_wall": round(sum(r.wall for r in rows), 6),
+        }
+
+    def remote_summary(self) -> dict:
+        """Coordinator-side counters for BENCH_fleet.json's ``remote``
+        section: per-worker job counts, steals, retries, store hit rate."""
+        coordinators = []
+        workers: dict[str, dict] = {}
+        totals = {"steals": 0, "retries": 0, "worker_losses": 0,
+                  "chaos_kills": 0, "store_hits": 0}
+        for endpoint in self.endpoints:
+            try:
+                status = self._get(endpoint, "/status")
+            except WireError:
+                coordinators.append({"endpoint": endpoint.address,
+                                     "unreachable": True})
+                continue
+            coordinators.append({"endpoint": endpoint.address, **{
+                k: status.get(k) for k in
+                ("jobs", "completed", "failed", "steals", "retries",
+                 "worker_losses", "chaos_kills", "lease_timeout")
+            }})
+            for key in totals:
+                totals[key] += int(status.get(key, 0))
+            for worker_id, row in (status.get("workers") or {}).items():
+                merged = workers.setdefault(
+                    worker_id, {"jobs": 0, "store_hits": 0, "lost": 0}
+                )
+                for key in merged:
+                    merged[key] += int(row.get(key, 0))
+        if workers:
+            self.jobs = max(self.jobs, len(workers))
+        summary = {
+            "coordinators": coordinators,
+            "workers": workers,
+            **totals,
+        }
+        if self.store is not None:
+            summary["store"] = self.store.describe()
+        return summary
+
+    def refresh_worker_count(self) -> int:
+        """Observed live-worker concurrency (feeds swimlane/critical-path
+        analysis the way the fork pool's ``jobs`` does)."""
+        alive = 0
+        for endpoint in self.endpoints:
+            try:
+                alive += int(self._get(endpoint, "/health").get("workers", 0))
+            except WireError:
+                continue
+        if alive:
+            self.jobs = max(1, alive)
+            self.requested_jobs = max(self.requested_jobs, self.jobs)
+        return self.jobs

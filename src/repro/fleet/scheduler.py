@@ -27,7 +27,7 @@ from typing import Callable, Optional
 from ..observe.export import read_jsonl  # mode-salt: none
 from ..observe.recorder import active as _observe_active  # mode-salt: none
 from ..observe.recorder import enable as _observe_enable  # mode-salt: none
-from .cache import ResultCache
+from .cache import ArtifactStore, StoreIntegrityError
 from .events import EventLog
 from .execute import execute_spec, failure_artifact, from_bytes, to_bytes
 from .spec import RunSpec
@@ -138,7 +138,8 @@ class FleetScheduler:
     timeout: per-job wall-clock limit in seconds (``None`` = unlimited).
     retries: extra attempts after the first failure/timeout/crash.
     backoff: base delay before attempt *n*'s retry (``backoff * 2**(n-1)``).
-    cache: a :class:`ResultCache`, or ``None`` to disable caching.
+    cache: any :class:`ArtifactStore` (the local directory or a remote
+        HTTP store), or ``None`` to disable caching.
     events: an :class:`EventLog`; a fresh in-memory log by default.
     executor: the job body (tests substitute stubs); must be callable in
         the worker process -- under the default fork start method any
@@ -155,7 +156,7 @@ class FleetScheduler:
         timeout: Optional[float] = None,
         retries: int = 1,
         backoff: float = 0.25,
-        cache: Optional[ResultCache] = None,
+        cache: Optional[ArtifactStore] = None,
         events: Optional[EventLog] = None,
         executor: Callable[[RunSpec], dict] = execute_spec,
         poll_interval: float = 0.02,
@@ -255,7 +256,10 @@ class FleetScheduler:
             digest = pending.spec.digest
             outcome = self.outcomes[digest]
             if self.cache is not None and pending.attempts == 0:
-                data = self.cache.get(digest)
+                try:
+                    data = self.cache.get(digest)
+                except StoreIntegrityError:
+                    data = None  # quarantined server-side; run the job
                 if data is not None:
                     self.results[digest] = from_bytes(data)
                     outcome.status = "cached"

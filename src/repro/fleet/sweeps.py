@@ -40,7 +40,7 @@ from typing import Optional, Sequence
 from ..observe.critical_path import critical_path  # mode-salt: none
 from ..observe.export import merge_events, write_chrome, write_jsonl  # mode-salt: none
 from ..observe.recorder import recording  # mode-salt: none
-from .cache import ResultCache
+from .cache import ArtifactStore
 from .events import EventLog
 from .execute import default_cache
 from .render import (
@@ -146,22 +146,54 @@ def render_benchmarks() -> tuple[int, list[tuple[str, str]]]:
     return ran, failures
 
 
-def _render_phase(
-    plan: RenderPlan,
+def _make_pool(
     *,
+    workers: Optional[Sequence[str]],
     jobs: Optional[int],
     timeout: Optional[float],
     retries: int,
-    cache: ResultCache,
+    cache: Optional[ArtifactStore],
     events: EventLog,
     trace_dir: Optional[Path],
-) -> tuple[dict, list]:
+    chaos_kills: int = 0,
+    chaos_seed: int = 0,
+    drain: bool = False,
+):
+    """One sweep-phase pool: the fork pool by default, the remote pool when
+    ``--workers`` names coordinator endpoints.  Both speak the same
+    submit/run/outcomes/summary surface, so the phases are pool-agnostic."""
+    if workers:
+        from .remote.pool import RemotePool  # lazy: local sweeps stay lean
+
+        return RemotePool(
+            workers, store=cache, timeout=timeout, retries=retries,
+            events=events, chaos_kills=chaos_kills, chaos_seed=chaos_seed,
+            drain=drain,
+        )
+    return FleetScheduler(
+        jobs=jobs, timeout=timeout, retries=retries, cache=cache,
+        events=events, trace_dir=trace_dir,
+    )
+
+
+def _render_phase(
+    plan: RenderPlan,
+    *,
+    workers: Optional[Sequence[str]],
+    jobs: Optional[int],
+    timeout: Optional[float],
+    retries: int,
+    cache: ArtifactStore,
+    events: EventLog,
+    trace_dir: Optional[Path],
+):
     """Run the per-bench render specs through a scheduler pool and restore
-    every captured report; returns ``(render_summary, outcomes)``."""
+    every captured report; returns ``(render_summary, outcomes, pool)``."""
     t0 = time.monotonic()
-    scheduler = FleetScheduler(
-        jobs=jobs, timeout=timeout, retries=retries, cache=cache, events=events,
-        trace_dir=trace_dir,
+    scheduler = _make_pool(
+        workers=workers, jobs=jobs, timeout=timeout, retries=retries,
+        cache=cache, events=events, trace_dir=trace_dir,
+        drain=True,  # the render pool is the sweep's last: send workers home
     )
     by_digest = {}
     for entry in plan.benches:
@@ -209,7 +241,7 @@ def _render_phase(
         "failures": [list(f) for f in failures],
         "per_bench": per_bench,
     }
-    return summary, outcomes
+    return summary, outcomes, scheduler
 
 
 def run_sweep(
@@ -219,8 +251,10 @@ def run_sweep(
     timeout: Optional[float] = None,
     retries: int = 1,
     chaos: int = 0,
+    chaos_seed: int = 0,
     render: bool = True,
-    cache: Optional[ResultCache] = None,
+    workers: Optional[Sequence[str]] = None,
+    cache: Optional[ArtifactStore] = None,
     events: Optional[EventLog] = None,
     bench_out: Optional[Path] = None,
     sanitize_impls: Sequence[str] = DEFAULT_SANITIZE_IMPLS,
@@ -231,13 +265,23 @@ def run_sweep(
     in parallel).  Returns the machine-readable summary also written to
     ``bench_out``.
 
+    With ``workers`` set (``--workers host:port,...``), the warm and render
+    phases run through coordinator-attached remote workers instead of local
+    forks; ``cache`` is then typically an
+    :class:`~repro.fleet.remote.store.HTTPStore` so every machine shares
+    one warm store.  ``--chaos`` additionally arms ``chaos`` deterministic
+    worker kills (seeded by ``chaos_seed``) to drill the steal/retry path.
+
     With ``trace_dir`` set (``--trace``), the scheduler and every worker
     mirror their flight recorders into that directory; afterwards the
     per-process streams are merged into ``trace.jsonl`` + a Perfetto-
     loadable ``trace.json``.
     """
     cache = cache if cache is not None else default_cache()
-    events = events if events is not None else EventLog(cache.events_path)
+    # the remote store has no local events file; keep the log in memory then
+    events = events if events is not None else EventLog(
+        getattr(cache, "events_path", None)
+    )
     if trace_dir is not None:
         trace_dir = Path(trace_dir)
         trace_dir.mkdir(parents=True, exist_ok=True)
@@ -251,9 +295,10 @@ def run_sweep(
     try:
         return _run_sweep(
             suite=suite, jobs=jobs, timeout=timeout, retries=retries,
-            chaos=chaos, render=render, cache=cache, events=events,
-            bench_out=bench_out, sanitize_impls=sanitize_impls,
-            trace_dir=trace_dir,
+            chaos=chaos, chaos_seed=chaos_seed, render=render,
+            workers=list(workers) if workers else None, cache=cache,
+            events=events, bench_out=bench_out,
+            sanitize_impls=sanitize_impls, trace_dir=trace_dir,
         )
     finally:
         if prev_cache_env is None:
@@ -269,8 +314,10 @@ def _run_sweep(
     timeout: Optional[float],
     retries: int,
     chaos: int,
+    chaos_seed: int,
     render: bool,
-    cache: ResultCache,
+    workers: Optional[Sequence[str]],
+    cache: ArtifactStore,
     events: EventLog,
     bench_out: Optional[Path],
     sanitize_impls: Sequence[str],
@@ -304,9 +351,14 @@ def _run_sweep(
         # -- warm: experiments + opaque bench bodies, parallel + cached ----
         t1 = time.monotonic()
         events.emit("phase-start", phase="warm")
-        scheduler = FleetScheduler(
-            jobs=jobs, timeout=timeout, retries=retries, cache=cache,
-            events=events, trace_dir=trace_dir,
+        # does a render phase follow?  if not, the warm pool is the last one
+        # and (remotely) must drain the workers itself
+        will_render = render and suite in ("all", "bench") and bool(plan.benches)
+        scheduler = _make_pool(
+            workers=workers, jobs=jobs, timeout=timeout, retries=retries,
+            cache=cache, events=events, trace_dir=trace_dir,
+            chaos_kills=chaos if workers else 0, chaos_seed=chaos_seed,
+            drain=not will_render,
         )
         for spec in specs:
             # defects and chaos jobs are cheap; let the long PC runs go first
@@ -328,11 +380,13 @@ def _run_sweep(
             "failures": [], "per_bench": [],
         }
         render_outcomes: list = []
-        if render and suite in ("all", "bench") and plan.benches:
+        last_pool = scheduler
+        if will_render:
             events.emit("phase-start", phase="render")
-            render_summary, render_outcomes = _render_phase(
-                plan, jobs=jobs, timeout=timeout, retries=retries,
-                cache=cache, events=events, trace_dir=trace_dir,
+            render_summary, render_outcomes, last_pool = _render_phase(
+                plan, workers=workers, jobs=jobs, timeout=timeout,
+                retries=retries, cache=cache, events=events,
+                trace_dir=trace_dir,
             )
             events.emit("phase-end", phase="render")
 
@@ -340,9 +394,18 @@ def _run_sweep(
     executed_wall = sum(o.wall for o in outcomes if o.status == "completed")
     speedup = round(executed_wall / warm_wall, 2) if executed_wall else None
 
+    # remote sweeps report the coordinator-side view (per-worker job counts,
+    # steals/retries, store hit rate); the worker count observed there also
+    # feeds the swimlane/critical-path analysis in place of the fork count
+    remote_info = None
+    observed_workers = scheduler.jobs
+    if workers:
+        remote_info = last_pool.remote_summary()
+        observed_workers = len(remote_info.get("workers") or {}) or last_pool.jobs
+
     # what actually bounded the sweep's wall clock (observe subsystem)
     sweep_records = events.records[events_start:]
-    cpath = critical_path(sweep_records, workers=scheduler.jobs)
+    cpath = critical_path(sweep_records, workers=observed_workers)
 
     trace_summary = None
     if trace_dir is not None:
@@ -375,15 +438,19 @@ def _run_sweep(
         for o in sorted(rows, key=lambda o: (-o.wall, o.job))
     ]
     summary = {
-        "schema": 2,
+        # schema 3: + "remote" (per-worker job counts, steals/retries,
+        # store hit rate) when the sweep ran over --workers
+        "schema": 3,
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "suite": suite,
         "jobs": scheduler.requested_jobs,
         # requested concurrency clamped to usable CPUs (the jobs are
-        # CPU-bound; oversubscribing only inflates per-job walls)
-        "workers": scheduler.jobs,
+        # CPU-bound; oversubscribing only inflates per-job walls) -- or, on
+        # a remote sweep, the live workers observed at the coordinators
+        "workers": observed_workers,
         "counts": scheduler.summary(),
         "cache": cache.describe(),
+        "remote": remote_info,
         "collect": {
             "benches": len(plan.benches),
             "specs": len(plan.specs),

@@ -76,7 +76,9 @@ class GprofProfiler:
             )
             for name in names
         ]
-        rows.sort(key=lambda r: r.self_seconds, reverse=True)
+        # tie-break by name: ties (all the zero-time procedures) would
+        # otherwise surface the hash-randomized set order above
+        rows.sort(key=lambda r: (-r.self_seconds, r.name))
         return rows
 
     def total_seconds(self) -> float:
