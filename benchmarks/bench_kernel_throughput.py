@@ -342,7 +342,17 @@ def render(summary: dict) -> str:
 
 
 def write_bench_json(summary: dict, path: pathlib.Path = BENCH_OUT) -> None:
-    path.write_text(json.dumps(summary, indent=2) + "\n")
+    """Write the summary, preserving any ``scale_ranks`` trajectory that
+    ``bench_scale_ranks`` merged into the same file."""
+    out = dict(summary)
+    if "scale_ranks" not in out and path.exists():
+        try:
+            prior = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            prior = {}
+        if isinstance(prior, dict) and "scale_ranks" in prior:
+            out["scale_ranks"] = prior["scale_ranks"]
+    path.write_text(json.dumps(out, indent=2) + "\n")
 
 
 def check_against_baseline(summary: dict, baseline: dict) -> list[str]:

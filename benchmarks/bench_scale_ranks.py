@@ -1,0 +1,345 @@
+"""Rank-count scaling benchmark: thousands of ranks per simulated run.
+
+Three communication shapes -- a barrier storm (pure collective
+synchronization), a fence storm (active-target RMA epochs with
+neighbour puts), and an sstwod-style ghost exchange (the ``exchng2``
+Sendrecv ring from "Using MPI") -- are swept over rank counts
+{64, 256, 1024[, 4096]} under the sanitizer (vector clocks, strict RMA
+epochs, the trace digest).  This is the end-to-end workout for the
+kernel's batched event cohorts, the sanitizer's copy-on-write/interned
+vector clocks, and the engine's O(1) group lookups: exactly the pieces
+that make ``ranks`` a scaling axis instead of a wall.
+
+Determinism: every (shape, ranks) cell records the sanitizer trace
+digest and the final virtual time.  Both are asserted stable across
+repeat runs in the same process, and the digests at pre-existing rank
+counts double as the byte-identity regression oracle for the sparse
+vector-clock refactor (see tests/test_scale_ranks.py).
+
+Outputs:
+
+* ``benchmarks/reports/scale_ranks.txt`` -- rendered scaling table;
+* ``BENCH_kernel.json`` (repo root) -- a ``scale_ranks`` key *merged*
+  into the kernel perf trajectory (the kernel-throughput bench owns the
+  ``scenarios`` key; each bench preserves the other's);
+* ``python benchmarks/bench_scale_ranks.py --check <baseline>`` -- the
+  CI perf-smoke gate: calibration-normalized events/sec per cell vs the
+  checked-in baseline, >30% drops fail (same contract as
+  bench_kernel_throughput).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+if __name__ == "__main__":  # script mode: make src/repro importable
+    _src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from common import emit, once
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_OUT = REPO_ROOT / "BENCH_kernel.json"
+BASELINE = pathlib.Path(__file__).resolve().parent / "baselines" / "scale_ranks_baseline.json"
+REGRESSION_TOLERANCE = 0.30  # CI fails below baseline * (1 - this)
+
+#: the sweep's rank axis; 4096 rides behind --full (several minutes of
+#: simulated cluster, out of the CI budget)
+DEFAULT_RANKS = (64, 256, 1024)
+FULL_RANKS = (64, 256, 1024, 4096)
+#: refmpi: the internal-RPI personality (no visible collective p2p), the
+#: cheapest launch cost model -- the personality built for scale runs
+IMPL = "refmpi"
+SEED = 0
+
+
+# -- shapes ------------------------------------------------------------------
+# Each is an MpiProgram whose communication volume is O(ranks) per round,
+# so ideal wall-clock scaling is linear in the rank count.
+
+
+def _programs():
+    from repro.mpi.world import MpiProgram
+
+    class BarrierStorm(MpiProgram):
+        """Back-to-back MPI_Barrier rounds with a tiny deterministic
+        per-rank compute skew (so arrivals are staggered, not degenerate)."""
+
+        name = "scale_barrier"
+        module = "scale_barrier.c"
+
+        def __init__(self, rounds: int = 8) -> None:
+            self.rounds = rounds
+
+        def main(self, mpi):
+            yield from mpi.init()
+            for r in range(self.rounds):
+                skew = ((mpi.rank * 31 + r * 17) % 64) * 1e-7
+                yield from mpi.compute(1e-6 + skew)
+                yield from mpi.barrier()
+            yield from mpi.finalize()
+
+    class FenceStorm(MpiProgram):
+        """Active-target RMA epochs: every rank puts one element to its
+        right neighbour inside each fence epoch."""
+
+        name = "scale_fence"
+        module = "scale_fence.c"
+
+        def __init__(self, epochs: int = 6) -> None:
+            self.epochs = epochs
+
+        def main(self, mpi):
+            import numpy as np
+
+            from repro.mpi.datatypes import INT
+
+            yield from mpi.init()
+            win = yield from mpi.win_create(4, datatype=INT)
+            data = np.full(1, mpi.rank, dtype="i4")
+            yield from mpi.win_fence(win)
+            for e in range(self.epochs):
+                skew = ((mpi.rank * 13 + e * 7) % 32) * 1e-7
+                yield from mpi.compute(1e-6 + skew)
+                target = (mpi.rank + 1) % mpi.size
+                yield from mpi.put(win, target, data)
+                yield from mpi.win_fence(win)
+            yield from mpi.win_free(win)
+            yield from mpi.finalize()
+
+    class GhostExchange(MpiProgram):
+        """sstwod-shaped ghost-cell exchange: each iteration every rank
+        Sendrecvs with its left and right ring neighbours (the exchng2
+        pattern), then a barrier stands in for the residual Allreduce."""
+
+        name = "scale_sstwod"
+        module = "scale_sstwod.c"
+
+        def __init__(self, iterations: int = 4, row_bytes: int = 256) -> None:
+            self.iterations = iterations
+            self.row_bytes = row_bytes
+
+        def main(self, mpi):
+            yield from mpi.init()
+            right = (mpi.rank + 1) % mpi.size
+            left = (mpi.rank - 1) % mpi.size
+            for i in range(self.iterations):
+                skew = ((mpi.rank * 7 + i * 3) % 16) * 1e-7
+                yield from mpi.compute(2e-6 + skew)
+                yield from mpi.sendrecv(
+                    right, left, send_nbytes=self.row_bytes,
+                    recv_nbytes=self.row_bytes, sendtag=21,
+                )
+                yield from mpi.sendrecv(
+                    left, right, send_nbytes=self.row_bytes,
+                    recv_nbytes=self.row_bytes, sendtag=22,
+                )
+                yield from mpi.barrier()
+            yield from mpi.finalize()
+
+    return {
+        "barrier": BarrierStorm,
+        "fence": FenceStorm,
+        "sstwod": GhostExchange,
+    }
+
+
+# -- harness -----------------------------------------------------------------
+
+
+def run_cell(shape: str, ranks: int) -> dict:
+    """One (shape, ranks) cell: a sanitized run; returns the observables."""
+    from repro.sanitizer.run import sanitize_program
+
+    program = _programs()[shape]()
+    t0 = time.perf_counter()
+    report = sanitize_program(program, impl=IMPL, nprocs=ranks, seed=SEED)
+    wall = time.perf_counter() - t0
+    if report.status != "clean":
+        raise AssertionError(
+            f"{shape}@{ranks}: expected a clean run, got {report.status}: "
+            f"{[f.detail for f in report.findings][:3]}"
+        )
+    return {
+        "ranks": ranks,
+        "wall": round(wall, 6),
+        "virtual_time": round(report.elapsed, 9),
+        "digest": report.trace_digest,
+        "events": report.events,
+        "events_per_sec": round(report.events / wall) if wall > 0 else 0,
+    }
+
+
+def _calibrate() -> int:
+    """The host-speed yardstick: the reference kernel's timer-churn
+    events/sec, shared with bench_kernel_throughput so both gates divide
+    out machine speed the same way."""
+    from bench_kernel_throughput import timer_churn
+
+    from repro.sim.reference import ReferenceKernel
+
+    t0 = time.perf_counter()
+    events, _, _ = timer_churn(lambda: ReferenceKernel())
+    wall = time.perf_counter() - t0
+    return round(events / wall) if wall > 0 else 0
+
+
+def run_sweep(rank_counts=DEFAULT_RANKS) -> dict:
+    from repro.observe.recorder import suspended
+
+    with suspended():
+        return _run_sweep_untraced(rank_counts)
+
+
+def _run_sweep_untraced(rank_counts) -> dict:
+    calibration = _calibrate()
+    summary: dict = {
+        "schema": 1,
+        "impl": IMPL,
+        "seed": SEED,
+        "ranks": list(rank_counts),
+        "calibration_events_per_sec": calibration,
+        "shapes": {},
+    }
+    for shape in _programs():
+        cells = [run_cell(shape, ranks) for ranks in rank_counts]
+        for cell in cells:
+            cell["normalized"] = (
+                round(cell["events_per_sec"] / calibration, 4) if calibration else None
+            )
+        base = cells[0]
+        entry = {"cells": cells}
+        top = cells[-1]
+        entry["wall_ratio"] = (
+            round(top["wall"] / base["wall"], 3) if base["wall"] > 0 else None
+        )
+        entry["rank_ratio"] = round(top["ranks"] / base["ranks"], 3)
+        summary["shapes"][shape] = entry
+    return summary
+
+
+def render(summary: dict) -> str:
+    lines = [
+        f"Rank-count scaling sweep ({summary['impl']}, seed {summary['seed']}, "
+        "sanitizer attached)",
+        "",
+        f"{'shape':<10} {'ranks':>6} {'events':>10} {'ev/s':>10} "
+        f"{'normalized':>11}  digest",
+    ]
+    for shape, entry in summary["shapes"].items():
+        for cell in entry["cells"]:
+            lines.append(
+                f"{shape:<10} {cell['ranks']:>6} {cell['events']:>10} "
+                f"{cell['events_per_sec']:>10} {cell['normalized'] or 0:>11.4f}  "
+                f"{cell['digest'][:12]}"
+            )
+        lines.append(
+            f"{'':<10} wall x{entry['wall_ratio']} over ranks "
+            f"x{entry['rank_ratio']:g}"
+        )
+    lines.append("")
+    lines.append(
+        "digests and virtual times are deterministic observables; walls are "
+        "measured on this host"
+    )
+    return "\n".join(lines)
+
+
+def merge_bench_json(summary: dict, path: pathlib.Path = BENCH_OUT) -> None:
+    """Merge the ``scale_ranks`` key into BENCH_kernel.json, preserving the
+    kernel-throughput bench's keys (and vice versa over there)."""
+    existing: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (OSError, ValueError):
+            existing = {}
+    existing["scale_ranks"] = summary
+    path.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def check_against_baseline(summary: dict, baseline: dict) -> list[str]:
+    """Regression messages (empty = pass): calibration-normalized
+    events/sec per (shape, ranks) cell, 30% tolerance."""
+    problems = []
+    for shape, base_entry in baseline.get("shapes", {}).items():
+        entry = summary["shapes"].get(shape)
+        if entry is None:
+            problems.append(f"{shape}: shape disappeared from the sweep")
+            continue
+        cells = {c["ranks"]: c for c in entry["cells"]}
+        for base_cell in base_entry["cells"]:
+            ranks = base_cell["ranks"]
+            cell = cells.get(ranks)
+            base_norm = base_cell.get("normalized")
+            if cell is None or base_norm is None or cell["normalized"] is None:
+                continue
+            floor = base_norm * (1.0 - REGRESSION_TOLERANCE)
+            if cell["normalized"] < floor:
+                problems.append(
+                    f"{shape}@{ranks}: normalized throughput "
+                    f"{cell['normalized']:.4f} fell >{REGRESSION_TOLERANCE:.0%} "
+                    f"below baseline {base_norm:.4f} (floor {floor:.4f})"
+                )
+    return problems
+
+
+# -- bench entry point (tier-1 smoke, fleet render, pytest benchmarks/) ------
+
+
+def test_scale_ranks(benchmark):
+    summary = once(benchmark, run_sweep)
+    emit("scale_ranks", render(summary))
+    merge_bench_json(summary)
+    for shape, entry in summary["shapes"].items():
+        assert entry["cells"][-1]["ranks"] >= 1024, (shape, entry["cells"])
+
+
+# -- CI / command line -------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=pathlib.Path, default=BENCH_OUT,
+                        help="BENCH json to merge the scale_ranks key into")
+    parser.add_argument("--check", type=pathlib.Path, default=None,
+                        help="baseline JSON to gate against (CI perf-smoke)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help=f"refresh {BASELINE} from this run")
+    parser.add_argument("--full", action="store_true",
+                        help=f"sweep the full rank axis {FULL_RANKS}")
+    parser.add_argument("--ranks", type=int, nargs="+", default=None,
+                        help="override the rank axis (e.g. --ranks 16 64)")
+    args = parser.parse_args(argv)
+
+    rank_counts = args.ranks or (FULL_RANKS if args.full else DEFAULT_RANKS)
+    summary = run_sweep(rank_counts)
+    print(render(summary))
+    merge_bench_json(summary, args.out)
+    print(f"[merged scale_ranks into {args.out}]")
+
+    if args.write_baseline:
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"[baseline refreshed at {BASELINE}]")
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        problems = check_against_baseline(summary, baseline)
+        if problems:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"perf-smoke OK (within {REGRESSION_TOLERANCE:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

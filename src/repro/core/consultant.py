@@ -90,6 +90,14 @@ DEFAULT_THRESHOLDS = {
     "PC_IOThreshold": 0.15,
 }
 
+#: refinement batches at or above this many children expand *lazily*: the
+#: search keeps a cursor of (resource path, label) strings and materializes
+#: a PCNode (plus its Focus) only when a testing slot frees up.  At a
+#: thousand ranks a single true machine-axis node would otherwise fan out
+#: into a thousand mostly-never-tested node allocations up front.  Below
+#: the bound the eager path runs exactly as before.
+LAZY_EXPANSION_BOUND = 128
+
 
 @dataclass
 class PCNode:
@@ -145,6 +153,13 @@ class PerformanceConsultant:
         self.root = PCNode(hypothesis=SYNC, focus=Focus.whole_program(), label="TopLevelHypothesis")
         self.root.state = NodeState.TRUE  # the root is definitional
         self._queue: list[PCNode] = []
+        #: lazy refinement cursors: [hypothesis, parent, focus-applier,
+        #: reversed (path, label) list] -- popped item by item as testing
+        #: slots free up, so huge fan-outs never materialize whole
+        self._expansions: list[list[Any]] = []
+        #: refinement candidates the run ended before even materializing
+        #: (only ever nonzero past LAZY_EXPANSION_BOUND-wide fan-outs)
+        self.unexpanded = 0
         self._testing: list[PCNode] = []
         self._tested: dict[tuple[str, Focus], PCNode] = {}
         self._running = False
@@ -204,6 +219,9 @@ class PerformanceConsultant:
         for node in self._queue:
             node.state = NodeState.UNKNOWN
         self._queue.clear()
+        for entry in self._expansions:
+            self.unexpanded += len(entry[3])
+        self._expansions.clear()
         self._running = False
         self.finished = True
 
@@ -233,8 +251,10 @@ class PerformanceConsultant:
             return
         # LIFO: newest (deepest) candidates first, so refinement chains run
         # depth-first and reach leaf causes before the program ends.
-        while self._queue and len(self._testing) < self.max_concurrent:
-            node = self._queue.pop()
+        while len(self._testing) < self.max_concurrent:
+            node = self._next_candidate()
+            if node is None:
+                return
             metric = node.hypothesis.metric_for(node.focus)
             node.metric_name = metric
             try:
@@ -245,6 +265,34 @@ class PerformanceConsultant:
             node.state = NodeState.TESTING
             node.started_at = now
             self._testing.append(node)
+
+    def _next_candidate(self) -> Optional[PCNode]:
+        """Next node to test: lazy cursors first (they only exist for the
+        newest huge fan-outs), then the eager LIFO queue."""
+        while self._expansions:
+            hypothesis, parent, apply_axis, items = self._expansions[-1]
+            while items:
+                path, label = items.pop()
+                focus = apply_axis(path)
+                key = (hypothesis.name, focus)
+                if key in self._tested:
+                    continue  # already explored via another refinement path
+                node = PCNode(
+                    hypothesis=hypothesis,
+                    focus=focus,
+                    parent=parent,
+                    depth=parent.depth + 1,
+                    label=label,
+                )
+                self._tested[key] = node
+                parent.children.append(node)
+                if node.depth <= self.max_depth:
+                    return node
+                node.state = NodeState.UNKNOWN  # pragma: no cover - depth guard
+            self._expansions.pop()
+        if self._queue:
+            return self._queue.pop()
+        return None
 
     def _evaluate_finished(self, now: float) -> None:
         due = [n for n in self._testing if now - n.started_at >= self.experiment_window]
@@ -304,36 +352,48 @@ class PerformanceConsultant:
         pure_code = focus.machine == "/Machine"
         pure_sync = focus.code == "/Code" and focus.machine == "/Machine"
         if hypothesis is SYNC and (pure_sync or focus.code != "/Code"):
-            for child_focus, label in self._sync_refinements(focus):
-                self._enqueue(hypothesis, child_focus, node, label)
+            self._expand(hypothesis, node, focus.with_sync_object, self._sync_refinements(focus))
         if focus.code == "/Code" and focus.sync_object == "/SyncObject":
-            for child_focus, label in self._machine_refinements(focus):
-                self._enqueue(hypothesis, child_focus, node, label)
+            self._expand(hypothesis, node, focus.with_machine, self._machine_refinements(focus))
         if pure_code and focus.sync_object == "/SyncObject":
-            for child_focus, label in self._code_refinements(focus):
-                self._enqueue(hypothesis, child_focus, node, label)
+            self._expand(hypothesis, node, focus.with_code, self._code_refinements(focus))
 
-    def _code_refinements(self, focus: Focus) -> list[tuple[Focus, str]]:
+    def _expand(
+        self,
+        hypothesis: Hypothesis,
+        parent: PCNode,
+        apply_axis: Callable[[str], Focus],
+        items: list[tuple[str, str]],
+    ) -> None:
+        """Enqueue one axis's refinements: eagerly below the lazy bound
+        (unchanged search behaviour), as a cursor of path strings above it."""
+        if len(items) < LAZY_EXPANSION_BOUND:
+            for path, label in items:
+                self._enqueue(hypothesis, apply_axis(path), parent, label)
+        else:
+            self._expansions.append([hypothesis, parent, apply_axis, list(reversed(items))])
+
+    def _code_refinements(self, focus: Focus) -> list[tuple[str, str]]:
         hierarchy = self.frontend.hierarchy
-        out: list[tuple[Focus, str]] = []
+        out: list[tuple[str, str]] = []
         component = focus.code
         if component == "/Code":
             for module in hierarchy.code.active_children():
                 if self._module_is_system(module.name):
                     continue
-                out.append((focus.with_code(module.path), module.label))
+                out.append((module.path, module.label))
         else:
             parts = component.strip("/").split("/")
             if len(parts) == 2:  # /Code/module -> functions
                 module = hierarchy.find(component)
                 for fn in module.active_children():
-                    out.append((focus.with_code(fn.path), fn.label))
+                    out.append((fn.path, fn.label))
             elif len(parts) == 3:  # /Code/module/function -> observed callees
                 fn_name = parts[2]
                 for callee in sorted(self.callgraph.get(fn_name, ())):
                     callee_path = self._code_path_for_function(callee)
                     if callee_path is not None and callee_path != component:
-                        out.append((focus.with_code(callee_path), callee))
+                        out.append((callee_path, callee))
         return out
 
     def _code_path_for_function(self, fn_name: str) -> Optional[str]:
@@ -345,37 +405,37 @@ class PerformanceConsultant:
     def _module_is_system(self, module_name: str) -> bool:
         return module_name.startswith("lib") and module_name.endswith(".so")
 
-    def _machine_refinements(self, focus: Focus) -> list[tuple[Focus, str]]:
+    def _machine_refinements(self, focus: Focus) -> list[tuple[str, str]]:
         hierarchy = self.frontend.hierarchy
         component = focus.machine
-        out: list[tuple[Focus, str]] = []
+        out: list[tuple[str, str]] = []
         if component == "/Machine":
             for machine in hierarchy.machine.active_children():
-                out.append((focus.with_machine(machine.path), machine.label))
+                out.append((machine.path, machine.label))
         else:
             parts = component.strip("/").split("/")
             if len(parts) == 2:  # node -> processes
                 node = hierarchy.find(component)
                 for proc in node.active_children():
-                    out.append((focus.with_machine(proc.path), proc.label))
+                    out.append((proc.path, proc.label))
         return out
 
-    def _sync_refinements(self, focus: Focus) -> list[tuple[Focus, str]]:
+    def _sync_refinements(self, focus: Focus) -> list[tuple[str, str]]:
         hierarchy = self.frontend.hierarchy
         component = focus.sync_object
-        out: list[tuple[Focus, str]] = []
+        out: list[tuple[str, str]] = []
         if component == "/SyncObject":
             for category in hierarchy.sync_objects.active_children():
-                out.append((focus.with_sync_object(category.path), category.name))
+                out.append((category.path, category.name))
         else:
             parts = component.strip("/").split("/")
             node = hierarchy.find(component)
             if len(parts) == 2:  # category -> instances
                 for instance in node.active_children():
-                    out.append((focus.with_sync_object(instance.path), instance.label))
+                    out.append((instance.path, instance.label))
             elif len(parts) == 3 and parts[1] == "Message":
                 for tag_node in node.active_children():
-                    out.append((focus.with_sync_object(tag_node.path), tag_node.label))
+                    out.append((tag_node.path, tag_node.label))
         return out
 
     # -- results ------------------------------------------------------------------------
@@ -441,6 +501,10 @@ class PerformanceConsultant:
                 visit(child, indent + 1)
 
         visit(self.root, 1)
+        if self.unexpanded:
+            lines.append(
+                f"  ({self.unexpanded} refinement candidates never expanded)"
+            )
         return "\n".join(lines)
 
     def render_condensed(self, *, show_values: bool = True) -> str:

@@ -59,6 +59,15 @@ class Daemon:
         #: identity set mirroring ``procs`` -- membership tests on the
         #: per-sample hot path must not scan the list
         self._proc_set: set[int] = set()
+        #: the subset of ``procs`` the sampler still walks.  ``procs`` and
+        #: ``_proc_set`` record every attach forever (tool-facing state);
+        #: exited processes leave these live structures right after the
+        #: sample pass that reads their final deltas, so steady-state
+        #: sampling is O(live processes), not O(ever attached)
+        self._live: list[Any] = []
+        self._live_set: set[int] = set()
+        #: procs whose exit hook fired since the last sample pass
+        self._exited_pending: list[Any] = []
         self.mutators: dict[int, Mutator] = {}
         self._sampling = False
         frontend.add_daemon(self)
@@ -74,16 +83,20 @@ class Daemon:
             )
         self.procs.append(proc)
         self._proc_set.add(id(proc))
+        self._live.append(proc)
+        self._live_set.add(id(proc))
         proc.snippet_cost = self.snippet_cost
         mutator = Mutator(proc)
         self.mutators[proc.pid] = mutator
 
-        # retirement: exited processes gray out and leave the PC search
+        # retirement: exited processes gray out and leave the PC search;
+        # the daemon stops sampling them after one final post-exit pass
         def on_exit(exited_proc, _daemon=self):
             node_path = f"/Machine/{exited_proc.node.name}/pid{exited_proc.pid}"
             hierarchy = _daemon.frontend.hierarchy
             if hierarchy.exists(node_path):
                 hierarchy.retire(hierarchy.find(node_path))
+            _daemon._exited_pending.append(exited_proc)
 
         proc.exit_hooks.append(on_exit)
 
@@ -160,7 +173,7 @@ class Daemon:
     def instrument_pair(self, data: MetricFocusData) -> None:
         """Instantiate a metric-focus pair on this daemon's matching processes."""
         for proc in self.frontend.procs_matching(data.focus):
-            if proc in self.procs:
+            if id(proc) in self._proc_set:
                 self.instrument_proc(data, proc)
 
     def instrument_proc(self, data: MetricFocusData, proc: "SimProcess") -> None:
@@ -195,10 +208,8 @@ class Daemon:
         constant-memory property extends to a constant data *rate*."""
         max_folds = 0
         for data in self.frontend.enabled.values():
-            if not data.active:
-                continue
-            for hist in data.per_process.values():
-                max_folds = max(max_folds, hist.folds)
+            if data.active and data.max_folds > max_folds:
+                max_folds = data.max_folds
         return self.sample_interval * (2 ** max_folds)
 
     def _sample_tick(self) -> None:
@@ -207,7 +218,7 @@ class Daemon:
         # a delta sampled at t covers (t - interval, t]; record it at the
         # midpoint so histogram bins line up with when the work happened
         self.sample_now(now, record_at=now - interval / 2.0)
-        if any(not proc.exited for proc in self.procs):
+        if self._live:
             self.kernel.schedule(self._current_interval(), self._sample_tick)
         else:
             self._sampling = False
@@ -224,10 +235,10 @@ class Daemon:
         if record_at is None:
             record_at = now
         observe = self.frontend.cost_tracker.observe
-        for proc in self.procs:
+        for proc in self._live:
             if not proc.exited:
                 observe(proc, now)
-        proc_set = self._proc_set
+        proc_set = self._live_set
         for data in self.frontend.enabled.values():
             if not data.active:
                 continue
@@ -244,3 +255,12 @@ class Daemon:
                 delta = instance.sample_delta()
                 if delta:
                     record(proc.pid, when, delta)
+        if self._exited_pending:
+            # this pass read the final deltas of freshly-exited procs
+            # (recorded at the same tick the always-scan used to record
+            # them); from the next pass on they cost nothing
+            for proc in self._exited_pending:
+                if id(proc) in self._live_set:
+                    self._live_set.discard(id(proc))
+                    self._live.remove(proc)
+            self._exited_pending.clear()

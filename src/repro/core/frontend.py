@@ -68,6 +68,10 @@ class MetricFocusData:
         self.per_process: dict[int, FoldingHistogram] = {}
         self.instances: list[Any] = []  # MetricInstance | NativeInstance
         self.active = True
+        #: running max of ``folds`` over ``per_process`` -- folds only ever
+        #: happen inside :meth:`record`, so tracking the max there keeps the
+        #: daemon's fold-coupled interval check O(pairs), not O(pairs x ranks)
+        self.max_folds = 0
 
     def histogram_for(self, pid: int) -> FoldingHistogram:
         hist = self.per_process.get(pid)
@@ -82,7 +86,10 @@ class MetricFocusData:
         return hist
 
     def record(self, pid: int, time: float, delta: float) -> None:
-        self.histogram_for(pid).add(time, delta)
+        hist = self.histogram_for(pid)
+        hist.add(time, delta)
+        if hist.folds > self.max_folds:
+            self.max_folds = hist.folds
 
     # -- analysis ---------------------------------------------------------------
 

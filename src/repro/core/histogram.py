@@ -58,7 +58,12 @@ class FoldingHistogram:
         # scalar indexing into a numpy array boxes a np.float64 per access.
         # Readers get numpy views on demand; both float models are IEEE
         # doubles, so results are bit-identical to the old array store.
-        self._data: list[float] = [0.0] * num_bins
+        # The list grows on demand (amortized doubling, capped at
+        # ``num_bins``): bins past its length are implicitly 0.0.  One tool
+        # session at thousands of ranks holds a histogram per (metric,
+        # rank); most cover a short run and never touch their full
+        # thousand-bin capacity.
+        self._data: list[float] = []
         self.folds = 0
         self._filled = 0  # index one past the last bin that received data
 
@@ -66,8 +71,12 @@ class FoldingHistogram:
 
     @property
     def bins(self) -> np.ndarray:
-        """The bin array (as numpy; the store itself is a plain list)."""
-        return np.asarray(self._data, dtype=np.float64)
+        """The full ``num_bins`` bin array (as numpy; the store itself is a
+        plain list, grown lazily and zero-padded here)."""
+        out = np.zeros(self.num_bins, dtype=np.float64)
+        data = self._data
+        out[: len(data)] = data
+        return out
 
     @property
     def end_time(self) -> float:
@@ -94,18 +103,22 @@ class FoldingHistogram:
         index = int((time - start) / width)
         if index >= num_bins:  # guard float-boundary rounding
             index = num_bins - 1
-        self._data[index] += delta
+        data = self._data
+        if index >= len(data):
+            data.extend([0.0] * (min(num_bins, max(index + 1, 2 * len(data), 16)) - len(data)))
+        data[index] += delta
         if index >= self._filled:
             self._filled = index + 1
 
     def fold(self) -> None:
         """Combine neighbouring bins; the new bins cover twice the time."""
-        half = self.num_bins // 2
         data = self._data
-        for i in range(half):
-            data[i] = data[2 * i] + data[2 * i + 1]
-        for i in range(half, self.num_bins):
-            data[i] = 0.0
+        n = len(data)
+        half_len = (n + 1) // 2
+        for i in range(half_len):
+            j = 2 * i
+            data[i] = data[j] + (data[j + 1] if j + 1 < n else 0.0)
+        del data[half_len:]  # upper half is implicitly zero again
         self.bin_width *= 2.0
         self.folds += 1
         self._filled = (self._filled + 1) // 2

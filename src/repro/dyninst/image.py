@@ -54,8 +54,12 @@ class FunctionDef:
         self.module = module
         self.body = body
         self.tags = frozenset(tags)
-        self._entry: list[Snippet] = []
-        self._exit: list[Snippet] = []
+        # instrumentation-point lists are created on first insert: most
+        # functions in most processes are never instrumented, and at
+        # thousands of ranks the eager pair of empty lists per cloned
+        # FunctionDef is measurable launch cost
+        self._entry: Optional[list[Snippet]] = None
+        self._exit: Optional[list[Snippet]] = None
 
     # instrumentation points -------------------------------------------------
 
@@ -79,16 +83,24 @@ class FunctionDef:
 
     def _point(self, where: str) -> list[Snippet]:
         if where == "entry":
+            if self._entry is None:
+                self._entry = []
             return self._entry
         if where == "return":
+            if self._exit is None:
+                self._exit = []
             return self._exit
         raise ImageError(f"unknown instrumentation point {where!r}")
 
+    _NO_SNIPPETS: list[Snippet] = []
+
     def entry_snippets(self) -> list[Snippet]:
-        return self._entry
+        entry = self._entry
+        return entry if entry is not None else self._NO_SNIPPETS
 
     def exit_snippets(self) -> list[Snippet]:
-        return self._exit
+        exit_ = self._exit
+        return exit_ if exit_ is not None else self._NO_SNIPPETS
 
     @property
     def instrumented(self) -> bool:
@@ -157,6 +169,32 @@ class Image:
         self._weak_aliases.pop(name, None)  # strong definition wins
         self.version += 1
         return fn
+
+    def clone_library(self, template: "Image") -> None:
+        """Copy every module of ``template`` into this image.
+
+        Function *definitions* are fresh per image (instrumentation points
+        are per-process state, as paradynd instruments each mutatee
+        separately) but share the template's bodies and tag sets.  One
+        bulk version bump replaces the per-symbol bumps of repeated
+        :meth:`add_function` calls -- at thousands of ranks, rebuilding an
+        identical MPI library image per process dominates launch time.
+        """
+        symbols = self._symbols
+        for tmod in template.modules.values():
+            mod = self.module(tmod.name, system=tmod.system)
+            functions = mod.functions
+            for name, fn in tmod.functions.items():
+                if name in symbols:
+                    raise ImageError(f"duplicate strong symbol {name!r}")
+                clone = FunctionDef(name, mod, fn.body, tags=fn.tags)
+                functions[name] = clone
+                symbols[name] = clone
+                self._weak_aliases.pop(name, None)
+        for alias, target in template._weak_aliases.items():
+            if alias not in symbols:
+                self._weak_aliases[alias] = target
+        self.version += 1
 
     def interpose(
         self,

@@ -25,25 +25,29 @@ __all__ = ["Group", "Communicator", "CollectiveContext"]
 class Group:
     """An ordered set of endpoints; rank == index."""
 
-    __slots__ = ("members",)
+    __slots__ = ("members", "_rank_index")
 
     def __init__(self, members: Iterable["Endpoint"]) -> None:
         self.members = tuple(members)
         if not self.members:
             raise CommunicatorError("empty group")
+        # identity -> rank: rank_of/contains run on every collective and
+        # every RMA epoch check, so at thousands of ranks a linear scan
+        # would make each barrier round O(ranks^2)
+        self._rank_index = {id(m): i for i, m in enumerate(self.members)}
 
     @property
     def size(self) -> int:
         return len(self.members)
 
     def rank_of(self, endpoint: "Endpoint") -> int:
-        for i, member in enumerate(self.members):
-            if member is endpoint:
-                return i
-        raise CommunicatorError(f"endpoint {endpoint!r} not in group")
+        rank = self._rank_index.get(id(endpoint))
+        if rank is None:
+            raise CommunicatorError(f"endpoint {endpoint!r} not in group")
+        return rank
 
     def contains(self, endpoint: "Endpoint") -> bool:
-        return any(member is endpoint for member in self.members)
+        return id(endpoint) in self._rank_index
 
     def __getitem__(self, rank: int) -> "Endpoint":
         if not 0 <= rank < len(self.members):

@@ -143,6 +143,8 @@ class BaseImpl:
         self._socket_link = universe.network.inter_node
         self._free_win_ids: list[int] = []
         self._next_win_id = 0
+        self._shared_bodies: dict[str, Any] = {}
+        self._image_template: Optional["Image"] = None
 
     # ------------------------------------------------------------------------
     # image construction
@@ -225,42 +227,64 @@ class BaseImpl:
         return t
 
     def build_image(self, endpoint: Endpoint, image: "Image") -> None:
-        """Register the MPI library and libc in a process's image."""
+        """Register the MPI library and libc in a process's image.
+
+        Every rank of a personality gets the same library, so it is built
+        once as a template and cloned per process (bodies resolve the
+        calling endpoint from the process at call time -- see
+        :meth:`_shared_body`); binding each entry point to each endpoint
+        individually made launch itself the scaling wall at thousands of
+        ranks.
+        """
+        template = self._image_template
+        if template is None:
+            template = self._build_template()
+            self._image_template = template
+        image.clone_library(template)
+
+    def _build_template(self) -> "Image":
+        from ...dyninst.image import Image
+
+        template = Image(name=f"lib{self.name}-template")
         for name, method, tags in self.function_table():
-            body = self._bind_body(method, endpoint)
+            body = self._shared_body(method)
             pname = "P" + name
             if self.pmpi_weak_symbols:
                 # Default MPICH build: strong PMPI_*, weak MPI_* aliases.
-                image.add_function(pname, body, module="libmpich.so", system=True, tags=tags)
-                image.add_weak_alias(name, pname)
+                template.add_function(pname, body, module="libmpich.so", system=True, tags=tags)
+                template.add_weak_alias(name, pname)
             else:
                 # LAM-style: two full strong copies of the entry points.
-                image.add_function(name, body, module="liblammpi.so", system=True, tags=tags)
-                image.add_function(
-                    pname,
-                    self._bind_body(method, endpoint),
-                    module="liblammpi.so",
-                    system=True,
-                    tags=tags | {"pmpi"},
+                template.add_function(name, body, module="liblammpi.so", system=True, tags=tags)
+                template.add_function(
+                    pname, body, module="liblammpi.so", system=True, tags=tags | {"pmpi"}
                 )
         if self.socket_functions is not None:
             wname, rname = self.socket_functions
-            image.add_function(
-                wname, self._bind_body("_body_sock_write", endpoint),
+            template.add_function(
+                wname, self._shared_body("_body_sock_write"),
                 module="libc.so", system=True, tags=frozenset({"io", "syscall"}),
             )
-            image.add_function(
-                rname, self._bind_body("_body_sock_read", endpoint),
+            template.add_function(
+                rname, self._shared_body("_body_sock_read"),
                 module="libc.so", system=True, tags=frozenset({"io", "syscall"}),
             )
+        return template
 
-    def _bind_body(self, method: str, endpoint: Endpoint):
+    def _shared_body(self, method: str):
+        """One body per personality method, shared by every rank's image:
+        the calling endpoint is recovered from the executing process."""
+        body = self._shared_bodies.get(method)
+        if body is not None:
+            return body
         bound = getattr(self, method)
+        endpoints = self.universe._ep_of_proc
 
         def body(proc: SimProcess, *args: Any) -> Generator:
-            return (yield from bound(endpoint, proc, *args))
+            return (yield from bound(endpoints[id(proc)], proc, *args))
 
         body.__name__ = method
+        self._shared_bodies[method] = body
         return body
 
     # ------------------------------------------------------------------------

@@ -150,6 +150,12 @@ class MpiUniverse:
         #: callables (window) run at every window creation.
         self.win_hooks: list[Callable[[Any], None]] = []
         self.mpir_proctable: list[MPIR_ProcDesc] = []
+        #: id(proc) -> Endpoint, so one shared MPI function body per
+        #: personality can recover the calling endpoint from the process
+        #: (images then clone a per-impl template instead of re-binding
+        #: every MPI entry point per rank -- the launch cost at thousands
+        #: of ranks)
+        self._ep_of_proc: dict[int, Endpoint] = {}
         self._next_cid = 1
         self._next_world_id = 0
         self._rr_cpu = 0
@@ -266,6 +272,7 @@ class MpiUniverse:
                 argv=list(argv),
             )
             ep = Endpoint(world, proc, world_rank=rank)
+            self._ep_of_proc[id(proc)] = ep
             world.endpoints.append(ep)
             self.impl.build_image(ep, image)
             program.register(image, ep.api)

@@ -31,7 +31,7 @@ from ..mpi.rma import RmaOpKind
 from ..mpi.status import Request
 from .deadlock import analyze_deadlock
 from .findings import Finding, FindingKind
-from .vclock import vc_concurrent, vc_join, vc_leq
+from .vclock import CowClock, vc_concurrent, vc_join, vc_leq, vc_round_join
 
 __all__ = ["Sanitizer", "normalize_mpi_name"]
 
@@ -81,7 +81,11 @@ class Sanitizer:
 
         self._eps: list[Any] = []
         self._ep_index: dict[int, int] = {}  # id(ep) -> stable index
-        self._clocks: list[dict[int, int]] = []
+        # every rank starts from ONE shared empty base, so pre-first-sync
+        # stamps already share a base and race checks take the O(delta)
+        # fast path (bases are never mutated; ticks go to the delta)
+        self._clock_genesis: dict[int, int] = {}
+        self._clocks: list[CowClock] = []
         self._counters: list[_EpCounters] = []
         self._requests: list[dict[int, tuple[str, int]]] = []
         # ep indexes that entered MPI_Finalize -- tracked at *entry*, not via
@@ -99,19 +103,32 @@ class Sanitizer:
         self._fence_open: dict[int, set[int]] = {}
         self._start_group: dict[int, dict[int, tuple[int, ...]]] = {}
         self._lock_target: dict[int, dict[int, int]] = {}
-        # race-candidate buffer: (origin_idx, origin_rank, target, lo, hi,
-        # kind_char, clock) per window
-        self._ops: dict[int, list[tuple]] = {}
+        # race-candidate buffers, per window then per *target rank* (ops on
+        # different targets never conflict, so each op only scans its own
+        # target's list): (origin_idx, origin_rank, target, lo, hi,
+        # kind_char, stamp, fence_epoch).  fence_epoch is the origin's
+        # fence-round counter at op time -- fence completion prunes by
+        # integer compare instead of a vector-clock comparison per op.
+        self._ops: dict[int, dict[int, list[tuple]]] = {}
         self._race_seen: set[tuple] = set()
         self._uaf_seen: set[tuple] = set()
+        self._freed_swept: set[int] = set()
 
-        # fence / barrier vector-clock rounds
+        # fence / barrier vector-clock rounds.  The *_joined caches hold
+        # each round's interned join, computed once at the first exit and
+        # shared (by reference) across every exiting rank
         self._fence_round: dict[int, dict[int, int]] = {}
-        self._fence_entry: dict[tuple[int, int], dict[int, dict]] = {}
+        self._fence_entry: dict[tuple[int, int], dict[int, CowClock]] = {}
         self._fence_exits: dict[tuple[int, int], int] = {}
+        self._fence_joined: dict[tuple[int, int], dict] = {}
         self._barrier_round: dict[tuple[int, int], int] = {}
-        self._barrier_entry: dict[tuple[int, int], dict[int, dict]] = {}
+        self._barrier_entry: dict[tuple[int, int], dict[int, CowClock]] = {}
         self._barrier_exits: dict[tuple[int, int], int] = {}
+        self._barrier_joined: dict[tuple[int, int], dict] = {}
+        # per-round memo of "does this (rebased) clock base already
+        # dominate the round join?" -- id(base) -> (base ref, verdict);
+        # the ref pins the dict so its id cannot be recycled mid-round
+        self._round_dom: dict[tuple[int, int], dict[int, tuple[dict, bool]]] = {}
         # passive-target lock epochs are SHARED or EXCLUSIVE.  An exclusive
         # grant serializes against every earlier epoch on the target, so an
         # exclusive locker joins the accumulated clock of *all* prior
@@ -139,7 +156,7 @@ class Sanitizer:
     def _on_process(self, proc, ep, world) -> None:
         self._ep_index[id(ep)] = len(self._eps)
         self._eps.append(ep)
-        self._clocks.append({})
+        self._clocks.append(CowClock(self._clock_genesis))
         self._counters.append(_EpCounters())
         self._requests.append({})
         proc.trace_hooks.append(
@@ -159,7 +176,7 @@ class Sanitizer:
         self._fence_open[w] = set()
         self._start_group[w] = {}
         self._lock_target[w] = {}
-        self._ops[w] = []
+        self._ops[w] = {}
         self._fence_round[w] = {}
         win.observers.append(self._on_rma_op)
 
@@ -168,10 +185,60 @@ class Sanitizer:
     def _report(self, kind: FindingKind, rank: int, obj: str, detail: str) -> None:
         self.findings.append(Finding(kind=kind, rank=rank, obj=obj, detail=detail))
 
-    def _tick(self, idx: int) -> dict[int, int]:
+    def _tick(self, idx: int) -> CowClock:
         clock = self._clocks[idx]
-        clock[idx] = clock.get(idx, 0) + 1
+        clock.tick(idx)
         return clock
+
+    def _assign(self, idx: int, merged) -> None:
+        """Install a joined clock, wrapping plain-dict joins copy-on-write."""
+        self._clocks[idx] = merged if type(merged) is CowClock else CowClock(merged)
+
+    def _adopt(self, idx: int, clock: CowClock, entry_stamp, joined: dict, rkey) -> None:
+        """Install a synchronization round's joined clock for rank ``idx``.
+
+        When the rank has not ticked since its entry snapshot (no traced
+        MPI calls inside the collective -- the refmpi/LAM case), its clock
+        is already <= the join and every exiting rank shares ONE interned
+        dict: O(1) per rank, O(ranks) memory per round instead of
+        O(ranks^2).  Otherwise (MPICH's dissemination ticks its clock
+        mid-collective) fall back to a real join.
+        """
+        if entry_stamp is not None and entry_stamp.base is clock.base:
+            if entry_stamp.delta is clock.delta:
+                self._clocks[idx] = CowClock(joined)
+                return
+            # the rank ticked since entry (nested traced calls inside the
+            # collective body, e.g. LAM's fence sends) -- but ticks only
+            # advance the owner's own component, so as long as no nested
+            # *synchronization* reassigned the clock, the join is just
+            # ``joined`` with the own component overridden
+            ed, cd = entry_stamp.delta, clock.delta
+            if all(k == idx or ed.get(k, -1) == v for k, v in cd.items()):
+                own = clock.get(idx)
+                if own > joined.get(idx, 0):
+                    self._clocks[idx] = CowClock(joined, {idx: own})
+                else:
+                    self._clocks[idx] = CowClock(joined)
+                return
+        # a nested synchronization rebased this rank mid-round (e.g. LAM's
+        # fence runs a barrier on the window's hidden communicator, whose
+        # join happens after every member entered the outer round and so
+        # dominates the outer join).  All ranks exit on the same new base,
+        # so test domination once per (round, base) instead of per rank.
+        memo = self._round_dom.get(rkey)
+        if memo is None:
+            memo = self._round_dom[rkey] = {}
+        base = clock.base
+        hit = memo.get(id(base))
+        if hit is None:
+            verdict = all(v <= base.get(k, 0) for k, v in joined.items())
+            memo[id(base)] = (base, verdict)
+        else:
+            verdict = hit[1]
+        if verdict:
+            return  # joined <= base <= clock: the join is clock itself
+        self._assign(idx, vc_join(clock, joined))
 
     def _check_freed(self, win, ep, call: str) -> bool:
         """Flag (once per window+rank) any MPI call on a freed window."""
@@ -253,38 +320,43 @@ class Sanitizer:
             )
             return
 
-        stamp = dict(self._clocks[idx])
+        stamp = self._clocks[idx].snapshot()
         if state == _START:
             record = ep.start_records.get(win.win_id, {}).get(op.target_rank)
             if record is not None:
                 stamp = vc_join(stamp, getattr(record, "_san_post", {}))
         lo, hi = op.target_disp, op.target_disp + op.count
-        buffer = self._ops[w]
-        for oidx, orank, otarget, olo, ohi, okind, oclock in buffer:
-            if (
-                oidx != idx
-                and otarget == op.target_rank
-                and olo < hi
-                and lo < ohi
-                and _kinds_conflict(okind, kind_char)
-                and vc_concurrent(oclock, stamp)
-            ):
-                key = (w, op.target_rank, min(oidx, idx), max(oidx, idx))
-                if key not in self._race_seen:
-                    self._race_seen.add(key)
-                    self._report(
-                        FindingKind.RMA_RACE,
-                        ep.world_rank,
-                        win.name,
-                        f"concurrent conflicting access to rank "
-                        f"{op.target_rank} elements [{max(lo, olo)}, "
-                        f"{min(hi, ohi)}) of window {win.name!r}: "
-                        f"{call} by rank {ep.world_rank} races with a "
-                        f"{'put' if okind == 'P' else 'get' if okind == 'G' else 'accumulate'} "
-                        f"by rank {self._eps[oidx].world_rank} in the same "
-                        "synchronization epoch",
-                    )
-        buffer.append((idx, rank, op.target_rank, lo, hi, kind_char, stamp))
+        buffer = self._ops[w].get(op.target_rank)
+        if buffer:
+            for oidx, orank, otarget, olo, ohi, okind, oclock, oepoch in buffer:
+                if (
+                    oidx != idx
+                    and olo < hi
+                    and lo < ohi
+                    and _kinds_conflict(okind, kind_char)
+                    and vc_concurrent(oclock, stamp)
+                ):
+                    key = (w, op.target_rank, min(oidx, idx), max(oidx, idx))
+                    if key not in self._race_seen:
+                        self._race_seen.add(key)
+                        self._report(
+                            FindingKind.RMA_RACE,
+                            ep.world_rank,
+                            win.name,
+                            f"concurrent conflicting access to rank "
+                            f"{op.target_rank} elements [{max(lo, olo)}, "
+                            f"{min(hi, ohi)}) of window {win.name!r}: "
+                            f"{call} by rank {ep.world_rank} races with a "
+                            f"{'put' if okind == 'P' else 'get' if okind == 'G' else 'accumulate'} "
+                            f"by rank {self._eps[oidx].world_rank} in the same "
+                            "synchronization epoch",
+                        )
+        else:
+            buffer = self._ops[w][op.target_rank] = []
+        buffer.append(
+            (idx, rank, op.target_rank, lo, hi, kind_char, stamp,
+             self._fence_round[w].get(idx, 0))
+        )
 
     # -- recv-side checks ----------------------------------------------------
 
@@ -390,23 +462,28 @@ class Sanitizer:
         key = (comm.cid, idx)
         rnd = self._barrier_round.get(key, 0)
         self._barrier_round[key] = rnd + 1
-        self._barrier_entry.setdefault((comm.cid, rnd), {})[idx] = dict(clock)
+        self._barrier_entry.setdefault((comm.cid, rnd), {})[idx] = clock.snapshot()
 
     def _h_barrier_exit(self, ep, idx, clock, frame, call, args) -> None:
         comm = args[0]
         if comm.remote_group is not None:
             return
         rnd = self._barrier_round.get((comm.cid, idx), 1) - 1
-        entries = self._barrier_entry.get((comm.cid, rnd), {})
-        merged = clock
-        for other in entries.values():
-            merged = vc_join(merged, other)
-        self._clocks[idx] = merged
-        exits = self._barrier_exits.get((comm.cid, rnd), 0) + 1
-        self._barrier_exits[(comm.cid, rnd)] = exits
+        key = (comm.cid, rnd)
+        entries = self._barrier_entry.get(key, {})
+        joined = self._barrier_joined.get(key)
+        if joined is None:
+            joined = vc_round_join(entries.values())
+            self._barrier_joined[key] = joined
+        self._adopt(idx, clock, entries.get(idx), joined, key)
+        exits = self._barrier_exits.get(key, 0) + 1
         if exits >= comm.size:
-            self._barrier_entry.pop((comm.cid, rnd), None)
-            self._barrier_exits.pop((comm.cid, rnd), None)
+            self._barrier_entry.pop(key, None)
+            self._barrier_exits.pop(key, None)
+            self._barrier_joined.pop(key, None)
+            self._round_dom.pop(key, None)
+        else:
+            self._barrier_exits[key] = exits
 
     # .. RMA synchronization ..
 
@@ -419,7 +496,7 @@ class Sanitizer:
             return
         rnd = self._fence_round[w].get(idx, 0)
         self._fence_round[w][idx] = rnd + 1
-        self._fence_entry.setdefault((w, rnd), {})[idx] = dict(clock)
+        self._fence_entry.setdefault((w, rnd), {})[idx] = clock.snapshot()
 
     def _h_fence_exit(self, ep, idx, clock, frame, call, args) -> None:
         win = args[1]
@@ -430,20 +507,34 @@ class Sanitizer:
         self._wstate[w][rank] = _FENCE
         self._fence_open[w].add(rank)
         rnd = self._fence_round[w].get(idx, 1) - 1
-        entries = self._fence_entry.get((w, rnd), {})
-        merged = clock
-        for other in entries.values():
-            merged = vc_join(merged, other)
-        self._clocks[idx] = merged
-        exits = self._fence_exits.get((w, rnd), 0) + 1
-        self._fence_exits[(w, rnd)] = exits
+        key = (w, rnd)
+        entries = self._fence_entry.get(key, {})
+        joined = self._fence_joined.get(key)
+        if joined is None:
+            joined = vc_round_join(entries.values())
+            self._fence_joined[key] = joined
+        self._adopt(idx, clock, entries.get(idx), joined, key)
+        exits = self._fence_exits.get(key, 0) + 1
         if exits >= win.comm.size:
-            joined = merged
-            self._ops[w] = [
-                entry for entry in self._ops[w] if not vc_leq(entry[6], joined)
-            ]
-            self._fence_entry.pop((w, rnd), None)
-            self._fence_exits.pop((w, rnd), None)
+            # an op is ordered before this fence iff its origin issued it
+            # before entering round ``rnd`` -- exactly when its recorded
+            # fence epoch is <= rnd (every entry stamp flows into the
+            # join, and post-round ops carry a fresh own-tick the join
+            # cannot contain), so the old per-op vc_leq prune reduces to
+            # an integer compare
+            ops = self._ops[w]
+            for target in list(ops):
+                kept = [entry for entry in ops[target] if entry[7] > rnd]
+                if kept:
+                    ops[target] = kept
+                else:
+                    del ops[target]
+            self._fence_entry.pop(key, None)
+            self._fence_exits.pop(key, None)
+            self._fence_joined.pop(key, None)
+            self._round_dom.pop(key, None)
+        else:
+            self._fence_exits[key] = exits
 
     def _h_start_exit(self, ep, idx, clock, frame, call, args) -> None:
         win = args[2]
@@ -460,7 +551,7 @@ class Sanitizer:
             return
         for record in ep.start_records.get(win.win_id, {}).values():
             record._san_complete = vc_join(
-                getattr(record, "_san_complete", {}), dict(clock)
+                getattr(record, "_san_complete", {}), clock.materialize()
             )
 
     def _h_complete_exit(self, ep, idx, clock, frame, call, args) -> None:
@@ -481,7 +572,7 @@ class Sanitizer:
         win = args[2]
         record = ep.post_record.get(win.win_id)
         if record is not None:
-            record._san_post = dict(clock)
+            record._san_post = clock.snapshot()
 
     def _h_wait_entry_win(self, ep, idx, clock, frame, call, args) -> None:
         win = args[0]
@@ -498,13 +589,15 @@ class Sanitizer:
         if record is None or w not in self._wstate:
             return
         merged = vc_join(clock, getattr(record, "_san_complete", {}))
-        self._clocks[idx] = merged
+        self._assign(idx, merged)
         rank = self._comm_rank(win, ep)
-        self._ops[w] = [
-            entry
-            for entry in self._ops[w]
-            if not (entry[2] == rank and vc_leq(entry[6], merged))
-        ]
+        lst = self._ops[w].get(rank)
+        if lst:
+            kept = [entry for entry in lst if not vc_leq(entry[6], merged)]
+            if kept:
+                self._ops[w][rank] = kept
+            else:
+                del self._ops[w][rank]
 
     def _h_lock_entry(self, ep, idx, clock, frame, call, args) -> None:
         self._check_freed(args[3], ep, "MPI_Win_lock")
@@ -519,7 +612,7 @@ class Sanitizer:
         # exclusive serializes with every earlier unlock; shared only with
         # earlier *exclusive* unlocks (shared holders run concurrently)
         prior = self._unlock_all if mode == "exclusive" else self._unlock_excl
-        self._clocks[idx] = vc_join(clock, prior.get((w, target), {}))
+        self._assign(idx, vc_join(clock, prior.get((w, target), {})))
         rank = self._comm_rank(win, ep)
         if self._wstate[w].get(rank) != _FREED:
             self._wstate[w][rank] = _LOCK
@@ -535,21 +628,24 @@ class Sanitizer:
         rank = self._comm_rank(win, ep)
         mode = self._lock_mode.get((w, rank), "exclusive")
         key = (w, target)
-        self._unlock_all[key] = vc_join(self._unlock_all.get(key, {}), dict(clock))
+        mat = clock.materialize()
+        self._unlock_all[key] = vc_join(self._unlock_all.get(key, {}), mat)
         if mode == "exclusive":
-            self._unlock_excl[key] = vc_join(
-                self._unlock_excl.get(key, {}), dict(clock)
-            )
+            self._unlock_excl[key] = vc_join(self._unlock_excl.get(key, {}), mat)
             # only an exclusive epoch's own ops are ordered against every
             # later epoch; shared-epoch ops must stay in the race buffer so
             # overlapping shared lockers can still collide
-            self._ops[w] = [
-                entry
-                for entry in self._ops[w]
-                if not (
-                    entry[0] == idx and entry[2] == target and vc_leq(entry[6], clock)
-                )
-            ]
+            lst = self._ops[w].get(target)
+            if lst:
+                kept = [
+                    entry
+                    for entry in lst
+                    if not (entry[0] == idx and vc_leq(entry[6], clock))
+                ]
+                if kept:
+                    self._ops[w][target] = kept
+                else:
+                    del self._ops[w][target]
 
     def _h_unlock_exit(self, ep, idx, clock, frame, call, args) -> None:
         win = args[1]
@@ -569,7 +665,11 @@ class Sanitizer:
     def _h_free_exit(self, ep, idx, clock, frame, call, args) -> None:
         win = args[0]
         w = id(win)
-        if w in self._wstate and win.freed:
+        # the collective free releases every rank at once, so the first
+        # exit sweeps the whole state table and the rest skip it (at
+        # thousands of ranks a sweep per rank is quadratic)
+        if w in self._wstate and win.freed and w not in self._freed_swept:
+            self._freed_swept.add(w)
             for rank in self._wstate[w]:
                 self._wstate[w][rank] = _FREED
 

@@ -72,6 +72,9 @@ class SanitizerReport:
     #: RMA counts/bytes per rank) -- equal across impls for the same program
     data_signature: Any = None
     elapsed: float = 0.0
+    #: total kernel callbacks scheduled over the run -- a deterministic
+    #: simulation-size measure (scaling benches divide it by wall clock)
+    events: int = 0
 
     @property
     def clean(self) -> bool:

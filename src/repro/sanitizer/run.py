@@ -126,6 +126,7 @@ def sanitize_program(
     report.trace_digest = san.trace_digest()
     report.data_signature = san.data_signature()
     report.elapsed = universe.kernel.now
+    report.events = universe.kernel._seq
     if rec is not None:
         rec.instant("sanitize.classify", status=report.status,
                     findings=len(report.findings), elapsed=report.elapsed)

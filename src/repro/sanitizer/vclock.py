@@ -1,29 +1,190 @@
-"""Vector clocks over sparse dicts, for RMA happens-before tracking.
+"""Vector clocks for RMA happens-before tracking: sparse dicts + COW stamps.
 
-Clocks are ``dict[int, int]`` keyed by a stable per-endpoint index (assigned
-by the sanitizer at process creation, so spawned worlds -- where world ranks
-repeat -- still get distinct components).  Missing keys are zero.
+Clocks are conceptually ``dict[int, int]`` keyed by a stable per-endpoint
+index (assigned by the sanitizer at process creation, so spawned worlds --
+where world ranks repeat -- still get distinct components).  Missing keys
+are zero.
+
+Two representations share that meaning:
+
+* plain ``dict`` -- the classic form; also the *interned* result of a
+  global synchronization round (barrier/fence), shared by reference
+  across every participating rank;
+* :class:`CowClock` -- a copy-on-write overlay ``(base, delta)`` where
+  ``base`` is a shared dict that is never mutated and ``delta`` holds the
+  rank's private increments since the last join.  Ticking is O(1); taking
+  a stamp (:meth:`CowClock.snapshot`) is O(1) and freezes the delta so
+  the stamp stays immutable.  Invariant: every ``delta`` value is >= the
+  ``base`` value for that key (deltas only ever come from ticks and
+  component-wise maxima), so overlay == join and two clocks sharing a
+  base can be compared on their deltas alone -- the "epoch fast path"
+  that makes race checks O(1) after a synchronization round.
+
+The comparison functions below accept either representation.
 """
 
 from __future__ import annotations
 
-__all__ = ["vc_join", "vc_leq", "vc_concurrent"]
+from typing import Iterable, Iterator, Union
+
+__all__ = ["CowClock", "vc_join", "vc_leq", "vc_concurrent", "vc_round_join"]
+
+VClock = Union[dict, "CowClock"]
 
 
-def vc_join(a: dict[int, int], b: dict[int, int]) -> dict[int, int]:
-    """Component-wise maximum (the least upper bound of two clocks)."""
-    out = dict(a)
+class CowClock:
+    """A copy-on-write vector clock: shared ``base`` + private ``delta``."""
+
+    __slots__ = ("base", "delta", "frozen")
+
+    def __init__(self, base: dict, delta: dict | None = None, frozen: bool = False) -> None:
+        self.base = base
+        self.delta = {} if delta is None else delta
+        self.frozen = frozen
+
+    def get(self, key: int, default: int = 0) -> int:
+        value = self.delta.get(key)
+        if value is not None:
+            return value
+        return self.base.get(key, default)
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        delta = self.delta
+        if not delta:
+            yield from self.base.items()
+            return
+        base = self.base
+        for key, value in base.items():
+            dv = delta.get(key)
+            yield key, (dv if dv is not None else value)
+        for key, value in delta.items():
+            if key not in base:
+                yield key, value
+
+    def tick(self, key: int) -> int:
+        """Increment one component in place (copy-on-write if frozen)."""
+        if self.frozen:
+            self.delta = dict(self.delta)
+            self.frozen = False
+        value = self.get(key) + 1
+        self.delta[key] = value
+        return value
+
+    def snapshot(self) -> "CowClock":
+        """An immutable stamp of the current value, O(1): the stamp shares
+        this clock's delta and both are frozen, so the owner's next tick
+        copies the (small) delta instead of the whole clock."""
+        self.frozen = True
+        return CowClock(self.base, self.delta, True)
+
+    def materialize(self) -> dict:
+        """The clock as a plain dict.  With an empty delta this returns the
+        shared base itself -- callers must treat the result as read-only."""
+        if not self.delta:
+            return self.base
+        out = dict(self.base)
+        out.update(self.delta)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CowClock base={len(self.base)} delta={self.delta!r}>"
+
+
+def vc_join(a: VClock, b: VClock) -> VClock:
+    """Component-wise maximum (the least upper bound of two clocks).
+
+    Returns ``a`` itself when ``b <= a`` (callers never mutate joins, so
+    the allocation -- and at scale, the O(ranks) copy -- is skipped), and
+    symmetrically ``b`` when ``a`` is empty."""
+    if a is b:
+        return a
+    if not a:
+        return b
+    out = None
     for k, v in b.items():
-        if v > out.get(k, 0):
+        if v > (out.get(k, 0) if out is not None else a.get(k, 0)):
+            if out is None:
+                out = dict(a.materialize()) if type(a) is CowClock else dict(a)
             out[k] = v
-    return out
+    return a if out is None else out
 
 
-def vc_leq(a: dict[int, int], b: dict[int, int]) -> bool:
+def vc_leq(a: VClock, b: VClock) -> bool:
     """True when ``a`` happened-before-or-equals ``b`` (a <= b pointwise)."""
-    return all(v <= b.get(k, 0) for k, v in a.items())
+    if a is b:
+        return True
+    if type(a) is CowClock and type(b) is CowClock and a.base is b.base:
+        # shared base: components outside a.delta satisfy a[k] == base[k]
+        # <= b[k] by the delta >= base invariant
+        bget = b.get
+        return all(v <= bget(k, 0) for k, v in a.delta.items())
+    bget = b.get
+    return all(v <= bget(k, 0) for k, v in a.items())
 
 
-def vc_concurrent(a: dict[int, int], b: dict[int, int]) -> bool:
+def vc_concurrent(a: VClock, b: VClock) -> bool:
     """Neither clock ordered before the other: a genuine race candidate."""
+    if a is b:
+        return False
+    if type(a) is CowClock and type(b) is CowClock and a.base is b.base:
+        # epoch fast path: same synchronization round -> compare only the
+        # private increments since the shared joined clock
+        da, db = a.delta, b.delta
+        a_ahead = b_ahead = False
+        base_get = a.base.get
+        for k in da.keys() | db.keys():
+            va = da.get(k)
+            vb = db.get(k)
+            if va is None:
+                va = base_get(k, 0)
+            if vb is None:
+                vb = base_get(k, 0)
+            if va > vb:
+                a_ahead = True
+            elif vb > va:
+                b_ahead = True
+            if a_ahead and b_ahead:
+                return True
+        return False
     return not vc_leq(a, b) and not vc_leq(b, a)
+
+
+def vc_round_join(stamps: Iterable[VClock]) -> dict:
+    """Join a synchronization round's entry stamps into one plain dict.
+
+    The result is the round's *interned* clock: every exiting rank adopts
+    it as a shared CowClock base, so thousands of ranks reference one
+    dict.  When every stamp is a CowClock over the same base (the steady
+    state: all ranks joined at the previous round), the join is
+    O(sum of delta sizes) -- copy the base once, overlay every delta.
+    Mixed bases (first round, sub-communicators, spawned worlds) fall back
+    to the generic component-wise maximum.
+    """
+    stamps = list(stamps)
+    base = None
+    for stamp in stamps:
+        if type(stamp) is not CowClock:
+            base = None
+            break
+        if base is None:
+            base = stamp.base
+        elif stamp.base is not base:
+            base = None
+            break
+    if base is not None:
+        out = dict(base)
+        get = out.get
+        for stamp in stamps:
+            for k, v in stamp.delta.items():
+                if v > get(k, 0):
+                    out[k] = v
+                    get = out.get
+        return out
+    out: dict = {}
+    get = out.get
+    for stamp in stamps:
+        for k, v in stamp.items():
+            if v > get(k, 0):
+                out[k] = v
+                get = out.get
+    return out

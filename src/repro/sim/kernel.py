@@ -31,6 +31,12 @@ Scheduling internals (the fast path; see DESIGN.md "kernel fast path"):
   two lanes by comparing (time, seq) across their heads.
 * Cancelled heap entries are counted and the heap is compacted once more
   than half of it is dead, so mass cancellation cannot leak memory.
+* Event triggers with many waiters (a barrier releasing thousands of ranks)
+  enqueue ONE batched cohort entry instead of N zero-lane entries.  The
+  cohort owns a contiguous seq block, so the global (time, seq) order --
+  and therefore every observable -- is bit-identical to unbatched
+  execution; see DESIGN.md "batched event cohorts" for the invariant
+  argument.
 """
 
 from __future__ import annotations
@@ -51,6 +57,12 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
 ]
+
+
+#: trigger wakeups at/above this waiter count are executed as one batched
+#: cohort (below it, per-waiter zero-lane entries are cheaper); the value
+#: only moves the crossover point -- execution order is identical either way
+BATCH_MIN_WAITERS = 8
 
 
 class SimulationError(RuntimeError):
@@ -113,6 +125,9 @@ class SimEvent:
         self._triggered = True
         self._value = value
         waiters, self._waiters = self._waiters, []
+        if len(waiters) >= BATCH_MIN_WAITERS:
+            self.kernel._schedule_batch([task._step for task in waiters], value)
+            return
         schedule = self.kernel.schedule
         for task in waiters:
             schedule(0.0, task._step, value)
@@ -223,6 +238,39 @@ class _ScheduledCall:
         return f"<_ScheduledCall t={self.time} seq={self.seq}{flag}>"
 
 
+class _BatchCall:
+    """A cohort of same-timestamp wakeups executed as one queue entry.
+
+    ``seq`` is the *first* member's sequence number; the cohort owns the
+    contiguous block ``[seq, seq + len(callbacks))``, reserved at enqueue
+    time by advancing the kernel's counter.  Because the counter is
+    monotonic, anything scheduled later -- including from inside a member
+    callback -- sorts after every member, so running the members
+    back-to-back is exactly the order the unbatched per-waiter entries
+    would have executed in.  ``pos`` is the resume cursor: an exception
+    escaping member ``i`` leaves the cohort re-queued at ``pos == i + 1``,
+    matching the unbatched behaviour of losing only the raising entry.
+    Cohorts are never cancelled (triggers expose no handle to cancel).
+    """
+
+    __slots__ = ("time", "seq", "callbacks", "value", "pos")
+
+    cancelled = False
+
+    def __init__(self, time: float, seq: int, callbacks: list, value: Any) -> None:
+        self.time = time
+        self.seq = seq
+        self.callbacks = callbacks
+        self.value = value
+        self.pos = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<_BatchCall t={self.time} seq={self.seq} "
+            f"{self.pos}/{len(self.callbacks)}>"
+        )
+
+
 class Kernel:
     """The event loop: a priority queue of timestamped callbacks.
 
@@ -266,6 +314,14 @@ class Kernel:
         heapq.heappush(self._queue, (call.time, seq, call))
         return call
 
+    def _schedule_batch(self, callbacks: list, value: Any) -> None:
+        """Enqueue one zero-delay cohort for ``callbacks`` (all fired with
+        ``value``), reserving a contiguous seq block so (time, seq) order
+        is identical to ``len(callbacks)`` individual schedule() calls."""
+        first = self._seq + 1
+        self._seq = first + len(callbacks) - 1
+        self._zero.append(_BatchCall(self.now, first, callbacks, value))
+
     def cancel(self, call: _ScheduledCall) -> None:
         """Cancel a pending call.  Dead heap entries are counted and the heap
         is compacted once cancelled entries outnumber live ones, so mass
@@ -295,8 +351,15 @@ class Kernel:
         self._cancelled = 0
 
     def queue_depth(self) -> int:
-        """Pending entries across both lanes (cancelled ones included)."""
-        return len(self._queue) + len(self._zero)
+        """Pending entries across both lanes (cancelled ones included);
+        batched cohorts count their not-yet-run members."""
+        depth = len(self._queue)
+        for call in self._zero:
+            if call.__class__ is _BatchCall:
+                depth += len(call.callbacks) - call.pos
+            else:
+                depth += 1
+        return depth
 
     def event(self, name: str = "") -> SimEvent:
         return SimEvent(self, name=name)
@@ -361,6 +424,34 @@ class Kernel:
                     self._cancelled -= 1
                 continue
             self.now = head.time
+            if head.__class__ is _BatchCall:
+                # run the cohort back-to-back: nothing can preempt it
+                # (zero-lane appends and heap pushes made during execution
+                # all carry seqs beyond the cohort's reserved block)
+                callbacks = head.callbacks
+                value = head.value
+                n = len(callbacks)
+                pos = head.pos
+                try:
+                    while pos < n:
+                        callback = callbacks[pos]
+                        pos += 1
+                        callback(value)
+                        events += 1
+                        if rec is not None and not (events & 8191):
+                            rec.counter("kernel.events", events, clock="sim", t=self.now)
+                        if events > max_events:
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}; runaway simulation?"
+                            )
+                except BaseException:
+                    # keep the cohort resumable past the raising member,
+                    # exactly like unbatched entries left in the deque
+                    if pos < n:
+                        head.pos = pos
+                        zero.appendleft(head)
+                    raise
+                continue
             value = head.value
             if value is novalue:
                 head.callback()

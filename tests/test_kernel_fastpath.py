@@ -101,6 +101,17 @@ def _execute(kernel, ops):
             if events:
                 kernel.spawn(waiter(next_tag, events[arg % len(events)]),
                              name=f"w{next_tag}")
+        elif kind == "mass_wait":
+            # a fresh event with >= BATCH_MIN_WAITERS waiters parked on it:
+            # the trigger takes the batched-cohort path in the fast kernel
+            # (one _BatchCall owning a contiguous seq block) and the plain
+            # per-waiter path in the reference.  Tags divisible by 3 Delay
+            # after waking, so members escape the cohort mid-flight too.
+            ev = kernel.event(f"mass{len(events)}")
+            events.append(ev)
+            for _ in range(arg):
+                next_tag += 1
+                kernel.spawn(waiter(next_tag, ev), name=f"mw{next_tag}")
         elif kind == "spawn_sleeper":
             def sleeper(tag=next_tag, dt=arg):
                 yield Delay(dt)
@@ -119,6 +130,47 @@ def _execute(kernel, ops):
 def test_mixed_workloads_match_reference(ops):
     fast_log, fast_now = _execute(Kernel(), ops)
     ref_log, ref_now = _execute(ReferenceKernel(), ops)
+    assert fast_log == ref_log
+    assert fast_now == ref_now
+
+
+# -- batched event cohorts ----------------------------------------------------
+#
+# Triggering an event with >= BATCH_MIN_WAITERS (8) waiters wakes them as one
+# batched cohort step instead of one queue entry each.  The property test
+# mixes mass waits into the general op soup; cohorts interact with timed
+# entries, zero-delay storms, cancellations, and members that block again
+# mid-cohort (Delay after wake), and the log must still match the reference
+# entry-per-waiter kernel exactly.
+
+COHORT_OP = st.one_of(
+    OP,
+    st.tuples(st.just("mass_wait"), st.integers(min_value=8, max_value=32)),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(COHORT_OP, min_size=1, max_size=30))
+def test_cohort_workloads_match_reference(ops):
+    fast_log, fast_now = _execute(Kernel(), ops)
+    ref_log, ref_now = _execute(ReferenceKernel(), ops)
+    assert fast_log == ref_log
+    assert fast_now == ref_now
+
+
+def test_large_cohort_matches_reference():
+    """Directed case at bench scale: a thousand waiters on one event, woken
+    by a single trigger, with every third member re-blocking mid-cohort."""
+    ops = [
+        ("sched", 1.0),
+        ("mass_wait", 1000),
+        ("sched0", 4),
+        ("trigger", 0),
+        ("sched", 0.25),
+    ]
+    fast_log, fast_now = _execute(Kernel(), ops)
+    ref_log, ref_now = _execute(ReferenceKernel(), ops)
+    assert len(fast_log) > 1000
     assert fast_log == ref_log
     assert fast_now == ref_now
 

@@ -1,0 +1,137 @@
+"""The rank-count scaling axis: golden digests and O(live) sampling.
+
+The scale PR (batched kernel cohorts, copy-on-write/interned vector
+clocks, O(live) daemon sampling) is a pure performance change: every
+deterministic observable of a sanitized run -- the trace digest, the
+final virtual time, the event count -- must be *byte-identical* to the
+pre-change implementation.  The goldens below were recorded with the
+eager dict-per-event vector clocks and the unbatched kernel; any digest
+drift here means the refactor changed behaviour, not just speed.
+
+Tier-1 runs the reduced sweep (16/64 ranks); the full-scale cells
+(256/1024 ranks, the tentpole target) are ``slow``-marked and ride in
+CI's full suite pass.  Also here: the regression test for the daemon
+dropping exited processes from its sampling structures (satellite of
+the same PR).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "benchmarks"))
+
+import bench_scale_ranks as bench
+
+from conftest import ScriptProgram, make_universe
+
+# (shape, ranks) -> (trace digest, virtual time, event count), recorded
+# before the sparse-clock/batched-kernel rewrite (the byte-identity oracle)
+GOLDEN = {
+    ("barrier", 16): ("3139ed01348d902626a7dd84b7a4ecfd8bccfa981012d5cc312d2597e1a68b25", 0.0031176, 567),
+    ("barrier", 64): ("6d07aa335bb83368a393f3dc78e51fdd0f7918898430fd1e51df71b45d0a27b0", 0.0031224, 2295),
+    ("barrier", 256): ("91daf4471958a2719ba56066c0fb041fc8b325ccc8a48779f3dead886d7e897c", 0.0031224, 9207),
+    ("barrier", 1024): ("9da47c5eefefc0c3c3ce98b77e76faac928a9baaa55d77a88b8176c630277e18", 0.0031224, 36855),
+    ("fence", 16): ("13ff9d2b1cc06469d8a2860c62eced377af90ec784681c5b1e36797e819be847", 0.003255887, 1334),
+    ("fence", 64): ("a5b22055416e7906283a8b6f5aadfbcb7aed2f207e1cd8136326350bb906e71a", 0.003256687, 5366),
+    ("fence", 256): ("f61828d823491cb8580b1d19b80f865e4173d6de8d60eede6e9e45405880610e", 0.003256687, 21494),
+    ("fence", 1024): ("f3d33ea397c673880470062411cfbffa23538cd9c0ca0ad31b68317c5a9d2360", 0.003256687, 86006),
+    ("sstwod", 16): ("3d037f46580a9e16e46039c873bc8dfc435e36ce79bfe60fa8ef565e758bff48", 0.004720409, 1179),
+    ("sstwod", 64): ("cd8e91b61dd238ad374048534d41f6ce0fbecf23736afe3731a62323f2b791f3", 0.004720409, 4731),
+    ("sstwod", 256): ("3c1103dd505973f302aeb09742a39341698c993543d0c809ed668a7b9b36c001", 0.004720409, 18939),
+    ("sstwod", 1024): ("0f62e3add8f802e4daec3753c10cccb95aaa3937c0ad2016c808f461ac730d18", 0.004720409, 75771),
+}
+
+SHAPES = ("barrier", "fence", "sstwod")
+
+
+def _check_cell(shape: str, ranks: int) -> None:
+    cell = bench.run_cell(shape, ranks)
+    digest, virtual_time, events = GOLDEN[(shape, ranks)]
+    assert cell["digest"] == digest, (shape, ranks, cell["digest"])
+    assert cell["virtual_time"] == virtual_time, (shape, ranks)
+    assert cell["events"] == events, (shape, ranks)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_golden_digests_reduced(shape):
+    """Tier-1 oracle: 16- and 64-rank cells match the pre-change goldens."""
+    _check_cell(shape, 16)
+    _check_cell(shape, 64)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shape", SHAPES)
+def test_golden_digests_full_scale(shape):
+    """The tentpole cells: 256 and 1024 ranks, same byte-identity bar."""
+    _check_cell(shape, 256)
+    _check_cell(shape, 1024)
+
+
+def test_run_cell_deterministic_in_process():
+    """Same cell twice in one process: identical observables (the bench's
+    determinism contract, independent of the goldens)."""
+    a = bench.run_cell("barrier", 16)
+    b = bench.run_cell("barrier", 16)
+    for key in ("digest", "virtual_time", "events"):
+        assert a[key] == b[key]
+
+
+# -- daemon drops exited processes from the sampling hot path ----------------
+
+
+def test_daemon_drops_exited_procs_from_sampling():
+    """Processes leave the daemon's live sampling structures right after
+    the pass that reads their final deltas; the attach-forever tool state
+    (``procs``, ``_proc_set``) keeps them."""
+    from repro.core import Paradyn
+
+    # MPI_Finalize barriers a world, so staggered exits need two
+    # single-rank worlds: one exits early, one keeps the run alive long
+    # enough for several sample passes after that exit
+    def short_script(mpi):
+        yield from mpi.init()
+        yield from mpi.compute(0.2)
+        yield from mpi.finalize()
+
+    def long_script(mpi):
+        yield from mpi.init()
+        yield from mpi.compute(1.0)
+        yield from mpi.finalize()
+
+    universe = make_universe()
+    tool = Paradyn(universe)
+    tool.enable("cpu")
+    universe.launch(ScriptProgram(short_script, name="short"), 1)
+    universe.launch(ScriptProgram(long_script, name="long"), 1)
+
+    seen = {}
+
+    def probe():
+        # ranks may be spread over several node daemons; aggregate
+        seen["live"] = [p for d in tool.daemons for p in d._live]
+        seen["live_exited"] = [p.exited for p in seen["live"]]
+        seen["procs"] = [p for d in tool.daemons for p in d.procs]
+
+    # by t=0.7 rank 0 has exited and at least one sample pass has drained it
+    universe.kernel.schedule(0.7, probe)
+    universe.run()
+
+    assert len(seen["procs"]) == 2  # attach state is forever
+    live_mid = seen["live"]
+    assert len(live_mid) == 1 and seen["live_exited"] == [False]
+    assert live_mid[0].name == "long"  # the early exiter was drained
+    # after the run every proc has exited and been drained everywhere
+    for daemon in tool.daemons:
+        assert daemon._live == [] and daemon._live_set == set()
+        assert not daemon._sampling
+        assert len(daemon.procs) == len(daemon._proc_set)
+    assert sum(len(d.procs) for d in tool.daemons) == 2
+    # the early-exiting rank still recorded its cpu time (final deltas are
+    # read in the same pass that drains the proc)
+    data = tool.data("cpu")
+    early = min(seen["procs"], key=lambda p: p.pid)
+    assert data.histogram_for(early.pid).total() == pytest.approx(0.2, rel=0.25)
