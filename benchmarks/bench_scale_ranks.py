@@ -10,8 +10,18 @@ kernel's batched event cohorts, the sanitizer's copy-on-write/interned
 vector clocks, and the engine's O(1) group lookups: exactly the pieces
 that make ``ranks`` a scaling axis instead of a wall.
 
-Determinism: every (shape, ranks) cell records the sanitizer trace
-digest and the final virtual time.  Both are asserted stable across
+A fourth shape, ``tool``, scales the *tool* instead of the sanitizer:
+the full Paradyn stack with the Performance Consultant searching a
+skewed-barrier program at {64, 1024} ranks.  Its digest hashes the
+Consultant's search history (every experiment, verdict, and rounded
+value) plus the virtual end time, so the whole
+instrument-sample-decide-refine loop is pinned byte-for-byte at a
+thousand ranks; its ``events`` column counts instrumentation snippets
+executed (the tool-side work the cell is timing).
+
+Determinism: every (shape, ranks) cell records a deterministic digest
+(sanitizer trace digest, or the Consultant search-history digest for
+``tool``) and the final virtual time.  Both are asserted stable across
 repeat runs in the same process, and the digests at pre-existing rank
 counts double as the byte-identity regression oracle for the sparse
 vector-clock refactor (see tests/test_scale_ranks.py).
@@ -51,6 +61,9 @@ REGRESSION_TOLERANCE = 0.30  # CI fails below baseline * (1 - this)
 #: simulated cluster, out of the CI budget)
 DEFAULT_RANKS = (64, 256, 1024)
 FULL_RANKS = (64, 256, 1024, 4096)
+#: the tool shape's own axis: a full Consultant run costs ~10s of wall at
+#: 1024 ranks, so it skips the intermediate counts
+TOOL_RANKS = (64, 1024)
 #: refmpi: the internal-RPI personality (no visible collective p2p), the
 #: cheapest launch cost model -- the personality built for scale runs
 IMPL = "refmpi"
@@ -148,13 +161,98 @@ def _programs():
     }
 
 
+def _tool_program():
+    from repro.mpi.world import MpiProgram
+
+    class ToolBarrier(MpiProgram):
+        """The tool shape's workload: a barrier loop where rank 0 computes
+        ~6x longer than everyone else, so the Performance Consultant has an
+        unambiguous sync bottleneck to find at any rank count."""
+
+        name = "tool_barrier"
+        module = "tool_barrier.c"
+        default_nprocs = 64
+        procs_per_node = 2
+
+        def __init__(self, rounds: int = 6) -> None:
+            self.rounds = rounds
+
+        def main(self, mpi):
+            yield from mpi.init()
+            for r in range(self.rounds):
+                if mpi.rank == 0:
+                    work = 0.30
+                else:
+                    work = 0.05 + ((mpi.rank * 31 + r * 17) % 64) * 1e-4
+                yield from mpi.compute(work)
+                yield from mpi.barrier()
+            yield from mpi.finalize()
+
+    return ToolBarrier
+
+
 # -- harness -----------------------------------------------------------------
+
+
+def run_tool_cell(ranks: int) -> dict:
+    """One tool-mode cell: the full Paradyn stack (daemons, snippets,
+    Performance Consultant) over the skewed-barrier program.
+
+    The digest hashes the Consultant's complete search history -- every
+    experiment's description, verdict, and rounded value -- plus the
+    outcome counts and the virtual end time: the deterministic record of
+    what the tool *concluded*.  ``events`` counts instrumentation
+    snippets executed across all ranks (the tool-side work driving the
+    throughput gate; the kernel keeps no event counter of its own).
+    """
+    import hashlib
+
+    from repro.analysis.runner import run_program
+
+    t0 = time.perf_counter()
+    result = run_program(
+        _tool_program()(), impl=IMPL, nprocs=ranks, consultant=True, seed=SEED
+    )
+    wall = time.perf_counter() - t0
+    pc = result.consultant
+    if not pc.found("ExcessiveSyncWaitingTime"):
+        raise AssertionError(
+            f"tool@{ranks}: the Consultant missed the barrier bottleneck:\n"
+            + pc.render_search_history()
+        )
+    observables = {
+        "elapsed": round(result.elapsed, 9),
+        "history": [
+            {
+                "node": node.describe(),
+                "state": node.state.name,
+                "value": round(node.value, 6) if node.value is not None else None,
+            }
+            for node in pc.search_history()
+        ],
+        "summary": pc.summary(),
+    }
+    snippets = sum(ep.proc.snippets_executed for ep in result.world.endpoints)
+    digest = hashlib.sha256(
+        json.dumps(observables, sort_keys=True).encode()
+    ).hexdigest()
+    return {
+        "ranks": ranks,
+        "wall": round(wall, 6),
+        "virtual_time": observables["elapsed"],
+        "digest": digest,
+        "events": snippets,
+        "events_per_sec": round(snippets / wall) if wall > 0 else 0,
+        "experiments": observables["summary"]["total"],
+    }
 
 
 def run_cell(shape: str, ranks: int) -> dict:
     """One (shape, ranks) cell: a sanitized run; returns the observables."""
     from repro.sanitizer.run import sanitize_program
 
+    if shape == "tool":
+        return run_tool_cell(ranks)
     program = _programs()[shape]()
     t0 = time.perf_counter()
     report = sanitize_program(program, impl=IMPL, nprocs=ranks, seed=SEED)
@@ -197,16 +295,24 @@ def run_sweep(rank_counts=DEFAULT_RANKS) -> dict:
 
 def _run_sweep_untraced(rank_counts) -> dict:
     calibration = _calibrate()
+    # the tool shape keeps its own (shorter) axis; a --ranks override
+    # still reaches it via the smallest requested count
+    tool_ranks = tuple(r for r in rank_counts if r in TOOL_RANKS) or (
+        min(rank_counts),
+    )
     summary: dict = {
         "schema": 1,
         "impl": IMPL,
         "seed": SEED,
         "ranks": list(rank_counts),
+        "tool_ranks": list(tool_ranks),
         "calibration_events_per_sec": calibration,
         "shapes": {},
     }
-    for shape in _programs():
-        cells = [run_cell(shape, ranks) for ranks in rank_counts]
+    axes = {shape: rank_counts for shape in _programs()}
+    axes["tool"] = tool_ranks
+    for shape, axis in axes.items():
+        cells = [run_cell(shape, ranks) for ranks in axis]
         for cell in cells:
             cell["normalized"] = (
                 round(cell["events_per_sec"] / calibration, 4) if calibration else None
@@ -224,8 +330,8 @@ def _run_sweep_untraced(rank_counts) -> dict:
 
 def render(summary: dict) -> str:
     lines = [
-        f"Rank-count scaling sweep ({summary['impl']}, seed {summary['seed']}, "
-        "sanitizer attached)",
+        f"Rank-count scaling sweep ({summary['impl']}, seed {summary['seed']}; "
+        "sanitizer attached, `tool` shape runs the full Consultant)",
         "",
         f"{'shape':<10} {'ranks':>6} {'events':>10} {'ev/s':>10} "
         f"{'normalized':>11}  digest",

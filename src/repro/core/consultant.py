@@ -28,6 +28,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from ..observe.recorder import active as _observe_active  # mode-salt: none
 from .frontend import Frontend, MetricFocusData
 from .mdl import MdlCompileError
 from .resources import Focus
@@ -311,6 +312,7 @@ class PerformanceConsultant:
         observed = now - node.started_at
         if data is None or observed <= 0.0 or (final and observed < self.min_observation):
             node.state = NodeState.UNKNOWN
+            self._record_decision(node)
             return
         # A hypothesis tests true when the *worst* matching process exceeds
         # the threshold -- a bottleneck anywhere is worth refining, even if
@@ -321,11 +323,30 @@ class PerformanceConsultant:
         threshold = self.thresholds[node.hypothesis.threshold_name]
         if value > threshold:
             node.state = NodeState.TRUE
+            self._record_decision(node)
             self._refine(node)
         else:
             node.state = NodeState.FALSE
+            self._record_decision(node)
         # decided: remove the instrumentation (dynamic economy)
         self.frontend.disable(node.metric_name, node.focus)
+
+    @staticmethod
+    def _record_decision(node: PCNode) -> None:
+        """Publish the decision to the flight recorder (when one is on) so
+        a live viewer can watch the search narrow; the simulated search is
+        untouched -- this reads state, it never advances the kernel."""
+        rec = _observe_active()
+        if rec is None:
+            return
+        rec.instant(
+            "pc.decide",
+            node=node.describe(),
+            state=node.state.name,
+            value=round(node.value, 6) if node.value is not None else None,
+            metric=node.metric_name,
+            depth=node.depth,
+        )
 
     # -- refinement ----------------------------------------------------------------
 
@@ -347,6 +368,9 @@ class PerformanceConsultant:
         Enqueue order matters: the queue is LIFO, so the *last* axis
         enqueued is explored first -- code chains have priority.
         """
+        rec = _observe_active()
+        if rec is not None:
+            rec.instant("pc.refine", node=node.describe(), depth=node.depth)
         hypothesis = node.hypothesis
         focus = node.focus
         pure_code = focus.machine == "/Machine"

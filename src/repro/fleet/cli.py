@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Optional
@@ -48,6 +49,21 @@ def _resolve_store(arg: Optional[str]):
     from .execute import default_cache
 
     return default_cache()
+
+
+def _add_token_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--token", default=os.environ.get("REPRO_FLEET_TOKEN"),
+                        metavar="SECRET",
+                        help="shared secret for the fleet wire (default: "
+                        "$REPRO_FLEET_TOKEN); services started with one "
+                        "reject unauthenticated requests with 401")
+
+
+def _export_token(token: Optional[str]) -> None:
+    """Make ``--token`` ambient so every wire client in this process (and
+    its forked children) attaches it automatically."""
+    if token:
+        os.environ["REPRO_FLEET_TOKEN"] = token
 
 
 def add_fleet_parser(sub: argparse._SubParsersAction) -> None:
@@ -95,6 +111,13 @@ def add_fleet_parser(sub: argparse._SubParsersAction) -> None:
                        "merge into a Perfetto-loadable Chrome trace")
     sweep.add_argument("--trace-dir", default=DEFAULT_TRACE_DIR, metavar="DIR",
                        help="trace output directory (default %(default)s)")
+    sweep.add_argument("--live", action="store_true",
+                       help="serve the growing trace to live viewers "
+                       "(repro observe watch) for the sweep's duration; "
+                       "implies --trace")
+    sweep.add_argument("--live-port", type=int, default=0, metavar="PORT",
+                       help="live observatory port (default: auto-assign)")
+    _add_token_flag(sweep)
 
     status = fsub.add_parser("status", help="cache and last-sweep statistics")
     status.add_argument("--cache", default=None, metavar="DIR")
@@ -116,6 +139,7 @@ def add_fleet_parser(sub: argparse._SubParsersAction) -> None:
     store.add_argument("--host", default="127.0.0.1")
     store.add_argument("--port", type=int, default=8750,
                        help="listen port (0 = auto-assign)")
+    _add_token_flag(store)
 
     serve = fsub.add_parser(
         "serve",
@@ -132,6 +156,7 @@ def add_fleet_parser(sub: argparse._SubParsersAction) -> None:
                        "presumed dead and its job is re-queued")
     serve.add_argument("--retries", type=int, default=1,
                        help="extra attempts after a reported job failure")
+    _add_token_flag(serve)
 
     worker = fsub.add_parser(
         "worker",
@@ -147,9 +172,11 @@ def add_fleet_parser(sub: argparse._SubParsersAction) -> None:
     worker.add_argument("--max-idle", type=float, default=None, metavar="SECS",
                         help="exit after this long with no work (default: "
                         "poll until the coordinator drains)")
+    _add_token_flag(worker)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    _export_token(args.token)
     if args.store:
         from .remote.store import HTTPStore
 
@@ -170,7 +197,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache=cache,
         bench_out=bench_out,
         sanitize_impls=tuple(args.impls.split(",")),
-        trace_dir=Path(args.trace_dir) if args.trace else None,
+        trace_dir=Path(args.trace_dir) if args.trace or args.live else None,
+        live=args.live,
+        live_port=args.live_port,
+        live_token=args.token,
     )
     counts = summary["counts"]
     cache_stats = summary["cache"]
@@ -292,10 +322,13 @@ def _cmd_clean(args: argparse.Namespace) -> int:
 def _cmd_store(args: argparse.Namespace) -> int:
     from .remote.store import ArtifactStoreServer
 
-    server = ArtifactStoreServer(args.root, host=args.host, port=args.port)
+    server = ArtifactStoreServer(args.root, host=args.host, port=args.port,
+                                 token=args.token)
     server.start()
     print(f"# artifact store serving {server.cache.root} on {server.url} "
-          f"({len(server.cache)} object(s)); Ctrl-C to stop", flush=True)
+          f"({len(server.cache)} object(s))"
+          + ("; token auth on" if args.token else "")
+          + "; Ctrl-C to stop", flush=True)
     server.serve_forever()
     return 0
 
@@ -306,10 +339,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     coordinator = FleetCoordinator(
         host=args.host, port=args.port, store_url=args.store,
         lease_timeout=args.lease_timeout, retries=args.retries,
+        token=args.token,
     )
     coordinator.start()
     print(f"# fleet coordinator on {coordinator.url}"
           + (f" (store {args.store})" if args.store else "")
+          + ("; token auth on" if args.token else "")
           + f"; lease timeout {args.lease_timeout}s; point workers here "
           "with: repro fleet worker " + coordinator.address, flush=True)
     coordinator.serve_forever()
@@ -317,6 +352,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    _export_token(args.token)
     from .remote.store import HTTPStore
     from .remote.worker import FleetWorker
 

@@ -117,9 +117,10 @@ class FleetCoordinator(BackgroundServer):
         store_url: Optional[str] = None,
         job_timeout: Optional[float] = None,
         verify_code_version: bool = True,
+        token: Optional[str] = None,
         clock=time.monotonic,
     ) -> None:
-        super().__init__(host, port)
+        super().__init__(host, port, token=token)
         self.lease_timeout = lease_timeout
         self.retries = max(0, retries)
         self.backoff = backoff
@@ -143,6 +144,9 @@ class FleetCoordinator(BackgroundServer):
         self._chaos_armed = 0
         self._chaos_rng = random.Random(0)
         self._chaos_victims: set[str] = set()
+        #: the driver's latest batch asked for flight-recorder relay: workers
+        #: ship their mirror tails with each /result and the feed carries them
+        self.trace = False
 
     def _handler_class(self):
         return _CoordinatorHandler
@@ -165,6 +169,8 @@ class FleetCoordinator(BackgroundServer):
             if payload.get("chaos_kills"):
                 self._chaos_armed += int(payload["chaos_kills"])
                 self._chaos_rng = random.Random(payload.get("chaos_seed", 0))
+            if payload.get("trace") is not None:
+                self.trace = bool(payload["trace"])
             accepted = 0
             done: list[dict] = []
             for row in payload.get("jobs", ()):
@@ -285,6 +291,7 @@ class FleetCoordinator(BackgroundServer):
                 "heartbeat": max(0.05, self.lease_timeout / 3.0),
                 "store": self.store_url,
                 "chaos": chaos,
+                "trace": self.trace,
                 "shutdown": False,
             }
 
@@ -301,7 +308,7 @@ class FleetCoordinator(BackgroundServer):
             return {"ok": True}
 
     def result(self, lease_id: str, artifact: dict, wall: float = 0.0,
-               store_hit: bool = False) -> dict:
+               store_hit: bool = False, trace: Optional[list] = None) -> dict:
         """``POST /result``: terminal or retried, per the fork-pool rules."""
         now = self._clock()
         with self._lock:
@@ -320,6 +327,13 @@ class FleetCoordinator(BackgroundServer):
                 if store_hit:
                     worker.store_hits += 1
             job.wall += float(wall or 0.0)
+            if trace:
+                # the relay must precede the terminal/retry record: a live
+                # tailer that sees the terminal can then rely on the mirror
+                # tail already being in the feed (and on the driver's disk)
+                self._emit("trace", digest=job.digest, job=job.label,
+                           attempt=job.attempts, worker=lease.worker,
+                           events=list(trace))
             if artifact.get("status") == "ok":
                 self._finish(job, "completed", artifact, cached=store_hit,
                              worker=lease.worker)
@@ -463,7 +477,10 @@ class _CoordinatorHandler(JsonRequestHandler):
 
     def do_GET(self) -> None:
         if self.path == "/health":
+            # liveness stays open (probes, worker discovery)
             self.send_json(200, self.coord.health())
+        elif not self._authorized():
+            return
         elif self.path == "/status":
             self.send_json(200, self.coord.status())
         elif self.path.startswith("/events"):
@@ -478,6 +495,8 @@ class _CoordinatorHandler(JsonRequestHandler):
             self.send_json(404, {"error": "unknown endpoint"})
 
     def do_POST(self) -> None:
+        if not self._authorized():
+            return
         payload = self.read_json()
         if self.path == "/jobs":
             self.send_json(200, self.coord.submit_jobs(payload))
@@ -496,6 +515,7 @@ class _CoordinatorHandler(JsonRequestHandler):
                 payload.get("artifact") or {},
                 payload.get("wall", 0.0),
                 bool(payload.get("store_hit")),
+                payload.get("trace"),
             ))
         elif self.path == "/control":
             self.send_json(200, self.coord.control(payload.get("action", "")))

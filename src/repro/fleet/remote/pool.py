@@ -29,7 +29,9 @@ with ``no-workers`` artifacts after a grace period instead of hanging.
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from ..cache import ArtifactStore, StoreIntegrityError
@@ -62,6 +64,11 @@ class RemotePool:
         warm phase leaves workers alive for the render phase.
     worker_grace: seconds to tolerate zero live workers with jobs
         pending before failing the remainder locally.
+    trace_dir: when set, ask workers (via the coordinators) to relay
+        their flight-recorder mirror tails; each relay lands as
+        ``remote-<digest>.<attempt>.jsonl`` in this directory, where the
+        post-hoc merge and the live tailer pick it up exactly like a
+        local worker's mirror.
     """
 
     def __init__(
@@ -77,6 +84,7 @@ class RemotePool:
         drain: bool = False,
         poll_interval: float = 0.15,
         worker_grace: float = 60.0,
+        trace_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if not endpoints:
             raise ValueError("RemotePool needs at least one coordinator endpoint")
@@ -90,6 +98,7 @@ class RemotePool:
         self.drain = drain
         self.poll_interval = poll_interval
         self.worker_grace = worker_grace
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         # FleetScheduler-compatible surface: observed worker concurrency
         # (refined from coordinator health once the sweep is running)
         self.requested_jobs = len(self.endpoints)
@@ -197,6 +206,7 @@ class RemotePool:
                 "jobs": batches[i],
                 "retries": self.retries,
                 "timeout": self.timeout,
+                "trace": self.trace_dir is not None,
             }
             if i == 0 and self.chaos_kills:
                 payload["chaos_kills"] = self.chaos_kills
@@ -270,6 +280,14 @@ class RemotePool:
         digest = record.get("digest")
         if digest is not None and digest not in self._submitted:
             return  # another driver's job on a shared coordinator
+        if event == "trace":
+            # a remote worker's mirror tail: land it as a mirror *file*
+            # (not a log record) so the trace merge and the live tailer
+            # treat remote attempts exactly like local ones.  This record
+            # precedes the attempt's terminal record in the feed, so by
+            # the time the terminal is logged the mirror is on disk.
+            self._write_relay(record)
+            return
         clean = {k: v for k, v in record.items()
                  if k not in _STRIP_FIELDS and k not in ("t", "event")}
         self.events.emit(event, t=record.get("t"), **clean)
@@ -281,6 +299,20 @@ class RemotePool:
                                    int(record.get("attempt", 1)))
         elif event in ("completed", "failed"):
             self._terminal(record)
+
+    def _write_relay(self, record: dict) -> None:
+        if self.trace_dir is None:
+            return
+        events = record.get("events") or ()
+        if not events:
+            return
+        digest = record.get("digest") or "unknown"
+        attempt = int(record.get("attempt", 1))
+        self.trace_dir.mkdir(parents=True, exist_ok=True)
+        path = self.trace_dir / f"remote-{digest[:12]}.{attempt}.jsonl"
+        with path.open("a", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
 
     def _terminal(self, record: dict) -> None:
         digest = record["digest"]

@@ -62,11 +62,15 @@ class _StoreHandler(JsonRequestHandler):
 
     def do_GET(self) -> None:
         if self.path == "/health":
+            # liveness stays open: probes and `fleet sweep` worker counts
+            # must not need credentials
             self.send_json(200, {
                 "status": "ok",
                 "service": "repro-artifact-store",
                 "objects": len(self.cache),
             })
+            return
+        if not self._authorized():
             return
         if self.path == "/stats":
             self.send_json(200, self.cache.describe())
@@ -83,6 +87,8 @@ class _StoreHandler(JsonRequestHandler):
         self.send_bytes(200, data, {CHECKSUM_HEADER: content_sha256(data)})
 
     def do_HEAD(self) -> None:
+        if not self._authorized():
+            return
         digest = self._digest("/artifacts/")
         if digest is None:
             return
@@ -92,6 +98,8 @@ class _StoreHandler(JsonRequestHandler):
             self.send_bytes(404, b"", head_only=True)
 
     def do_PUT(self) -> None:
+        if not self._authorized():
+            return
         digest = self._digest("/artifacts/")
         if digest is None:
             return
@@ -106,6 +114,8 @@ class _StoreHandler(JsonRequestHandler):
         self.send_json(201, {"stored": True, "digest": digest})
 
     def do_POST(self) -> None:
+        if not self._authorized():
+            return
         digest = self._digest("/quarantine/")
         if digest is None:
             if not self.path.startswith("/quarantine/"):
@@ -118,8 +128,9 @@ class _StoreHandler(JsonRequestHandler):
 class ArtifactStoreServer(BackgroundServer):
     """``repro fleet store`` -- serve a local cache directory over HTTP."""
 
-    def __init__(self, root=None, *, host: str = "127.0.0.1", port: int = 0) -> None:
-        super().__init__(host, port)
+    def __init__(self, root=None, *, host: str = "127.0.0.1", port: int = 0,
+                 token: Optional[str] = None) -> None:
+        super().__init__(host, port, token=token)
         self.cache = ResultCache(root)
 
     def _handler_class(self):

@@ -12,6 +12,7 @@ ops, and for a store whose requests are single-file reads/writes.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import threading
 import time
@@ -28,11 +29,24 @@ __all__ = [
     "request_json",
     "JsonRequestHandler",
     "BackgroundServer",
+    "TOKEN_HEADER",
+    "TOKEN_ENV",
+    "default_token",
 ]
 
 #: response body limit: artifacts are condensed-JSON run results (KBs);
 #: anything larger is a malfunction, not a payload
 MAX_BODY = 256 * 1024 * 1024
+
+#: shared-secret auth: every fleet service checks this header when started
+#: with a token; every client attaches it (``--token`` flag or environment)
+TOKEN_HEADER = "X-Repro-Token"
+TOKEN_ENV = "REPRO_FLEET_TOKEN"
+
+
+def default_token() -> Optional[str]:
+    """The ambient shared secret (``REPRO_FLEET_TOKEN``), if any."""
+    return os.environ.get(TOKEN_ENV) or None
 
 
 class WireError(ConnectionError):
@@ -87,13 +101,23 @@ def request(
     coordinator that has not bound its socket yet) with a linear delay;
     HTTP-level errors (4xx/5xx) are returned, not raised -- routing on
     status codes is the caller's job.
+
+    The ambient shared secret (``REPRO_FLEET_TOKEN``) is attached as the
+    :data:`TOKEN_HEADER` automatically unless the caller set one, so every
+    fleet client -- pool, worker, store client, watch -- authenticates
+    without threading a token argument through each call site.
     """
     endpoint = parse_endpoint(endpoint)
+    headers = dict(headers or {})
+    if TOKEN_HEADER not in headers:
+        token = default_token()
+        if token:
+            headers[TOKEN_HEADER] = token
     last: Optional[Exception] = None
     for attempt in range(retries + 1):
         conn = HTTPConnection(endpoint.host, endpoint.port, timeout=timeout)
         try:
-            conn.request(method, path, body=body, headers=headers or {})
+            conn.request(method, path, body=body, headers=headers)
             response: HTTPResponse = conn.getresponse()
             data = response.read(MAX_BODY)
             return response.status, dict(response.headers), data
@@ -151,6 +175,20 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # request logging goes through the owning service, not stderr
 
+    def _authorized(self) -> bool:
+        """Shared-secret gate: services started with a ``token`` 401 any
+        request missing the matching :data:`TOKEN_HEADER`.  ``/health``
+        handlers skip this (liveness probes stay credential-free)."""
+        service = getattr(self.server, "service", None)
+        token = getattr(service, "token", None)
+        if not token or self.headers.get(TOKEN_HEADER) == token:
+            return True
+        self.send_json(401, {
+            "error": "unauthorized",
+            "hint": f"pass --token / set {TOKEN_ENV}",
+        })
+        return False
+
     def read_body(self) -> bytes:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0 or length > MAX_BODY:
@@ -199,11 +237,15 @@ class BackgroundServer:
     ``start()`` binds (port 0 picks a free port -- tests and single-host
     topologies), ``shutdown()`` unwinds; ``with`` does both.  Subclass
     services hold their state object and hand the handler class a back
-    reference via the server instance.
+    reference via the server instance.  A non-empty ``token`` makes every
+    handler that calls :meth:`JsonRequestHandler._authorized` reject
+    unauthenticated requests with 401.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 *, token: Optional[str] = None) -> None:
         self._requested = (host, port)
+        self.token = token or None
         self.httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 

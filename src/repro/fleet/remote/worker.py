@@ -39,6 +39,7 @@ import time
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+from ...observe.export import read_jsonl  # mode-salt: none
 from ..cache import StoreIntegrityError
 from ..execute import execute_spec, failure_artifact, from_bytes, to_bytes
 from ..scheduler import _mp_context, _worker_main
@@ -48,9 +49,30 @@ from .wire import Endpoint, WireError, parse_endpoint, request_json
 
 __all__ = ["FleetWorker"]
 
+#: mirror-tail relay cap per attempt: enough for every scheduler-side
+#: bench body (hundreds of events), bounded so a runaway child cannot
+#: bloat the /result payload past the wire's body limit
+TRACE_TAIL_LIMIT = 2048
+
 
 def _default_log(message: str) -> None:  # pragma: no cover - CLI plumbing
     print(message, file=sys.stderr, flush=True)
+
+
+def _mirror_tail(trace_path: Optional[Path],
+                 limit: int = TRACE_TAIL_LIMIT) -> list:
+    """The last ``limit`` events of a child's flight-recorder mirror.
+
+    The mirror is flushed per event, so even a timed-out or crashed child
+    leaves a readable prefix; torn trailing lines are skipped by
+    :func:`read_jsonl`."""
+    if trace_path is None:
+        return []
+    try:
+        events = list(read_jsonl(trace_path))
+    except OSError:
+        return []
+    return events[-limit:]
 
 
 class FleetWorker:
@@ -162,22 +184,26 @@ class FleetWorker:
         store = self._resolve_store(response.get("store"))
         outcome = self._execute(job, store,
                                 timeout=response.get("timeout"),
-                                hb_interval=float(response.get("heartbeat", 2.0)))
+                                hb_interval=float(response.get("heartbeat", 2.0)),
+                                trace=bool(response.get("trace")))
         if outcome is None:
             return  # lease stolen mid-run; the steal path owns the job now
-        artifact, wall, store_hit = outcome
+        artifact, wall, store_hit, trace_events = outcome
         if store is not None and not store_hit and artifact.get("status") == "ok":
             try:
                 store.put(job["digest"], to_bytes(artifact))
             except WireError as exc:  # pragma: no cover - store died mid-sweep
                 self.log(f"worker {self.worker_id}: store put failed: {exc}")
         try:
-            self._post("/result", {
+            payload = {
                 "lease": lease_id,
                 "artifact": artifact,
                 "wall": round(wall, 6),
                 "store_hit": store_hit,
-            })
+            }
+            if trace_events:
+                payload["trace"] = trace_events
+            self._post("/result", payload)
         except WireError as exc:
             self.log(f"worker {self.worker_id}: result delivery failed: {exc}")
             return
@@ -205,11 +231,14 @@ class FleetWorker:
         *,
         timeout: Optional[float],
         hb_interval: float,
-    ) -> Optional[tuple[dict, float, bool]]:
+        trace: bool = False,
+    ) -> Optional[tuple[dict, float, bool, list]]:
         """Produce the artifact for one leased job.
 
-        Returns ``(artifact, wall_seconds, store_hit)``, or ``None`` when
-        the lease was stolen mid-run (result abandoned).
+        Returns ``(artifact, wall_seconds, store_hit, trace_events)``, or
+        ``None`` when the lease was stolen mid-run (result abandoned).
+        ``trace_events`` is the tail of the child's flight-recorder mirror
+        (empty unless the coordinator asked for relay at lease time).
         """
         spec = RunSpec.from_dict(job["spec"])
         if store is not None:
@@ -218,15 +247,20 @@ class FleetWorker:
             except (StoreIntegrityError, WireError):
                 data = None  # quarantined or unreachable: just re-execute
             if data is not None:
-                return from_bytes(data), 0.0, True
+                return from_bytes(data), 0.0, True, []
         started = time.monotonic()
         deadline = started + timeout if timeout else None
+        attempt = int(job.get("attempt", 1))
         with tempfile.TemporaryDirectory(prefix="repro-worker-") as spool:
             out_path = Path(spool) / f"{spec.digest}.json"
+            trace_path = (
+                Path(spool) / f"trace-{spec.digest[:12]}.{attempt}.jsonl"
+                if trace else None
+            )
             proc = _mp_context().Process(
                 target=_worker_main,
-                args=(self.executor, job["spec"], str(out_path), None,
-                      int(job.get("attempt", 1))),
+                args=(self.executor, job["spec"], str(out_path),
+                      str(trace_path) if trace_path else None, attempt),
                 daemon=True,
             )
             proc.start()
@@ -245,9 +279,9 @@ class FleetWorker:
                         failure_artifact(
                             spec, "timeout",
                             f"exceeded {timeout}s wall-clock limit",
-                            attempts=int(job.get("attempt", 1)),
+                            attempts=attempt,
                         ),
-                        now - started, False,
+                        now - started, False, _mirror_tail(trace_path),
                     )
                 if not self._heartbeat(job["lease"]):
                     self.log(f"worker {self.worker_id}: lease stolen for "
@@ -267,6 +301,6 @@ class FleetWorker:
                     spec, "crashed",
                     f"worker child died with exit code {proc.exitcode} "
                     "before writing a result",
-                    attempts=int(job.get("attempt", 1)),
+                    attempts=attempt,
                 )
-            return artifact, wall, False
+            return artifact, wall, False, _mirror_tail(trace_path)

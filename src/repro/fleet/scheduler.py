@@ -301,7 +301,8 @@ class FleetScheduler:
                 )
             )
             self.events.emit(
-                "started", digest=digest, job=outcome.job, attempt=pending.attempts
+                "started", digest=digest, job=outcome.job,
+                attempt=pending.attempts, slot=slot,
             )
             rec = _observe_active()
             if rec is not None:

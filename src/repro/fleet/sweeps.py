@@ -32,6 +32,7 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import sys
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -168,7 +169,7 @@ def _make_pool(
         return RemotePool(
             workers, store=cache, timeout=timeout, retries=retries,
             events=events, chaos_kills=chaos_kills, chaos_seed=chaos_seed,
-            drain=drain,
+            drain=drain, trace_dir=trace_dir,
         )
     return FleetScheduler(
         jobs=jobs, timeout=timeout, retries=retries, cache=cache,
@@ -259,6 +260,10 @@ def run_sweep(
     bench_out: Optional[Path] = None,
     sanitize_impls: Sequence[str] = DEFAULT_SANITIZE_IMPLS,
     trace_dir: Optional[Path] = None,
+    live: bool = False,
+    live_port: int = 0,
+    live_token: Optional[str] = None,
+    live_linger: float = 2.0,
 ) -> dict:
     """Full sweep: collect render keys, warm the cache in parallel, then
     render incrementally (cache-hit benches restored, stale ones re-rendered
@@ -276,31 +281,67 @@ def run_sweep(
     mirror their flight recorders into that directory; afterwards the
     per-process streams are merged into ``trace.jsonl`` + a Perfetto-
     loadable ``trace.json``.
+
+    With ``live`` set (``--live``, implies ``--trace``), a
+    :class:`~repro.observe.live.LiveObservatory` serves the growing
+    mirrors to concurrent viewers for the duration of the sweep (plus
+    ``live_linger`` seconds, so attached clients can drain the finalized
+    feed); ``repro observe watch host:port`` is the first consumer.  The
+    service only *reads* what the sweep writes anyway, so artifacts and
+    cache state are identical with or without it.
     """
     cache = cache if cache is not None else default_cache()
-    # the remote store has no local events file; keep the log in memory then
-    events = events if events is not None else EventLog(
-        getattr(cache, "events_path", None)
-    )
+    if live and trace_dir is None:
+        raise ValueError("live=True needs a trace_dir (--live implies --trace)")
     if trace_dir is not None:
         trace_dir = Path(trace_dir)
         trace_dir.mkdir(parents=True, exist_ok=True)
         for stale in trace_dir.glob("*.json*"):
             if stale.is_file():
                 stale.unlink()
+    if events is None:
+        # the remote store has no local events file; a live sweep logs
+        # next to the mirrors then ("events.log" on purpose: the mirror
+        # glob and the stale cleanup only touch *.json*/*.jsonl names),
+        # and a plain remote sweep keeps the log in memory
+        events_path = getattr(cache, "events_path", None)
+        if live and events_path is None:
+            events_path = trace_dir / "events.log"
+        events = EventLog(events_path)
     # bench bodies resolve the cache via default_cache(); point workers at
     # this sweep's cache root for the duration (inherited over fork)
     prev_cache_env = os.environ.get("REPRO_CACHE_DIR")
     os.environ["REPRO_CACHE_DIR"] = str(cache.root)
+    observatory = None
     try:
-        return _run_sweep(
+        if live:
+            from ..observe.live import LiveObservatory  # mode-salt: none
+
+            observatory = LiveObservatory(
+                trace_dir, getattr(events, "path", None),
+                port=live_port, token=live_token,
+            ).start()
+            print(
+                f"# live observatory: {observatory.url}  "
+                f"(attach with `repro observe watch {observatory.address}`)",
+                file=sys.stderr,
+            )
+        summary = _run_sweep(
             suite=suite, jobs=jobs, timeout=timeout, retries=retries,
             chaos=chaos, chaos_seed=chaos_seed, render=render,
             workers=list(workers) if workers else None, cache=cache,
             events=events, bench_out=bench_out,
             sanitize_impls=sanitize_impls, trace_dir=trace_dir,
         )
+        if observatory is not None:
+            # every writer is done: seal the feed, then give attached
+            # clients a moment to drain it before the socket goes away
+            observatory.finalize()
+            time.sleep(live_linger)
+        return summary
     finally:
+        if observatory is not None:
+            observatory.shutdown()
         if prev_cache_env is None:
             os.environ.pop("REPRO_CACHE_DIR", None)
         else:

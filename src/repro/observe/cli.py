@@ -7,7 +7,10 @@ Post-hoc analysis of what a sweep (or any traced run) left behind:
   Perfetto-loadable ``trace.json``;
 * ``observe summary``       -- per-event-name counts and span statistics;
 * ``observe critical-path`` -- the blocking job chain / idle fraction of
-  the last fleet sweep, recomputed from the fleet event log.
+  the last fleet sweep, recomputed from the fleet event log;
+* ``observe serve``         -- the live observatory: tail a growing trace
+  directory and serve the merged feed to concurrent viewers;
+* ``observe watch``         -- stream a live observatory's event feed.
 
 Wired into the main CLI by :func:`add_observe_parser` (lazily, mirroring
 ``fleet.cli``).
@@ -17,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections import Counter, defaultdict
 from pathlib import Path
@@ -63,6 +67,40 @@ def add_observe_parser(sub: argparse._SubParsersAction) -> None:
                        help="worker count override (default: from the log)")
     cpath.add_argument("--json", action="store_true",
                        help="emit the machine-readable summary")
+
+    serve = osub.add_parser(
+        "serve",
+        help="live observatory: serve a growing trace directory to viewers",
+    )
+    serve.add_argument("--dir", default=DEFAULT_TRACE_DIR, metavar="DIR",
+                       help="trace directory to tail (default %(default)s)")
+    serve.add_argument("--events", default=None, metavar="PATH",
+                       help="fleet event log to tail for swimlanes/"
+                       "critical-path (default <cache>/events.jsonl)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8752,
+                       help="listen port (0 = auto-assign)")
+    serve.add_argument("--token", default=os.environ.get("REPRO_FLEET_TOKEN"),
+                       metavar="SECRET",
+                       help="shared secret (default: $REPRO_FLEET_TOKEN); "
+                       "rejects unauthenticated requests when set")
+
+    watch = osub.add_parser(
+        "watch", help="stream a live observatory's merged event feed"
+    )
+    watch.add_argument("endpoint", metavar="HOST:PORT",
+                       help="a live observatory (observe serve / sweep --live)")
+    watch.add_argument("--raw", action="store_true",
+                       help="print each event as canonical sorted-key JSON "
+                       "(byte-comparable with trace.jsonl)")
+    watch.add_argument("--once", action="store_true",
+                       help="drain what is sealed now and exit instead of "
+                       "waiting for the feed to finalize")
+    watch.add_argument("--cursor", type=int, default=0,
+                       help="start position in the sealed feed (default 0)")
+    watch.add_argument("--token", default=os.environ.get("REPRO_FLEET_TOKEN"),
+                       metavar="SECRET",
+                       help="shared secret (default: $REPRO_FLEET_TOKEN)")
 
 
 def _mirror_files(trace_dir: Path) -> list[Path]:
@@ -147,11 +185,17 @@ def _cmd_critical_path(args: argparse.Namespace) -> int:
     events_path = (
         Path(args.events) if args.events else ResultCache().events_path
     )
-    records = list(read_events(events_path))
+    try:
+        records = list(read_events(events_path))
+    except ValueError as exc:
+        print(f"observe: event log {events_path} is corrupt or truncated "
+              f"mid-record ({exc}); re-run the sweep or repair the log",
+              file=sys.stderr)
+        return 1
     if not records:
         print(f"observe: no fleet events at {events_path} "
               "(run `repro fleet sweep` first)", file=sys.stderr)
-        return 2
+        return 1
     summary = critical_path(
         _last_sweep_records(records), workers=args.workers
     )
@@ -162,6 +206,35 @@ def _cmd_critical_path(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..fleet.cache import ResultCache  # mode-salt: none
+    from .live import LiveObservatory
+
+    events_path = (
+        Path(args.events) if args.events else ResultCache().events_path
+    )
+    service = LiveObservatory(
+        Path(args.dir), events_path,
+        host=args.host, port=args.port, token=args.token or None,
+    )
+    service.start()
+    print(f"# live observatory on {service.url} tailing {args.dir}"
+          + (" (token auth on)" if args.token else "")
+          + "; attach with: repro observe watch " + service.address,
+          flush=True)
+    service.serve_forever()
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .live.client import watch
+
+    return watch(
+        args.endpoint, raw=args.raw, once=args.once,
+        cursor=args.cursor, token=args.token or None,
+    )
+
+
 def cmd_observe(args: argparse.Namespace) -> int:
     if args.observe_command == "trace":
         return _cmd_trace(args)
@@ -169,5 +242,9 @@ def cmd_observe(args: argparse.Namespace) -> int:
         return _cmd_summary(args)
     if args.observe_command == "critical-path":
         return _cmd_critical_path(args)
+    if args.observe_command == "serve":
+        return _cmd_serve(args)
+    if args.observe_command == "watch":
+        return _cmd_watch(args)
     print(f"observe: unknown command {args.observe_command!r}", file=sys.stderr)
     return 2  # pragma: no cover - argparse enforces choices

@@ -30,11 +30,161 @@ __all__ = [
     "phase_windows",
     "critical_path",
     "render_critical_path",
+    "IncrementalCriticalPath",
 ]
 
 #: slack allowed between one attempt's finish and its successor's launch
 #: (scheduler poll granularity + fork cost) when linking the blocking chain
 CHAIN_TOLERANCE = 0.5
+
+
+class IncrementalCriticalPath:
+    """Record-at-a-time consumer behind both analysis paths.
+
+    The post-hoc :func:`critical_path` feeds it a whole log at once; the
+    live service (:mod:`repro.observe.live`) feeds it fleet records as
+    they are tailed and calls :meth:`summary` per ``/critical-path``
+    request.  State is the running interval/phase/cache bookkeeping --
+    O(records) memory, O(1) per record -- with the chain walk deferred
+    to :meth:`summary` (it needs the full interval set anyway).
+
+    ``reset_on_sweep_start`` makes a long-lived consumer track only the
+    most recent sweep in an appended-forever log (the live service's
+    mode); the post-hoc wrapper leaves it off so explicitly pre-cut
+    record lists keep their historical behaviour.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        tolerance: float = CHAIN_TOLERANCE,
+        reset_on_sweep_start: bool = False,
+    ) -> None:
+        self._workers_override = workers
+        self.tolerance = tolerance
+        self.reset_on_sweep_start = reset_on_sweep_start
+        self._reset()
+
+    def _reset(self) -> None:
+        self.workers: Optional[int] = self._workers_override
+        self._starts: dict[tuple, float] = {}
+        self.intervals: list[dict] = []
+        self.cached: list[dict] = []
+        self._phase_open: dict[str, float] = {}
+        self.windows: dict[str, tuple[float, float]] = {}
+        self.consumed = 0
+
+    def consume(self, record: dict) -> None:
+        event = record.get("event")
+        if event == "sweep-start" and self.reset_on_sweep_start:
+            self._reset()
+        self.consumed += 1
+        if event == "pool-start":
+            if self.workers is None:
+                self.workers = record.get("workers")
+            return
+        digest = record.get("digest")
+        if event == "started":
+            self._starts[(digest, record.get("attempt", 1))] = record["t"]
+        elif event in ("completed", "failed", "retry"):
+            key = (digest, record.get("attempt", 1))
+            t0 = self._starts.pop(key, None)
+            if t0 is None:
+                return
+            self.intervals.append({
+                "job": record.get("job", digest),
+                "digest": digest,
+                "attempt": record.get("attempt", 1),
+                "start": t0,
+                "end": record["t"],
+                "status": "completed" if event == "completed" else "failed",
+            })
+        elif event == "cached-hit":
+            self.cached.append({
+                "job": record.get("job", digest),
+                "digest": digest,
+                "t": record["t"],
+            })
+        elif event == "phase-start" and record.get("phase") is not None:
+            self._phase_open[record["phase"]] = record["t"]
+        elif event == "phase-end" and record.get("phase") in self._phase_open:
+            phase = record["phase"]
+            self.windows[phase] = (self._phase_open.pop(phase), record["t"])
+
+    def consume_all(self, records: Iterable[dict]) -> "IncrementalCriticalPath":
+        for record in records:
+            self.consume(record)
+        return self
+
+    def summary(self) -> dict:
+        """The critical-path summary over everything consumed so far."""
+        intervals, cached, windows = self.intervals, self.cached, self.windows
+        phases = {}
+        for name, (p0, p1) in windows.items():
+            in_phase = [i for i in intervals if p0 <= i["start"] <= p1]
+            phases[name] = {
+                "wall": round(p1 - p0, 3),
+                "executed": len(in_phase),
+                "cached": sum(1 for c in cached if p0 <= c["t"] <= p1),
+                "busy": round(sum(i["end"] - i["start"] for i in in_phase), 3),
+            }
+        bounding = (
+            max(phases, key=lambda name: phases[name]["wall"]) if phases else None
+        )
+        workers = self.workers
+        if not intervals:
+            return {
+                "workers": workers,
+                "executed": 0,
+                "cached": len(cached),
+                "makespan": 0.0,
+                "busy": 0.0,
+                "worker_idle_fraction": None,
+                "speedup_vs_serial": None,
+                "phases": phases,
+                "bounding_phase": bounding,
+                "chain": [],
+                "chain_wall": 0.0,
+                "chain_coverage": None,
+            }
+        t_start = min(i["start"] for i in intervals)
+        t_end = max(i["end"] for i in intervals)
+        makespan = t_end - t_start
+        busy = sum(i["end"] - i["start"] for i in intervals)
+        idle = (
+            max(0.0, 1.0 - busy / (workers * makespan))
+            if workers and makespan > 0
+            else None
+        )
+        chain = _chain(intervals, t_start, self.tolerance)
+        chain_wall = sum(i["end"] - i["start"] for i in chain)
+        return {
+            "workers": workers,
+            "executed": len(intervals),
+            "cached": len(cached),
+            "makespan": round(makespan, 3),
+            "busy": round(busy, 3),
+            "worker_idle_fraction": round(idle, 4) if idle is not None else None,
+            "speedup_vs_serial": round(busy / makespan, 2) if makespan > 0 else None,
+            # per-phase decomposition of the sweep (collect / warm / render):
+            # which phase bounds the wall clock, and what each one did
+            "phases": phases,
+            "bounding_phase": bounding,
+            "chain": [
+                {
+                    "job": i["job"],
+                    "digest": (i["digest"] or "")[:12],
+                    "attempt": i["attempt"],
+                    "status": i["status"],
+                    "start": round(i["start"] - t_start, 3),
+                    "wall": round(i["end"] - i["start"], 3),
+                }
+                for i in chain
+            ],
+            "chain_wall": round(chain_wall, 3),
+            "chain_coverage": round(chain_wall / makespan, 4) if makespan > 0 else None,
+        }
 
 
 def sweep_intervals(records: Iterable[dict]) -> tuple[list[dict], list[dict]]:
@@ -44,50 +194,15 @@ def sweep_intervals(records: Iterable[dict]) -> tuple[list[dict], list[dict]]:
     execution ``{job, digest, attempt, start, end, status}``; retries
     produce one interval per attempt.
     """
-    starts: dict[tuple[str, int], float] = {}
-    intervals: list[dict] = []
-    cached: list[dict] = []
-    for record in records:
-        event = record.get("event")
-        digest = record.get("digest")
-        if event == "started":
-            starts[(digest, record.get("attempt", 1))] = record["t"]
-        elif event in ("completed", "failed", "retry"):
-            key = (digest, record.get("attempt", 1))
-            t0 = starts.pop(key, None)
-            if t0 is None:
-                continue
-            intervals.append({
-                "job": record.get("job", digest),
-                "digest": digest,
-                "attempt": record.get("attempt", 1),
-                "start": t0,
-                "end": record["t"],
-                "status": "completed" if event == "completed" else "failed",
-            })
-        elif event == "cached-hit":
-            cached.append({
-                "job": record.get("job", digest),
-                "digest": digest,
-                "t": record["t"],
-            })
-    return intervals, cached
+    state = IncrementalCriticalPath().consume_all(records)
+    return state.intervals, state.cached
 
 
 def phase_windows(records: Iterable[dict]) -> dict[str, tuple[float, float]]:
     """``phase -> (start, end)`` wall windows from the sweep's
     ``phase-start`` / ``phase-end`` marker records (emitted by
     ``run_sweep`` around collect / warm / render)."""
-    open_at: dict[str, float] = {}
-    windows: dict[str, tuple[float, float]] = {}
-    for record in records:
-        event = record.get("event")
-        phase = record.get("phase")
-        if event == "phase-start" and phase is not None:
-            open_at[phase] = record["t"]
-        elif event == "phase-end" and phase in open_at:
-            windows[phase] = (open_at.pop(phase), record["t"])
-    return windows
+    return IncrementalCriticalPath().consume_all(records).windows
 
 
 def _chain(intervals: list[dict], t_start: float,
@@ -119,78 +234,8 @@ def critical_path(
     tolerance: float = CHAIN_TOLERANCE,
 ) -> dict:
     """Summarize what bounded a sweep's wall clock (see module docstring)."""
-    records = list(records)
-    if workers is None:
-        for record in records:
-            if record.get("event") == "pool-start":
-                workers = record.get("workers")
-                break
-    intervals, cached = sweep_intervals(records)
-    windows = phase_windows(records)
-    phases = {}
-    for name, (p0, p1) in windows.items():
-        in_phase = [i for i in intervals if p0 <= i["start"] <= p1]
-        phases[name] = {
-            "wall": round(p1 - p0, 3),
-            "executed": len(in_phase),
-            "cached": sum(1 for c in cached if p0 <= c["t"] <= p1),
-            "busy": round(sum(i["end"] - i["start"] for i in in_phase), 3),
-        }
-    bounding = (
-        max(phases, key=lambda name: phases[name]["wall"]) if phases else None
-    )
-    if not intervals:
-        return {
-            "workers": workers,
-            "executed": 0,
-            "cached": len(cached),
-            "makespan": 0.0,
-            "busy": 0.0,
-            "worker_idle_fraction": None,
-            "speedup_vs_serial": None,
-            "phases": phases,
-            "bounding_phase": bounding,
-            "chain": [],
-            "chain_wall": 0.0,
-            "chain_coverage": None,
-        }
-    t_start = min(i["start"] for i in intervals)
-    t_end = max(i["end"] for i in intervals)
-    makespan = t_end - t_start
-    busy = sum(i["end"] - i["start"] for i in intervals)
-    idle = (
-        max(0.0, 1.0 - busy / (workers * makespan))
-        if workers and makespan > 0
-        else None
-    )
-    chain = _chain(intervals, t_start, tolerance)
-    chain_wall = sum(i["end"] - i["start"] for i in chain)
-    return {
-        "workers": workers,
-        "executed": len(intervals),
-        "cached": len(cached),
-        "makespan": round(makespan, 3),
-        "busy": round(busy, 3),
-        "worker_idle_fraction": round(idle, 4) if idle is not None else None,
-        "speedup_vs_serial": round(busy / makespan, 2) if makespan > 0 else None,
-        # per-phase decomposition of the sweep (collect / warm / render):
-        # which phase bounds the wall clock, and what each one did
-        "phases": phases,
-        "bounding_phase": bounding,
-        "chain": [
-            {
-                "job": i["job"],
-                "digest": (i["digest"] or "")[:12],
-                "attempt": i["attempt"],
-                "status": i["status"],
-                "start": round(i["start"] - t_start, 3),
-                "wall": round(i["end"] - i["start"], 3),
-            }
-            for i in chain
-        ],
-        "chain_wall": round(chain_wall, 3),
-        "chain_coverage": round(chain_wall / makespan, 4) if makespan > 0 else None,
-    }
+    state = IncrementalCriticalPath(workers=workers, tolerance=tolerance)
+    return state.consume_all(records).summary()
 
 
 def render_critical_path(summary: dict) -> str:

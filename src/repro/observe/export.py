@@ -42,7 +42,10 @@ NONDETERMINISTIC_FIELDS = ("wall", "dur", "pid")
 
 def read_jsonl(path: Union[str, Path]) -> Iterator[dict]:
     """Load one mirror file; tolerates a truncated final line (the writer
-    may have been SIGKILLed mid-record)."""
+    may have been SIGKILLed mid-record).  Non-dict JSON lines are dropped
+    with the undecodable ones: every consumer (the merge sort key, the
+    live tailer) needs mapping events, and a corrupt line must not be
+    able to crash the merge."""
     path = Path(path)
     if not path.exists():
         return
@@ -52,9 +55,11 @@ def read_jsonl(path: Union[str, Path]) -> Iterator[dict]:
             if not line:
                 continue
             try:
-                yield json.loads(line)
+                event = json.loads(line)
             except ValueError:
                 continue  # torn tail write from a killed process
+            if isinstance(event, dict):
+                yield event
 
 
 def merge_events(sources: Iterable[Union[str, Path, Iterable[dict]]]) -> list[dict]:

@@ -1,0 +1,30 @@
+"""Live observability: tail flight-recorder mirrors into a multi-client
+HTTP feed while the run is still going.
+
+The package splits along the data path:
+
+* :mod:`.tailer`  -- per-mirror byte cursors (no re-reads, torn-line safe,
+  rotation detection);
+* :mod:`.merger`  -- watermark-sealed streaming merge, same order as the
+  post-hoc ``export.py`` merge;
+* :mod:`.views`   -- derived state (swimlanes, Consultant search);
+* :mod:`.server`  -- the :class:`LiveObservatory` HTTP service
+  (``repro observe serve`` / ``fleet sweep --live``);
+* :mod:`.client`  -- ``repro observe watch``, the first consumer.
+"""
+
+from .merger import DEFAULT_HOLDBACK, LiveMerger
+from .server import LiveObservatory
+from .tailer import DirectoryTailer, MirrorTail, TailedEvent
+from .views import ConsultantState, SwimlaneState
+
+__all__ = [
+    "LiveObservatory",
+    "LiveMerger",
+    "DirectoryTailer",
+    "MirrorTail",
+    "TailedEvent",
+    "SwimlaneState",
+    "ConsultantState",
+    "DEFAULT_HOLDBACK",
+]

@@ -581,7 +581,29 @@ def test_cli_observe_critical_path(tmp_path, capsys):
 
 def test_cli_observe_critical_path_no_events(tmp_path, capsys, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "nope"))
-    assert main(["observe", "critical-path"]) == 2
+    assert main(["observe", "critical-path"]) == 1
+    assert "no fleet events" in capsys.readouterr().err
+
+
+def test_cli_observe_critical_path_truncated_log(tmp_path, capsys):
+    """A log torn mid-record (crash during append) exits 1 with a message,
+    not a traceback."""
+    events_path = tmp_path / "events.jsonl"
+    events_path.write_text(
+        '{"t": 0.0, "event": "pool-start", "workers": 2}\n'
+        '{"t": 0.1, "event": "started", "dig'  # torn mid-append
+    )
+    assert main(["observe", "critical-path", "--events",
+                 str(events_path)]) == 1
+    err = capsys.readouterr().err
+    assert "truncated" in err and "Traceback" not in err
+
+
+def test_cli_observe_critical_path_empty_file(tmp_path, capsys):
+    events_path = tmp_path / "events.jsonl"
+    events_path.write_text("")
+    assert main(["observe", "critical-path", "--events",
+                 str(events_path)]) == 1
     assert "no fleet events" in capsys.readouterr().err
 
 

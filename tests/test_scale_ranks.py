@@ -43,6 +43,12 @@ GOLDEN = {
     ("sstwod", 64): ("cd8e91b61dd238ad374048534d41f6ce0fbecf23736afe3731a62323f2b791f3", 0.004720409, 4731),
     ("sstwod", 256): ("3c1103dd505973f302aeb09742a39341698c993543d0c809ed668a7b9b36c001", 0.004720409, 18939),
     ("sstwod", 1024): ("0f62e3add8f802e4daec3753c10cccb95aaa3937c0ad2016c808f461ac730d18", 0.004720409, 75771),
+    # the tool shape's digest hashes the Consultant search history (every
+    # experiment, verdict, rounded value) instead of a sanitizer trace;
+    # events counts instrumentation snippets executed across all ranks
+    ("tool", 16): ("b8e687cd6e68382cc944ec86a6612c735d25686b202a25e702254bb56fbd5c7a", 2.0, 323),
+    ("tool", 64): ("7f3ff0686a66aa48907eec0d10aee10d10376b5b5053cb3655a35b4b8e3993f4", 2.0, 751),
+    ("tool", 1024): ("68a23c10e818b5c0086d4096a4809003c4f9e70b23cb04ae632f1f68ced0d941", 2.0, 4217),
 }
 
 SHAPES = ("barrier", "fence", "sstwod")
@@ -69,6 +75,20 @@ def test_golden_digests_full_scale(shape):
     """The tentpole cells: 256 and 1024 ranks, same byte-identity bar."""
     _check_cell(shape, 256)
     _check_cell(shape, 1024)
+
+
+def test_golden_tool_digests_reduced():
+    """Tier-1 oracle for the tool shape: the full Paradyn/Consultant run's
+    search history is byte-stable at 16 and 64 ranks."""
+    _check_cell("tool", 16)
+    _check_cell("tool", 64)
+
+
+@pytest.mark.slow
+def test_golden_tool_digest_full_scale():
+    """The Consultant at a thousand ranks: ~10s of wall, so slow-marked;
+    the digest pins the whole instrument-sample-decide-refine loop."""
+    _check_cell("tool", 1024)
 
 
 def test_run_cell_deterministic_in_process():
