@@ -245,6 +245,79 @@ def sampling_off(make_kernel, samples: int = 4000):
     return _sampling_scenario(make_kernel, samples, sampling=False)
 
 
+def sampling_batched(make_kernel, ranks: int = 8, rounds: int = 60):
+    """Full tool-stack sampling through the daemon, run twice -- once with
+    the proc-major batched read plan, once with the pair-major scan it
+    replaced -- asserting every per-process histogram byte-identical
+    between the two before returning the batched run's observables.
+    This pins the batching optimization to the old semantics the same way
+    the before/after kernel comparison pins the event loop."""
+    from repro.core import Focus, Paradyn
+    from repro.mpi import MpiProgram, MpiUniverse
+    from repro.sim import Cluster
+
+    class BenchProgram(MpiProgram):
+        name = "bench_sampling"
+        module = "bench.c"
+
+        def main(self, mpi):
+            yield from mpi.init()
+            for r in range(rounds):
+                yield from mpi.compute(((mpi.rank * 13 + r * 7) % 5 + 1) / 2000.0)
+                peer = mpi.rank ^ 1
+                if peer < mpi.size:
+                    if mpi.rank < peer:
+                        yield from mpi.send(peer, nbytes=64 + (r % 7) * 16, tag=1)
+                        yield from mpi.recv(source=peer, tag=2)
+                    else:
+                        yield from mpi.recv(source=peer, tag=1)
+                        yield from mpi.send(peer, nbytes=32, tag=2)
+                if r % 8 == 0:
+                    yield from mpi.barrier()
+            yield from mpi.finalize()
+
+    metrics = ("msgs_sent", "msg_bytes_sent", "msg_sync_wait")
+
+    def run_once(batched: bool):
+        universe = MpiUniverse(
+            kernel=make_kernel(),
+            cluster=Cluster(num_nodes=2, cpus_per_node=4),
+        )
+        tool = Paradyn(universe, bin_width=0.01)
+        for node in universe.cluster.nodes:
+            tool.daemon_for(node.name).batched_sampling = batched
+        for metric in metrics:
+            tool.enable(metric, Focus.whole_program())
+        universe.launch(BenchProgram(), ranks)
+        universe.run()
+        shots = []
+        for metric in metrics:
+            data = tool.data(metric, Focus.whole_program())
+            for pid in sorted(data.per_process):
+                hist = data.per_process[pid]
+                shots.append([
+                    metric, pid, hist.folds, round(hist.start_time, 9),
+                    [round(v, 9) for v in hist.filled_bins()],
+                ])
+        return round(universe.kernel.now, 9), shots
+
+    vtime, shots = run_once(True)
+    unbatched = run_once(False)
+    if (vtime, json.dumps(shots)) != (unbatched[0], json.dumps(unbatched[1])):
+        raise AssertionError(
+            "batched daemon sampling diverged from the pair-major scan"
+        )
+    events = 0
+    checksum = 0
+    for metric, pid, folds, start, bins in shots:
+        checksum = _mix(checksum, start, pid * 1009 + folds)
+        for i, value in enumerate(bins):
+            if value:
+                events += 1
+                checksum = _mix(checksum, float(value), i)
+    return events, vtime, checksum
+
+
 SCENARIOS = {
     "timer_churn": timer_churn,
     "timer_churn_traced": timer_churn_traced,
@@ -253,6 +326,7 @@ SCENARIOS = {
     "calls_instrumented": calls_instrumented,
     "sampling_on": sampling_on,
     "sampling_off": sampling_off,
+    "sampling_batched": sampling_batched,
 }
 
 #: the calibration scenario: its *reference-kernel* events/sec measures the

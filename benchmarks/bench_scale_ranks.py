@@ -1,7 +1,10 @@
 """Rank-count scaling benchmark: thousands of ranks per simulated run.
 
-Three communication shapes -- a barrier storm (pure collective
-synchronization), a fence storm (active-target RMA epochs with
+Five communication shapes -- a barrier storm (pure collective
+synchronization), the same barrier built from explicit point-to-point
+two ways (``barrier_linear``: everyone reports to rank 0; and
+``barrier_tree``: a binary gather/release tree -- the classic flat vs
+logarithmic comparison), a fence storm (active-target RMA epochs with
 neighbour puts), and an sstwod-style ghost exchange (the ``exchng2``
 Sendrecv ring from "Using MPI") -- are swept over rank counts
 {64, 256, 1024[, 4096]} under the sanitizer (vector clocks, strict RMA
@@ -154,8 +157,65 @@ def _programs():
                 yield from mpi.barrier()
             yield from mpi.finalize()
 
+    class LinearBarrier(MpiProgram):
+        """A user-level barrier built from explicit point-to-point: every
+        rank reports to rank 0, which then releases everyone -- O(ranks)
+        messages serialized through the root.  The flat half of the
+        tree-vs-linear comparison."""
+
+        name = "scale_barrier_linear"
+        module = "scale_barrier_linear.c"
+
+        def __init__(self, rounds: int = 3) -> None:
+            self.rounds = rounds
+
+        def main(self, mpi):
+            yield from mpi.init()
+            for r in range(self.rounds):
+                skew = ((mpi.rank * 29 + r * 11) % 64) * 1e-7
+                yield from mpi.compute(1e-6 + skew)
+                if mpi.rank == 0:
+                    for src in range(1, mpi.size):
+                        yield from mpi.recv(source=src, tag=31)
+                    for dst in range(1, mpi.size):
+                        yield from mpi.send(dst, nbytes=4, tag=32)
+                else:
+                    yield from mpi.send(0, nbytes=4, tag=31)
+                    yield from mpi.recv(source=0, tag=32)
+            yield from mpi.finalize()
+
+    class TreeBarrier(MpiProgram):
+        """The same user-level barrier over a binary tree: gather up
+        (children -> parent), release down -- O(log ranks) rounds of
+        concurrent messages instead of a root-serialized scan."""
+
+        name = "scale_barrier_tree"
+        module = "scale_barrier_tree.c"
+
+        def __init__(self, rounds: int = 3) -> None:
+            self.rounds = rounds
+
+        def main(self, mpi):
+            yield from mpi.init()
+            rank, size = mpi.rank, mpi.size
+            parent = (rank - 1) // 2
+            children = [c for c in (2 * rank + 1, 2 * rank + 2) if c < size]
+            for r in range(self.rounds):
+                skew = ((rank * 23 + r * 13) % 64) * 1e-7
+                yield from mpi.compute(1e-6 + skew)
+                for child in children:
+                    yield from mpi.recv(source=child, tag=41)
+                if rank > 0:
+                    yield from mpi.send(parent, nbytes=4, tag=41)
+                    yield from mpi.recv(source=parent, tag=42)
+                for child in children:
+                    yield from mpi.send(child, nbytes=4, tag=42)
+            yield from mpi.finalize()
+
     return {
         "barrier": BarrierStorm,
+        "barrier_linear": LinearBarrier,
+        "barrier_tree": TreeBarrier,
         "fence": FenceStorm,
         "sstwod": GhostExchange,
     }

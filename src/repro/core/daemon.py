@@ -70,6 +70,11 @@ class Daemon:
         self._exited_pending: list[Any] = []
         self.mutators: dict[int, Mutator] = {}
         self._sampling = False
+        #: proc-major batched reads on the sample path (one pass per process
+        #: over its bound instances, plan cached between structural changes);
+        #: clear to fall back to the pair-major scan
+        self.batched_sampling = True
+        self._sample_plan: Optional[list] = None
         frontend.add_daemon(self)
 
     # ------------------------------------------------------------------ attach
@@ -134,6 +139,7 @@ class Daemon:
         )
 
         self._install_detection(mutator)
+        self.invalidate_sample_plan()
         self._ensure_sampling()
 
     def _install_detection(self, mutator: Mutator) -> None:
@@ -194,8 +200,33 @@ class Daemon:
                 self.frontend.library, data.metric_name, data.focus, mutator
             )
         data.instances.append(instance)
+        self.invalidate_sample_plan()
 
     # ------------------------------------------------------------------- sample
+
+    def invalidate_sample_plan(self) -> None:
+        """Drop the cached proc-major read plan; the next sample pass
+        rebuilds it.  Called on every structural change: attach, new
+        instrumentation, pair disable, process retirement."""
+        self._sample_plan = None
+
+    def _build_sample_plan(self) -> list:
+        """Group every live (pair, instance) binding by process, in the
+        daemon's live-process order with pair order preserved within each
+        process.  Rebuilt only when instrumentation or process membership
+        changes, so steady-state sampling walks one flat list per process
+        instead of re-filtering every pair's instance list each tick."""
+        by_proc: dict[int, list] = {id(proc): [] for proc in self._live}
+        for data in self.frontend.enabled.values():
+            if not data.active:
+                continue
+            for instance in data.instances:
+                entries = by_proc.get(id(instance.proc))
+                if entries is not None:
+                    entries.append((data, instance))
+        return [
+            (proc, by_proc[id(proc)]) for proc in self._live if by_proc[id(proc)]
+        ]
 
     def _ensure_sampling(self) -> None:
         if not self._sampling:
@@ -238,23 +269,45 @@ class Daemon:
         for proc in self._live:
             if not proc.exited:
                 observe(proc, now)
-        proc_set = self._live_set
-        for data in self.frontend.enabled.values():
-            if not data.active:
-                continue
-            instances = data.instances
-            if not instances:
-                continue
-            enabled_at = data.enabled_at
-            when = record_at if record_at > enabled_at else enabled_at
-            record = data.record
-            for instance in instances:
-                proc = instance.proc
-                if id(proc) not in proc_set:
+        if self.batched_sampling:
+            # proc-major: each process's bound instances read back to back
+            # from the cached plan.  Reordering the reads is histogram-safe:
+            # every (pair, pid) owns its own FoldingHistogram and gets
+            # exactly one delta per pass, so the bytes match the pair-major
+            # scan bin for bin.
+            plan = self._sample_plan
+            if plan is None:
+                plan = self._sample_plan = self._build_sample_plan()
+            whens: dict[int, float] = {}
+            for proc, entries in plan:
+                pid = proc.pid
+                for data, instance in entries:
+                    when = whens.get(id(data))
+                    if when is None:
+                        enabled_at = data.enabled_at
+                        when = record_at if record_at > enabled_at else enabled_at
+                        whens[id(data)] = when
+                    delta = instance.sample_delta()
+                    if delta:
+                        data.record(pid, when, delta)
+        else:
+            proc_set = self._live_set
+            for data in self.frontend.enabled.values():
+                if not data.active:
                     continue
-                delta = instance.sample_delta()
-                if delta:
-                    record(proc.pid, when, delta)
+                instances = data.instances
+                if not instances:
+                    continue
+                enabled_at = data.enabled_at
+                when = record_at if record_at > enabled_at else enabled_at
+                record = data.record
+                for instance in instances:
+                    proc = instance.proc
+                    if id(proc) not in proc_set:
+                        continue
+                    delta = instance.sample_delta()
+                    if delta:
+                        record(proc.pid, when, delta)
         if self._exited_pending:
             # this pass read the final deltas of freshly-exited procs
             # (recorded at the same tick the always-scan used to record
@@ -264,3 +317,4 @@ class Daemon:
                     self._live_set.discard(id(proc))
                     self._live.remove(proc)
             self._exited_pending.clear()
+            self.invalidate_sample_plan()

@@ -326,6 +326,8 @@ class Frontend:
             instance.delete()
         data.instances.clear()
         data.active = False
+        for daemon in self.daemons:
+            daemon.invalidate_sample_plan()
 
     def attach_new_process(self, proc: Any) -> None:
         """Extend already-enabled whole-machine pairs onto a newly attached

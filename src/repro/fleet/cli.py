@@ -93,6 +93,10 @@ def add_fleet_parser(sub: argparse._SubParsersAction) -> None:
                        help="seed for the deterministic chaos kill schedule")
     sweep.add_argument("--no-render", action="store_true",
                        help="warm the cache only; skip report regeneration")
+    sweep.add_argument("--no-pipeline", action="store_true",
+                       help="barrier-phased sweep (warm pool drains, then a "
+                       "render pool) instead of the dependency-pipelined "
+                       "single pool -- the byte-identity oracle")
     sweep.add_argument("--workers", default=None, metavar="HOST:PORT,...",
                        help="run the sweep over remote workers attached to "
                        "these coordinators (repro fleet serve) instead of "
@@ -118,6 +122,32 @@ def add_fleet_parser(sub: argparse._SubParsersAction) -> None:
     sweep.add_argument("--live-port", type=int, default=0, metavar="PORT",
                        help="live observatory port (default: auto-assign)")
     _add_token_flag(sweep)
+
+    run = fsub.add_parser(
+        "run",
+        help="execute one spec through the cache -- locally, or on remote "
+        "workers where --interactive leases ahead of any running sweep",
+    )
+    run.add_argument("program", help="program name (e.g. ring, small_messages)")
+    run.add_argument("--mode", choices=("tool", "sanitize", "chaos"),
+                     default="tool")
+    run.add_argument("--impl", default="lam")
+    run.add_argument("--nprocs", type=int, default=None)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--quick", action="store_true",
+                     help="scaled-down program parameters")
+    run.add_argument("--interactive", action="store_true",
+                     help="submit on the interactive lane: remote workers "
+                     "lease it before any queued sweep job")
+    run.add_argument("--workers", default=None, metavar="HOST:PORT,...",
+                     help="run on these coordinators instead of in-process")
+    run.add_argument("--store", default=None, metavar="URL",
+                     help="shared artifact-store URL; overrides --cache")
+    run.add_argument("--cache", default=None, metavar="DIR",
+                     help="cache directory (default .repro-cache)")
+    run.add_argument("--timeout", type=float, default=600.0)
+    run.add_argument("--retries", type=int, default=1)
+    _add_token_flag(run)
 
     status = fsub.add_parser("status", help="cache and last-sweep statistics")
     status.add_argument("--cache", default=None, metavar="DIR")
@@ -201,6 +231,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         live=args.live,
         live_port=args.live_port,
         live_token=args.token,
+        pipeline=not args.no_pipeline,
     )
     counts = summary["counts"]
     cache_stats = summary["cache"]
@@ -253,6 +284,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"#   COLLECT FAILED {bench}: {error}")
     for bench, error in render_info["failures"]:
         print(f"#   RENDER FAILED {bench}: {error}")
+    scheduling = summary.get("scheduling")
+    if scheduling:
+        parts = []
+        packing = scheduling.get("packing")
+        if packing:
+            parts.append(f"packing {packing['efficiency']:.0%} of LPT bound "
+                         f"(makespan {packing['makespan']}s vs "
+                         f">={packing['lower_bound']}s)")
+        prediction = scheduling.get("prediction")
+        if prediction:
+            parts.append(f"profile error {prediction['mean_abs_error']:.0%} "
+                         f"over {prediction['jobs']} job(s)")
+        admission = scheduling.get("render_admission")
+        if admission and admission.get("lead") is not None:
+            parts.append(f"render admission lead {admission['lead']}s "
+                         f"({admission['early_admissions']} early)")
+        if parts:
+            print("# scheduling: " + "; ".join(parts))
     cpath = summary.get("critical_path") or {}
     if cpath.get("chain"):
         for line in render_critical_path(cpath).splitlines():
@@ -274,6 +323,58 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         or render_info["failures"]
         or collect_info["failed"]
     ) else 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    _export_token(args.token)
+    import time as _time
+
+    from .spec import RunSpec
+
+    spec = RunSpec.make(
+        args.program, mode=args.mode, impl=args.impl,
+        nprocs=args.nprocs, seed=args.seed, quick=args.quick,
+    )
+    lane = "interactive" if args.interactive else "sweep"
+    workers = [w for w in (args.workers or "").split(",") if w] or None
+    started = _time.monotonic()
+    if workers:
+        from .remote.pool import RemotePool
+
+        store = _resolve_store(args.store) if args.store else (
+            ResultCache(args.cache) if args.cache else None
+        )
+        pool = RemotePool(
+            workers, store=store, timeout=args.timeout, retries=args.retries,
+        )
+        pool.submit(spec, priority=0, lane=lane)
+        results = pool.run()
+        artifact = results.get(spec.digest) or {}
+        outcome = pool.outcomes[spec.digest]
+        cached = outcome.status == "cached" or outcome.cached
+        status = artifact.get("status", "missing")
+    else:
+        cache = _resolve_store(args.store or args.cache)
+        cached = cache.get(spec.digest) is not None
+        from .execute import run_cached
+
+        try:
+            artifact = run_cached(spec, cache)
+        except Exception as exc:  # unknown program, bad params, ...
+            print(f"fleet run: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 1
+        status = artifact.get("status", "missing")
+    wall = _time.monotonic() - started
+    print(f"# fleet run {spec.label} [{lane}]"
+          + (f" on {len(workers)} coordinator(s)" if workers else "")
+          + f": {status}" + (" (cache hit)" if cached else "")
+          + f" in {wall:.2f}s")
+    print(f"# digest: {spec.digest}")
+    error = artifact.get("error")
+    if error:
+        print(f"#   ERROR {error.get('type', 'error')}: "
+              f"{error.get('message', '')}")
+    return 0 if status == "ok" else 1
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -371,6 +472,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 def cmd_fleet(args: argparse.Namespace) -> int:
     if args.fleet_command == "sweep":
         return _cmd_sweep(args)
+    if args.fleet_command == "run":
+        return _cmd_run(args)
     if args.fleet_command == "status":
         return _cmd_status(args)
     if args.fleet_command == "clean":

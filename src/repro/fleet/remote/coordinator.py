@@ -59,12 +59,18 @@ DEFAULT_LEASE_TIMEOUT = 15.0
 PENDING, LEASED, DONE = "pending", "leased", "done"
 
 
+#: lease lanes, in lease order -- interactive jobs (``repro fleet run
+#: --interactive``) jump every queued sweep job regardless of priority
+LANES = ("interactive", "sweep")
+
+
 @dataclass
 class _Job:
     digest: str
     spec: dict
     label: str
     priority: int = 0
+    lane: str = "sweep"
     state: str = PENDING
     attempts: int = 0
     steals: int = 0
@@ -191,15 +197,17 @@ class FleetCoordinator(BackgroundServer):
                             "store_hit": existing.cached,
                         })
                     continue
+                lane = str(row.get("lane") or "sweep")
                 job = _Job(
                     digest=digest,
                     spec=row["spec"],
                     label=row.get("label") or digest[:12],
                     priority=int(row.get("priority", 0)),
+                    lane=lane if lane in LANES else "sweep",
                 )
                 self._jobs[digest] = job
                 self._emit("queued", digest=digest, job=job.label,
-                           priority=job.priority)
+                           priority=job.priority, lane=job.lane)
                 accepted += 1
             return {"accepted": accepted, "total": len(self._jobs), "done": done}
 
@@ -216,12 +224,16 @@ class FleetCoordinator(BackgroundServer):
         )
 
     def _next_pending(self, now: float) -> Optional[_Job]:
+        """Interactive-lane jobs lease first, whatever the sweep queue's
+        priorities; within a lane, lowest (priority, attempts) wins."""
         best: Optional[_Job] = None
+        best_key = None
         for job in self._jobs.values():
             if job.state != PENDING or job.ready_at > now:
                 continue
-            if best is None or (job.priority, job.attempts) < (best.priority, best.attempts):
-                best = job
+            key = (LANES.index(job.lane), job.priority, job.attempts)
+            if best is None or key < best_key:
+                best, best_key = job, key
         return best
 
     def lease(self, worker_id: str, worker_version: Optional[str] = None) -> dict:

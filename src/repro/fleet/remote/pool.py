@@ -12,8 +12,10 @@ The driver:
 1. short-circuits each spec through the shared artifact store (the warm
    sweep against an already-warm store does zero remote round trips per
    hit, same as the local pool against a warm directory);
-2. submits the remaining jobs round-robin across the coordinator
-   endpoints (one coordinator is the common case; more shard the queue);
+2. shards the remaining jobs across the coordinator endpoints by a
+   deterministic locality score (consumers follow their producers, job
+   families stick to one coordinator, load stays bounded; one
+   coordinator is the common case);
 3. polls each coordinator's event feed, re-emitting lifecycle records
    into the sweep's :class:`EventLog` with the *coordinator's* timestamps
    preserved -- so ``observe`` swimlanes and critical-path analysis see
@@ -103,17 +105,29 @@ class RemotePool:
         # (refined from coordinator health once the sweep is running)
         self.requested_jobs = len(self.endpoints)
         self.jobs = len(self.endpoints)
-        self._submitted: dict[str, tuple[RunSpec, int]] = {}
+        self._submitted: dict[str, tuple[RunSpec, int, str, tuple]] = {}
         self.results: dict[str, dict] = {}
         self.outcomes: dict[str, JobOutcome] = {}
 
     # -- submission ----------------------------------------------------------
 
-    def submit(self, spec: RunSpec, *, priority: int = 0) -> str:
+    def submit(
+        self,
+        spec: RunSpec,
+        *,
+        priority: int = 0,
+        lane: str = "sweep",
+        after: tuple = (),
+    ) -> str:
+        """Queue one spec.  ``lane`` is the coordinator's lease lane
+        (``interactive`` jumps the sweep queue); ``after`` lists consumed
+        artifact digests -- admission stays the coordinator's problem, but
+        the digests feed the locality score so consumers shard to the
+        coordinator their producers went to."""
         digest = spec.digest
         if digest in self._submitted:
             return digest
-        self._submitted[digest] = (spec, priority)
+        self._submitted[digest] = (spec, priority, lane, tuple(after))
         self.outcomes[digest] = JobOutcome(
             digest=digest, job=spec.label, program=spec.program,
             impl=spec.impl, mode=spec.mode,
@@ -167,7 +181,7 @@ class RemotePool:
     def _store_precheck(self) -> list[str]:
         """Resolve store hits driver-side; returns the digests still to run."""
         pending: list[str] = []
-        for digest, (spec, _priority) in self._submitted.items():
+        for digest, (spec, _priority, _lane, _after) in self._submitted.items():
             data = None
             if self.store is not None:
                 try:
@@ -184,19 +198,63 @@ class RemotePool:
             self.events.emit("cached-hit", digest=digest, job=outcome.job)
         return pending
 
+    def _assign_endpoints(self, pending: list[str]) -> dict[int, list[str]]:
+        """Locality-scored sharding (deterministic, driver-side).
+
+        Round-robin scattered a program's runs and their consumers across
+        coordinators; instead, prefer the coordinator that (a) already got
+        any of this spec's consumed-artifact producers this sweep (+2 --
+        the worker's store precheck will hold those artifacts hot), or
+        (b) already ran this ``mode:program`` family (+1 -- warm module
+        caches and page cache).  Load stays bounded: nobody is assigned
+        more than ``ceil(len/n) + 1`` jobs, so a degenerate score cannot
+        starve a coordinator.
+        """
+        n = len(self.endpoints)
+        assigned: dict[int, list[str]] = {i: [] for i in range(n)}
+        if n == 1:
+            assigned[0] = list(pending)
+            return assigned
+        cap = -(-len(pending) // n) + 1
+        family_home: dict[str, int] = {}
+        digest_home: dict[str, int] = {}
+        for digest in pending:
+            spec, _priority, _lane, after = self._submitted[digest]
+            family = f"{spec.mode}:{spec.program}"
+            ranked = []
+            for i in range(n):
+                score = 0
+                if any(digest_home.get(d) == i for d in after):
+                    score += 2
+                if family_home.get(family) == i:
+                    score += 1
+                ranked.append((-score, len(assigned[i]), i))
+            ranked.sort()
+            best = next(
+                (i for _neg, load, i in ranked if load < cap), ranked[0][2]
+            )
+            assigned[best].append(digest)
+            family_home.setdefault(family, best)
+            digest_home[digest] = best
+        return assigned
+
     def _submit_batches(self, pending: list[str]) -> dict[str, int]:
-        """Round-robin the jobs across coordinators; returns each
-        coordinator's event-feed cursor snapshotted *before* submission
+        """Shard the jobs across coordinators by locality score; returns
+        each coordinator's event-feed cursor snapshotted *before* submission
         (a long-lived coordinator has older sweeps' events in its feed)."""
-        batches: dict[int, list[dict]] = {i: [] for i in range(len(self.endpoints))}
-        for n, digest in enumerate(pending):
-            spec, priority = self._submitted[digest]
-            batches[n % len(self.endpoints)].append({
-                "digest": digest,
-                "spec": spec.to_dict(),
-                "label": spec.label,
-                "priority": priority,
-            })
+        assigned = self._assign_endpoints(pending)
+        batches: dict[int, list[dict]] = {}
+        for i, digests in assigned.items():
+            batches[i] = []
+            for digest in digests:
+                spec, priority, lane, _after = self._submitted[digest]
+                batches[i].append({
+                    "digest": digest,
+                    "spec": spec.to_dict(),
+                    "label": spec.label,
+                    "priority": priority,
+                    "lane": lane,
+                })
         cursors: dict[str, int] = {}
         for i, endpoint in enumerate(self.endpoints):
             feed = self._get(endpoint, "/events?cursor=0")
@@ -348,7 +406,7 @@ class RemotePool:
 
     def _fail_remaining(self, error_type: str, message: str) -> None:
         for digest in self._unresolved():
-            spec, _ = self._submitted[digest]
+            spec = self._submitted[digest][0]
             outcome = self.outcomes[digest]
             artifact = failure_artifact(
                 spec, error_type, message,

@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import os
+import random
 import tempfile
 import time
 from dataclasses import dataclass
@@ -30,6 +31,7 @@ from ..observe.recorder import enable as _observe_enable  # mode-salt: none
 from .cache import ArtifactStore, StoreIntegrityError
 from .events import EventLog
 from .execute import execute_spec, failure_artifact, from_bytes, to_bytes
+from .profiles import ProfileStore
 from .spec import RunSpec
 
 __all__ = ["FleetScheduler", "JobOutcome"]
@@ -110,6 +112,10 @@ class _Pending:
     priority: int
     attempts: int = 0
     ready_at: float = 0.0
+    #: wall predicted by the profile store; longer runs first (LPT)
+    predicted: Optional[float] = None
+    #: digests that must be terminal before this job may launch
+    after: tuple = ()
 
 
 @dataclass
@@ -147,6 +153,14 @@ class FleetScheduler:
     trace_dir: directory for per-worker flight-recorder mirror files
         (``--trace``); ``None`` disables mirroring (workers still keep
         their in-memory ring for failure artifacts).
+    profiles: a :class:`~repro.fleet.profiles.ProfileStore`; within one
+        explicit ``priority`` class, ready jobs launch longest-predicted
+        -first (LPT) instead of submission order.  Completed walls are
+        EMA-merged back into the store (the caller saves it).
+    order_seed: seeded shuffle of ready-queue tie-breaks.  Jobs with
+        equal ``(priority, predicted)`` launch in a pseudo-random order
+        instead of FIFO -- the adversarial-order determinism tests prove
+        artifacts are byte-identical under any admission order.
     """
 
     def __init__(
@@ -161,6 +175,8 @@ class FleetScheduler:
         executor: Callable[[RunSpec], dict] = execute_spec,
         poll_interval: float = 0.02,
         trace_dir: Optional[Path] = None,
+        profiles: Optional[ProfileStore] = None,
+        order_seed: Optional[int] = None,
     ) -> None:
         usable = _usable_cpus()
         self.requested_jobs = max(1, jobs if jobs is not None else usable)
@@ -177,8 +193,11 @@ class FleetScheduler:
         # popped smallest-first on launch, returned on reap
         self._free_slots = list(range(self.jobs))[::-1]
 
-        self._heap: list[tuple[int, int, _Pending]] = []
+        self.profiles = profiles
+        self._rng = random.Random(order_seed) if order_seed is not None else None
+        self._heap: list[tuple[tuple, int, _Pending]] = []
         self._deferred: list[_Pending] = []
+        self._blocked: list[_Pending] = []
         self._seq = 0
         self._submitted: dict[str, RunSpec] = {}
         self.results: dict[str, dict] = {}
@@ -186,9 +205,16 @@ class FleetScheduler:
 
     # -- submission ----------------------------------------------------------
 
-    def submit(self, spec: RunSpec, *, priority: int = 0) -> str:
+    def submit(self, spec: RunSpec, *, priority: int = 0, after: tuple = ()) -> str:
         """Queue one spec (lower ``priority`` runs first); returns its digest.
-        Duplicate digests are coalesced into a single job."""
+        Duplicate digests are coalesced into a single job.
+
+        ``after`` lists artifact digests this job consumes: it is held out
+        of the ready queue until every listed digest is terminal (completed,
+        cached, or failed -- matching the old barrier, where renders ran
+        regardless of warm failures).  Digests never submitted to this pool
+        are ignored; dependencies must be submitted before their consumers.
+        """
         digest = spec.digest
         if digest in self._submitted:
             return digest
@@ -200,13 +226,31 @@ class FleetScheduler:
             impl=spec.impl,
             mode=spec.mode,
         )
-        self._push(_Pending(spec=spec, priority=priority))
-        self.events.emit("queued", digest=digest, job=spec.label, priority=priority)
+        predicted = self.profiles.predict(spec) if self.profiles is not None else None
+        deps = tuple(
+            d for d in after if d in self._submitted and d not in self.results
+        )
+        pending = _Pending(
+            spec=spec, priority=priority, predicted=predicted, after=deps
+        )
+        if deps:
+            self._blocked.append(pending)
+        else:
+            self._push(pending)
+        self.events.emit(
+            "queued", digest=digest, job=spec.label, priority=priority,
+            predicted=None if predicted is None else round(predicted, 6),
+            deps=len(deps),
+        )
         return digest
 
     def _push(self, pending: _Pending) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (pending.priority, self._seq, pending))
+        # explicit priority class first, then longest-predicted-first (LPT);
+        # the tie-break is FIFO unless order_seed shuffles it
+        tie = self._rng.random() if self._rng is not None else 0.0
+        key = (pending.priority, -(pending.predicted or 0.0), tie)
+        heapq.heappush(self._heap, (key, self._seq, pending))
 
     # -- run loop ------------------------------------------------------------
 
@@ -215,7 +259,7 @@ class FleetScheduler:
         Never raises for job failures -- those become failure artifacts."""
         ctx = _mp_context()
         active: list[_Active] = []
-        queued = len(self._heap) + len(self._deferred)
+        queued = len(self._heap) + len(self._deferred) + len(self._blocked)
         self.events.emit(
             "pool-start", workers=self.jobs, requested=self.requested_jobs,
             queued=queued,
@@ -225,11 +269,13 @@ class FleetScheduler:
             rec.begin("fleet.pool", workers=self.jobs, jobs=queued)
         with tempfile.TemporaryDirectory(prefix="repro-fleet-") as spool:
             spool_dir = Path(spool)
-            while self._heap or self._deferred or active:
+            while self._heap or self._deferred or self._blocked or active:
                 now = time.monotonic()
                 progressed = self._promote_deferred(now)
+                progressed |= self._promote_blocked()
                 progressed |= self._launch(ctx, spool_dir, now, active)
                 progressed |= self._reap(active)
+                progressed |= self._promote_blocked()
                 if not progressed:
                     time.sleep(self.poll_interval)
         summary = self.summary()
@@ -246,6 +292,25 @@ class FleetScheduler:
             return False
         for pending in ready:
             self._deferred.remove(pending)
+            self._push(pending)
+        return True
+
+    def _promote_blocked(self) -> bool:
+        """Admit dependency-blocked jobs whose consumed digests are all
+        terminal (``self.results`` holds every terminal artifact, including
+        failures), preserving submission order among the newly ready."""
+        ready = [
+            p for p in self._blocked
+            if all(d in self.results for d in p.after)
+        ]
+        if not ready:
+            return False
+        for pending in ready:
+            self._blocked.remove(pending)
+            self.events.emit(
+                "admitted", digest=pending.spec.digest,
+                job=self.outcomes[pending.spec.digest].job, deps=len(pending.after),
+            )
             self._push(pending)
         return True
 
@@ -403,6 +468,8 @@ class FleetScheduler:
         outcome.status = "completed"
         if self.cache is not None:
             self.cache.put(digest, to_bytes(artifact))
+        if self.profiles is not None:
+            self.profiles.observe(pending.spec, wall)
         self.events.emit(
             "completed",
             digest=digest,

@@ -44,6 +44,7 @@ from ..observe.recorder import recording  # mode-salt: none
 from .cache import ArtifactStore
 from .events import EventLog
 from .execute import default_cache
+from .profiles import ProfileStore, open_store
 from .render import (
     CollectOnly,
     RenderPlan,
@@ -159,10 +160,14 @@ def _make_pool(
     chaos_kills: int = 0,
     chaos_seed: int = 0,
     drain: bool = False,
+    profiles: Optional[ProfileStore] = None,
+    order_seed: Optional[int] = None,
 ):
     """One sweep-phase pool: the fork pool by default, the remote pool when
     ``--workers`` names coordinator endpoints.  Both speak the same
-    submit/run/outcomes/summary surface, so the phases are pool-agnostic."""
+    submit/run/outcomes/summary surface, so the phases are pool-agnostic.
+    Profiles/order_seed steer only the local pool: remote lease order is
+    the coordinator's call (lanes + locality, see ``remote/``)."""
     if workers:
         from .remote.pool import RemotePool  # lazy: local sweeps stay lean
 
@@ -173,36 +178,27 @@ def _make_pool(
         )
     return FleetScheduler(
         jobs=jobs, timeout=timeout, retries=retries, cache=cache,
-        events=events, trace_dir=trace_dir,
+        events=events, trace_dir=trace_dir, profiles=profiles,
+        order_seed=order_seed,
     )
 
 
-def _render_phase(
+def _restore_renders(
     plan: RenderPlan,
-    *,
-    workers: Optional[Sequence[str]],
-    jobs: Optional[int],
-    timeout: Optional[float],
-    retries: int,
-    cache: ArtifactStore,
-    events: EventLog,
-    trace_dir: Optional[Path],
+    outcomes_by_digest: dict,
+    results: dict,
+    wall: float,
 ):
-    """Run the per-bench render specs through a scheduler pool and restore
-    every captured report; returns ``(render_summary, outcomes, pool)``."""
-    t0 = time.monotonic()
-    scheduler = _make_pool(
-        workers=workers, jobs=jobs, timeout=timeout, retries=retries,
-        cache=cache, events=events, trace_dir=trace_dir,
-        drain=True,  # the render pool is the sweep's last: send workers home
-    )
-    by_digest = {}
-    for entry in plan.benches:
-        scheduler.submit(entry.spec)
-        by_digest[entry.spec.digest] = entry
-    results = scheduler.run()
-    outcomes = list(scheduler.outcomes.values())
-
+    """Restore every captured report from the render artifacts and build
+    the render summary; returns ``(render_summary, outcomes)``.  Shared by
+    the barrier render phase and the pipelined single-pool sweep -- the
+    parent is the single writer of ``benchmarks/reports/`` either way."""
+    outcomes = [
+        outcomes_by_digest[entry.spec.digest]
+        for entry in plan.benches
+        if entry.spec.digest in outcomes_by_digest
+    ]
+    by_digest = {entry.spec.digest: entry for entry in plan.benches}
     reports_dir = None
     bench = bench_dir()
     if bench is not None:
@@ -228,7 +224,6 @@ def _render_phase(
             "opaque": entry.opaque,
             "wall": round(outcome.wall, 4),
         })
-    wall = time.monotonic() - t0
     executed_wall = sum(o.wall for o in outcomes if o.status == "completed")
     summary = {
         "benches": len(plan.benches),
@@ -238,10 +233,45 @@ def _render_phase(
         "wall": round(wall, 3),
         # sum of per-bench worker wall over the phase's wall clock: how much
         # the parallel cold render beat a serial one (None on a warm cache)
-        "speedup_vs_serial": round(executed_wall / wall, 2) if executed_wall else None,
+        "speedup_vs_serial": (
+            round(executed_wall / wall, 2) if executed_wall and wall > 0 else None
+        ),
         "failures": [list(f) for f in failures],
         "per_bench": per_bench,
     }
+    return summary, outcomes
+
+
+def _render_phase(
+    plan: RenderPlan,
+    *,
+    workers: Optional[Sequence[str]],
+    jobs: Optional[int],
+    timeout: Optional[float],
+    retries: int,
+    cache: ArtifactStore,
+    events: EventLog,
+    trace_dir: Optional[Path],
+    profiles: Optional[ProfileStore] = None,
+    order_seed: Optional[int] = None,
+):
+    """Run the per-bench render specs through a scheduler pool and restore
+    every captured report; returns ``(render_summary, outcomes, pool)``."""
+    t0 = time.monotonic()
+    scheduler = _make_pool(
+        workers=workers, jobs=jobs, timeout=timeout, retries=retries,
+        cache=cache, events=events, trace_dir=trace_dir,
+        drain=True,  # the render pool is the sweep's last: send workers home
+        profiles=profiles, order_seed=order_seed,
+    )
+    for entry in plan.benches:
+        # consumed digests are a locality hint for the remote pool (shard
+        # the render next to its producers); the local pool drops them --
+        # they were never submitted to this phase's pool
+        scheduler.submit(entry.spec, after=entry.consumes)
+    results = scheduler.run()
+    wall = time.monotonic() - t0
+    summary, outcomes = _restore_renders(plan, scheduler.outcomes, results, wall)
     return summary, outcomes, scheduler
 
 
@@ -264,11 +294,22 @@ def run_sweep(
     live_port: int = 0,
     live_token: Optional[str] = None,
     live_linger: float = 2.0,
+    pipeline: bool = True,
+    order_seed: Optional[int] = None,
 ) -> dict:
-    """Full sweep: collect render keys, warm the cache in parallel, then
-    render incrementally (cache-hit benches restored, stale ones re-rendered
-    in parallel).  Returns the machine-readable summary also written to
+    """Full sweep: collect render keys, then run one profile-guided,
+    dependency-aware schedule -- experiments and renders share a single
+    pool, each render admitted the moment its consumed artifacts are all
+    terminal, ready jobs ordered longest-predicted-first from the persisted
+    wall profiles.  Returns the machine-readable summary also written to
     ``bench_out``.
+
+    ``pipeline=False`` restores the old barrier-phased plan (warm pool
+    drains completely, then a second render pool runs) -- the byte-identity
+    oracle the pipelined schedule is compared against in tests and CI.
+    ``order_seed`` seeds a shuffle of ready-queue tie-breaks (adversarial
+    -order determinism testing); artifacts and reports are byte-identical
+    for every value.
 
     With ``workers`` set (``--workers host:port,...``), the warm and render
     phases run through coordinator-attached remote workers instead of local
@@ -332,6 +373,7 @@ def run_sweep(
             workers=list(workers) if workers else None, cache=cache,
             events=events, bench_out=bench_out,
             sanitize_impls=sanitize_impls, trace_dir=trace_dir,
+            pipeline=pipeline, order_seed=order_seed,
         )
         if observatory is not None:
             # every writer is done: seal the feed, then give attached
@@ -363,12 +405,25 @@ def _run_sweep(
     bench_out: Optional[Path],
     sanitize_impls: Sequence[str],
     trace_dir: Optional[Path],
+    pipeline: bool = True,
+    order_seed: Optional[int] = None,
 ) -> dict:
     if suite not in SWEEP_SUITES:
         raise ValueError(f"unknown suite {suite!r}; have {SWEEP_SUITES}")
     t0 = time.monotonic()
     events_start = len(getattr(events, "records", []))
     events.emit("sweep-start", suite=suite)
+
+    # wall profiles steer the local pool's LPT ordering; remote lease order
+    # is the coordinator's (lanes + locality).  Seeded from the committed
+    # BENCH_fleet.json so even a fresh checkout knows its tail jobs.
+    profiles: Optional[ProfileStore] = None
+    if not workers:
+        seed_json = Path(bench_out) if bench_out is not None else Path(BENCH_OUT)
+        try:
+            profiles = open_store(Path(cache.root), seed_json)
+        except (OSError, AttributeError):
+            profiles = None  # advisory: a sweep must never fail on profiles
 
     # -- collect: render keys + the specs the benches would run -------------
     events.emit("phase-start", phase="collect")
@@ -389,32 +444,38 @@ def _run_sweep(
                 recording(capacity=32768, mirror=trace_dir / "scheduler.jsonl")
             )
 
-        # -- warm: experiments + opaque bench bodies, parallel + cached ----
+        # -- warm + render: one dependency-aware pool (pipelined), or the
+        # old barrier phases (pipeline=False, or remote workers) ------------
         t1 = time.monotonic()
-        events.emit("phase-start", phase="warm")
         # does a render phase follow?  if not, the warm pool is the last one
         # and (remotely) must drain the workers itself
         will_render = render and suite in ("all", "bench") and bool(plan.benches)
+        pipelined = bool(pipeline) and not workers and will_render
         scheduler = _make_pool(
             workers=workers, jobs=jobs, timeout=timeout, retries=retries,
             cache=cache, events=events, trace_dir=trace_dir,
             chaos_kills=chaos if workers else 0, chaos_seed=chaos_seed,
-            drain=not will_render,
+            drain=not will_render or pipelined,
+            profiles=profiles, order_seed=order_seed,
         )
+        if not pipelined:
+            events.emit("phase-start", phase="warm")
         for spec in specs:
             # defects and chaos jobs are cheap; let the long PC runs go first
             priority = 1 if spec.mode != "tool" else 0
             scheduler.submit(spec, priority=priority)
         for entry in plan.benches:
             # opaque bodies *are* their own experiment: warm them here so
-            # the render phase cache-hits them instead of re-running
+            # a re-sweep cache-hits them instead of re-running
             if entry.opaque:
                 scheduler.submit(entry.spec, priority=0)
+            elif pipelined:
+                # the pipelining itself: the render is admitted the moment
+                # its consumed artifacts are all terminal, not at a barrier
+                scheduler.submit(entry.spec, priority=0, after=entry.consumes)
+        pool_mark = len(getattr(events, "records", []))
         scheduler.run()
-        events.emit("phase-end", phase="warm")
-        warm_wall = time.monotonic() - t1
 
-        # -- render: per-bench jobs, skipped on an unchanged render key ----
         render_summary = {
             "benches": len(plan.benches), "skipped": 0, "rendered": 0,
             "failed": 0, "wall": 0.0, "speedup_vs_serial": None,
@@ -422,18 +483,76 @@ def _run_sweep(
         }
         render_outcomes: list = []
         last_pool = scheduler
-        if will_render:
-            events.emit("phase-start", phase="render")
-            render_summary, render_outcomes, last_pool = _render_phase(
-                plan, workers=workers, jobs=jobs, timeout=timeout,
-                retries=retries, cache=cache, events=events,
-                trace_dir=trace_dir,
+        if pipelined:
+            # phase windows are overlapped now; reconstruct them from the
+            # pool's own event timestamps and emit the markers post-hoc
+            # (EventLog.emit takes explicit t), so the critical-path phase
+            # decomposition keeps working under admission interleaving
+            render_set = {entry.spec.digest for entry in plan.benches}
+            pool_records = events.records[pool_mark:]
+            terminal = ("completed", "failed", "cached-hit")
+            t_pool = [r["t"] for r in pool_records if r.get("event") == "pool-start"]
+            t_warm0 = t_pool[0] if t_pool else None
+            warm_ts = [
+                r["t"] for r in pool_records
+                if r.get("event") in terminal and r.get("digest") not in render_set
+            ]
+            render_start_ts = [
+                r["t"] for r in pool_records
+                if r.get("event") in ("started", "cached-hit")
+                and r.get("digest") in render_set
+            ]
+            render_end_ts = [
+                r["t"] for r in pool_records
+                if r.get("event") in terminal and r.get("digest") in render_set
+            ]
+            if t_warm0 is not None:
+                t_warm1 = max(warm_ts, default=t_warm0)
+                t_render0 = min(render_start_ts, default=t_warm1)
+                t_render1 = max(render_end_ts, default=t_render0)
+                events.emit("phase-start", phase="warm", t=t_warm0)
+                events.emit("phase-end", phase="warm", t=t_warm1)
+                events.emit("phase-start", phase="render", t=t_render0)
+                events.emit("phase-end", phase="render", t=t_render1)
+                warm_wall = t_warm1 - t_warm0
+                render_wall = t_render1 - t_render0
+            else:  # pragma: no cover - record-less event log
+                warm_wall = time.monotonic() - t1
+                render_wall = 0.0
+            render_summary, render_outcomes = _restore_renders(
+                plan, scheduler.outcomes, scheduler.results, render_wall
             )
-            events.emit("phase-end", phase="render")
+        else:
+            events.emit("phase-end", phase="warm")
+            warm_wall = time.monotonic() - t1
+            # -- render: per-bench jobs, skipped on an unchanged render key -
+            if will_render:
+                events.emit("phase-start", phase="render")
+                render_summary, render_outcomes, last_pool = _render_phase(
+                    plan, workers=workers, jobs=jobs, timeout=timeout,
+                    retries=retries, cache=cache, events=events,
+                    trace_dir=trace_dir, profiles=profiles,
+                    order_seed=order_seed,
+                )
+                events.emit("phase-end", phase="render")
 
-    outcomes = list(scheduler.outcomes.values())
+    if pipelined:
+        # warm accounting excludes the dependency-admitted renders (they
+        # have their own block) but keeps opaque bodies, matching where the
+        # barrier sweep ran them
+        opaque_set = {e.spec.digest for e in plan.benches if e.opaque}
+        outcomes = [
+            o for o in scheduler.outcomes.values()
+            if o.digest not in render_set or o.digest in opaque_set
+        ]
+    else:
+        outcomes = list(scheduler.outcomes.values())
     executed_wall = sum(o.wall for o in outcomes if o.status == "completed")
-    speedup = round(executed_wall / warm_wall, 2) if executed_wall else None
+    speedup = (
+        round(executed_wall / warm_wall, 2)
+        if executed_wall and warm_wall > 0
+        else None
+    )
 
     # remote sweeps report the coordinator-side view (per-worker job counts,
     # steals/retries, store hit rate); the worker count observed there also
@@ -447,6 +566,13 @@ def _run_sweep(
     # what actually bounded the sweep's wall clock (observe subsystem)
     sweep_records = events.records[events_start:]
     cpath = critical_path(sweep_records, workers=observed_workers)
+    scheduling = cpath.pop("scheduling", None)
+
+    if profiles is not None and profiles.dirty:
+        try:
+            profiles.save()
+        except OSError:  # pragma: no cover - read-only cache dir
+            pass
 
     trace_summary = None
     if trace_dir is not None:
@@ -479,11 +605,13 @@ def _run_sweep(
         for o in sorted(rows, key=lambda o: (-o.wall, o.job))
     ]
     summary = {
-        # schema 3: + "remote" (per-worker job counts, steals/retries,
-        # store hit rate) when the sweep ran over --workers
-        "schema": 3,
+        # schema 4: + "scheduling" (prediction error, packing efficiency vs
+        # the LPT lower bound, render admission lead), "pipeline", and
+        # "profiles"; schema 3 added "remote" for --workers sweeps
+        "schema": 4,
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "suite": suite,
+        "pipeline": pipelined,
         "jobs": scheduler.requested_jobs,
         # requested concurrency clamped to usable CPUs (the jobs are
         # CPU-bound; oversubscribing only inflates per-job walls) -- or, on
@@ -510,6 +638,10 @@ def _run_sweep(
         # blocking job chain + worker idle fraction + per-phase decomposition
         # (which phase bounds the sweep) -- repro.observe
         "critical_path": cpath,
+        # how well the profile-guided schedule packed: prediction error,
+        # makespan vs the LPT lower bound, render admission lead time
+        "scheduling": scheduling,
+        "profiles": profiles.describe() if profiles is not None else None,
         "trace": trace_summary,
         "render": render_summary,
         "per_job": per_job,

@@ -98,6 +98,10 @@ def add_observe_parser(sub: argparse._SubParsersAction) -> None:
                        "waiting for the feed to finalize")
     watch.add_argument("--cursor", type=int, default=0,
                        help="start position in the sealed feed (default 0)")
+    watch.add_argument("--filter", default=None, metavar="PREFIX",
+                       help="only stream events whose name starts with this "
+                       "prefix (filtered server-side; the cursor still "
+                       "tracks the full feed)")
     watch.add_argument("--token", default=os.environ.get("REPRO_FLEET_TOKEN"),
                        metavar="SECRET",
                        help="shared secret (default: $REPRO_FLEET_TOKEN)")
@@ -232,6 +236,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return watch(
         args.endpoint, raw=args.raw, once=args.once,
         cursor=args.cursor, token=args.token or None,
+        name=getattr(args, "filter", None),
     )
 
 

@@ -73,6 +73,7 @@ class IncrementalCriticalPath:
         self.cached: list[dict] = []
         self._phase_open: dict[str, float] = {}
         self.windows: dict[str, tuple[float, float]] = {}
+        self.predicted: dict[str, float] = {}
         self.consumed = 0
 
     def consume(self, record: dict) -> None:
@@ -85,7 +86,10 @@ class IncrementalCriticalPath:
                 self.workers = record.get("workers")
             return
         digest = record.get("digest")
-        if event == "started":
+        if event == "queued":
+            if record.get("predicted") is not None:
+                self.predicted[digest] = float(record["predicted"])
+        elif event == "started":
             self._starts[(digest, record.get("attempt", 1))] = record["t"]
         elif event in ("completed", "failed", "retry"):
             key = (digest, record.get("attempt", 1))
@@ -147,6 +151,7 @@ class IncrementalCriticalPath:
                 "chain": [],
                 "chain_wall": 0.0,
                 "chain_coverage": None,
+                "scheduling": self.scheduling(),
             }
         t_start = min(i["start"] for i in intervals)
         t_end = max(i["end"] for i in intervals)
@@ -184,7 +189,67 @@ class IncrementalCriticalPath:
             ],
             "chain_wall": round(chain_wall, 3),
             "chain_coverage": round(chain_wall / makespan, 4) if makespan > 0 else None,
+            "scheduling": self.scheduling(),
         }
+
+    def scheduling(self) -> dict:
+        """Scheduling-efficiency metrics (the BENCH_fleet ``scheduling``
+        block): how good were the profile predictions, how tight is the
+        packing against the LPT lower bound, and how much earlier did
+        renders get admitted than the old warm barrier would have allowed.
+        """
+        intervals = self.intervals
+        out: dict = {
+            "predicted_jobs": len(self.predicted),
+            "prediction": None,
+            "packing": None,
+            "render_admission": None,
+        }
+        if not intervals:
+            return out
+        errors = []
+        for i in intervals:
+            pred = self.predicted.get(i["digest"])
+            if pred is None or i["attempt"] != 1 or i["status"] != "completed":
+                continue
+            actual = i["end"] - i["start"]
+            errors.append((actual - pred) / max(actual, 1e-9))
+        if errors:
+            out["prediction"] = {
+                "jobs": len(errors),
+                "mean_abs_error": round(sum(abs(e) for e in errors) / len(errors), 4),
+                "mean_error": round(sum(errors) / len(errors), 4),
+            }
+        t_start = min(i["start"] for i in intervals)
+        t_end = max(i["end"] for i in intervals)
+        makespan = t_end - t_start
+        busy = sum(i["end"] - i["start"] for i in intervals)
+        longest = max(i["end"] - i["start"] for i in intervals)
+        workers = self.workers
+        # the LPT lower bound: no schedule beats the longest single job, nor
+        # the perfectly level-packed busy time across all workers
+        lower = max(longest, busy / workers) if workers else longest
+        out["packing"] = {
+            "makespan": round(makespan, 3),
+            "lower_bound": round(lower, 3),
+            "longest_job": round(longest, 3),
+            "efficiency": round(lower / makespan, 4) if makespan > 0 else None,
+        }
+        renders = [i for i in intervals if i["job"].startswith("render:")]
+        others = [i for i in intervals if not i["job"].startswith("render:")]
+        if renders and others:
+            warm_end = max(i["end"] for i in others)
+            first_render = min(i["start"] for i in renders)
+            out["render_admission"] = {
+                "renders_executed": len(renders),
+                # positive = renders started before the last warm job ended,
+                # i.e. pipelining beat the barrier by this many seconds
+                "lead": round(warm_end - first_render, 3),
+                "early_admissions": sum(
+                    1 for i in renders if i["start"] < warm_end
+                ),
+            }
+        return out
 
 
 def sweep_intervals(records: Iterable[dict]) -> tuple[list[dict], list[dict]]:
@@ -265,6 +330,29 @@ def render_critical_path(summary: dict) -> str:
         lines.append(
             "phases: " + " | ".join(parts)
             + (f"; sweep is {bounding}-bound" if bounding else "")
+        )
+    sched = summary.get("scheduling") or {}
+    packing = sched.get("packing")
+    if packing:
+        eff = packing.get("efficiency")
+        line = (
+            f"packing: makespan {packing['makespan']}s vs LPT lower bound "
+            f"{packing['lower_bound']}s"
+            + (f" ({eff:.0%} efficient)" if eff is not None else "")
+        )
+        prediction = sched.get("prediction")
+        if prediction:
+            line += (
+                f"; prediction |err| {prediction['mean_abs_error']:.0%} "
+                f"over {prediction['jobs']} job(s)"
+            )
+        lines.append(line)
+    admission = sched.get("render_admission")
+    if admission:
+        lines.append(
+            f"render admission: {admission['early_admissions']} of "
+            f"{admission['renders_executed']} render(s) admitted before the "
+            f"last warm job ended (lead {admission['lead']}s)"
         )
     chain = summary.get("chain", [])
     if not chain:

@@ -15,6 +15,7 @@ import json
 import sys
 import time
 from typing import Optional
+from urllib.parse import quote
 
 from ...fleet.remote.wire import (  # mode-salt: none
     TOKEN_HEADER,
@@ -61,18 +62,25 @@ def watch(
     cursor: int = 0,
     poll: float = 0.3,
     token: Optional[str] = None,
+    name: Optional[str] = None,
     out=None,
 ) -> int:
     """Stream the live feed to ``out`` (stdout); returns an exit code.
 
     ``once`` drains whatever is sealed right now and returns instead of
-    waiting for the feed to finalize.
+    waiting for the feed to finalize.  ``name`` asks the observatory to
+    return only events whose name starts with that prefix (server-side,
+    so a narrow watch of a chatty sweep stays cheap on the wire); the
+    cursor still tracks the full feed, so dropping the filter mid-watch
+    resumes the complete stream without replays or gaps.
     """
     out = out if out is not None else sys.stdout
     target = parse_endpoint(endpoint)
+    suffix = f"&name={quote(name)}" if name else ""
     try:
         while True:
-            payload = _get(target, f"/events?cursor={cursor}&limit=1000",
+            payload = _get(target,
+                           f"/events?cursor={cursor}&limit=1000{suffix}",
                            token)
             events = payload.get("events") or []
             for event in events:

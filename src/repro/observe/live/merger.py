@@ -136,11 +136,26 @@ class LiveMerger:
 
     # -- the viewer feed (handler threads) -----------------------------------
 
-    def events_since(self, cursor: int, limit: int = 1000) -> dict:
+    def events_since(
+        self, cursor: int, limit: int = 1000, name: Optional[str] = None
+    ) -> dict:
+        """The viewer feed from ``cursor``.  ``name`` filters the returned
+        events to those whose name starts with it -- applied *after* the
+        cursor/limit slice, so the cursor remains a plain index into the
+        global sealed sequence: a filtered viewer and an unfiltered one at
+        the same cursor always advance identically, and a viewer can
+        change (or drop) its filter mid-stream without losing position."""
         with self._lock:
             cursor = max(0, min(int(cursor), len(self.sealed)))
-            events = self.sealed[cursor:cursor + max(1, int(limit))]
-            new_cursor = cursor + len(events)
+            window = self.sealed[cursor:cursor + max(1, int(limit))]
+            new_cursor = cursor + len(window)
+            if name:
+                events = [
+                    e for e in window
+                    if str(e.get("name", "")).startswith(name)
+                ]
+            else:
+                events = window
             return {
                 "events": events,
                 "cursor": new_cursor,

@@ -221,7 +221,10 @@ class _LiveHandler(JsonRequestHandler):
                 limit = int(query.get("limit", ["1000"])[0])
             except ValueError:
                 limit = 1000
-            self.send_json(200, self.live.merger.events_since(cursor, limit))
+            name = query.get("name", [""])[0] or None
+            self.send_json(
+                200, self.live.merger.events_since(cursor, limit, name=name)
+            )
         elif parsed.path == "/swimlanes":
             self.send_json(200, self.live.swimlanes_snapshot())
         elif parsed.path == "/critical-path":

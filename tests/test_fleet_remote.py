@@ -667,7 +667,7 @@ def test_run_sweep_remote_matches_local(tmp_path, remote_bench_env):
             bench_out=tmp_path / "BENCH_remote.json",
         )
         worker.join(20)
-        assert summary["schema"] == 3
+        assert summary["schema"] == 4
         assert summary["counts"]["failed"] == 0
         assert summary["counts"]["completed"] == local["counts"]["completed"]
         remote = summary["remote"]

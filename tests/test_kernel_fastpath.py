@@ -250,6 +250,7 @@ def test_bench_scenarios_deterministic_across_runs():
         "calls_instrumented": {"calls": 200},
         "sampling_on": {"samples": 200},
         "sampling_off": {"samples": 200},
+        "sampling_batched": {"ranks": 4, "rounds": 12},
     }
     for name, fn in bench.SCENARIOS.items():
         kwargs = sizes[name]
@@ -271,6 +272,7 @@ def test_bench_summary_has_required_schema_fields():
         "calls_instrumented": {"calls": 50},
         "sampling_on": {"samples": 50},
         "sampling_off": {"samples": 50},
+        "sampling_batched": {"ranks": 2, "rounds": 6},
     }
     summary = bench.run_scenarios(sizes)
     assert summary["schema"] == 1

@@ -289,6 +289,71 @@ def test_viewers_at_any_cursor_see_identical_events(tmp_path):
     assert replay == full["events"] == merge_events(files)
 
 
+def test_events_since_name_filter_keeps_cursor_global(tmp_path):
+    """``name=`` filters the returned events but not the cursor: the
+    filter applies after the cursor/limit slice, so a filtered viewer
+    advances exactly like an unfiltered one and can drop or change the
+    prefix mid-stream without losing its place."""
+    a = tmp_path / "proc-a.jsonl"
+    a.write_text("".join(jl(e) for e in [
+        ev(1.0, seq=0, name="pc.start"), ev(2.0, seq=1, name="job.run"),
+        ev(3.0, seq=2, name="pc.verdict"), ev(4.0, seq=3, name="job.done"),
+        ev(5.0, seq=4, name="pc.end"),
+    ]))
+    merger = LiveMerger()
+    drain_into_merger(tmp_path, merger)
+
+    full = merger.events_since(0, limit=100)
+    filtered = merger.events_since(0, limit=100, name="pc.")
+    assert filtered["cursor"] == full["cursor"] == 5
+    assert filtered["done"] == full["done"]
+    assert [e["name"] for e in filtered["events"]] == [
+        "pc.start", "pc.verdict", "pc.end",
+    ]
+
+    # paging with a filter walks the same global windows: cursors match
+    # the unfiltered pager's step for step, events are the window's subset
+    cursor, names = 0, []
+    while True:
+        page = merger.events_since(cursor, limit=2, name="job.")
+        unfiltered = merger.events_since(cursor, limit=2)
+        assert page["cursor"] == unfiltered["cursor"]
+        names.extend(e["name"] for e in page["events"])
+        cursor = page["cursor"]
+        if page["done"]:
+            break
+    assert names == ["job.run", "job.done"]
+    # switching the filter off mid-stream resumes the full feed in place
+    assert merger.events_since(2, limit=100)["events"] == full["events"][2:]
+
+
+def test_observatory_serves_name_filtered_feed(tmp_path):
+    """/events?name=prefix streams the server-side filtered feed, and the
+    watch client's ``name`` knob drives it end to end."""
+    trace_dir = tmp_path / "trace"
+    trace_dir.mkdir()
+    (trace_dir / "proc-a.jsonl").write_text("".join(jl(e) for e in [
+        ev(1.0, seq=0, name="pc.start"), ev(2.0, seq=1, name="job.run"),
+        ev(3.0, seq=2, name="pc.end"),
+    ]))
+    service = LiveObservatory(trace_dir, None, poll_interval=0.05)
+    service.start()
+    try:
+        service.finalize()
+        status, payload = http_get(service.address, "/events?cursor=0&name=pc.")
+        assert status == 200
+        assert [e["name"] for e in payload["events"]] == ["pc.start", "pc.end"]
+        assert payload["cursor"] == 3 and payload["done"]
+
+        out = io.StringIO()
+        assert watch(service.address, raw=True, name="job.", out=out,
+                     poll=0.01) == 0
+        lines = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert [e["name"] for e in lines] == ["job.run"]
+    finally:
+        service.shutdown()
+
+
 # ------------------------------------------------------------- observatory
 
 

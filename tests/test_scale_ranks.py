@@ -35,6 +35,18 @@ GOLDEN = {
     ("barrier", 64): ("6d07aa335bb83368a393f3dc78e51fdd0f7918898430fd1e51df71b45d0a27b0", 0.0031224, 2295),
     ("barrier", 256): ("91daf4471958a2719ba56066c0fb041fc8b325ccc8a48779f3dead886d7e897c", 0.0031224, 9207),
     ("barrier", 1024): ("9da47c5eefefc0c3c3ce98b77e76faac928a9baaa55d77a88b8176c630277e18", 0.0031224, 36855),
+    # user-level barriers built from explicit point-to-point: the flat
+    # rank-0 funnel vs the binary gather/release tree.  The virtual times
+    # pin the expected algorithmic gap (linear grows with ranks, tree
+    # grows with log ranks)
+    ("barrier_linear", 16): ("98b7156dbe41537e808482ccdde701ba6a40dd69eb478789ae08e8e491b8238c", 0.008470816, 602),
+    ("barrier_linear", 64): ("65ff150b7bf06cbea48078618dc81080547cb5d1e1e9db96cef3ff23a304bab1", 0.025813424, 2522),
+    ("barrier_linear", 256): ("41b7dca01e12ab4e7fb7b8766d2080ae7f89d181e575be4b66647047e8edc619", 0.095183859, 10202),
+    ("barrier_linear", 1024): ("56a528025e26a7ba3bc05a27b3723d5b1fed7cd6243822d5249eb27faa8dc53e", 0.372665598, 40922),
+    ("barrier_tree", 16): ("fb20d6698521c747a4cb201141561b2495cb10090c8c08a9ae37afe0d1cce187", 0.008106746, 629),
+    ("barrier_tree", 64): ("57843c61fc8aec89553b816dec68db089362c8cc1787aec16813c0a43025554d", 0.011471581, 2648),
+    ("barrier_tree", 256): ("9296f8b600e7fe2941965cd6b25a21c2e0f9c73f18987e7289555b2fc46bc650", 0.014838015, 10736),
+    ("barrier_tree", 1024): ("b9139a3c284008eb52be09a65aae2ce111df82ad31be1cfd52e56da55f718cd8", 0.01820445, 43096),
     ("fence", 16): ("13ff9d2b1cc06469d8a2860c62eced377af90ec784681c5b1e36797e819be847", 0.003255887, 1334),
     ("fence", 64): ("a5b22055416e7906283a8b6f5aadfbcb7aed2f207e1cd8136326350bb906e71a", 0.003256687, 5366),
     ("fence", 256): ("f61828d823491cb8580b1d19b80f865e4173d6de8d60eede6e9e45405880610e", 0.003256687, 21494),
@@ -51,7 +63,7 @@ GOLDEN = {
     ("tool", 1024): ("68a23c10e818b5c0086d4096a4809003c4f9e70b23cb04ae632f1f68ced0d941", 2.0, 4217),
 }
 
-SHAPES = ("barrier", "fence", "sstwod")
+SHAPES = ("barrier", "barrier_linear", "barrier_tree", "fence", "sstwod")
 
 
 def _check_cell(shape: str, ranks: int) -> None:
@@ -89,6 +101,20 @@ def test_golden_tool_digest_full_scale():
     """The Consultant at a thousand ranks: ~10s of wall, so slow-marked;
     the digest pins the whole instrument-sample-decide-refine loop."""
     _check_cell("tool", 1024)
+
+
+def test_tree_barrier_beats_linear_at_scale():
+    """The comparison the two shapes exist for: the tree barrier's virtual
+    completion time grows ~log(ranks) while the rank-0 funnel grows
+    linearly, so the gap widens with the rank count (asserted over the
+    pinned goldens -- no extra runs)."""
+    for ranks in (64, 256, 1024):
+        linear_t = GOLDEN[("barrier_linear", ranks)][1]
+        tree_t = GOLDEN[("barrier_tree", ranks)][1]
+        assert tree_t < linear_t, ranks
+    gap_64 = GOLDEN[("barrier_linear", 64)][1] / GOLDEN[("barrier_tree", 64)][1]
+    gap_1024 = GOLDEN[("barrier_linear", 1024)][1] / GOLDEN[("barrier_tree", 1024)][1]
+    assert gap_1024 > gap_64 > 1.0
 
 
 def test_run_cell_deterministic_in_process():
